@@ -1,0 +1,332 @@
+package xartrek
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (Section 4) under `go test -bench`. Each
+// benchmark runs the corresponding experiment end to end on the
+// simulated testbed and reports the headline metric the paper plots,
+// via b.ReportMetric, alongside the usual ns/op (wall time to
+// regenerate the experiment).
+//
+// Shrunken parameters keep a full -bench=. sweep under a few minutes;
+// cmd/xarbench runs the experiments at the paper's full scale.
+//
+// The four BenchmarkAblation* entries quantify the design decisions
+// DESIGN.md §5 calls out by disabling them one at a time.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"xartrek/internal/exper"
+	"xartrek/internal/workloads"
+)
+
+const benchSeed = 2021
+
+var (
+	benchOnce sync.Once
+	benchArts *exper.Artifacts
+	benchErr  error
+)
+
+func benchArtifacts(b *testing.B) *exper.Artifacts {
+	b.Helper()
+	benchOnce.Do(func() {
+		apps, err := workloads.Registry()
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchArts, benchErr = exper.BuildArtifacts(apps)
+	})
+	if benchErr != nil {
+		b.Fatalf("artifacts: %v", benchErr)
+	}
+	return benchArts
+}
+
+// BenchmarkTable1ExecutionTimes regenerates Table 1: per-benchmark
+// execution times on vanilla x86 and under x86→FPGA / x86→ARM
+// migration. Reports CG-A's FPGA time (the paper's worst case).
+func BenchmarkTable1ExecutionTimes(b *testing.B) {
+	arts := benchArtifacts(b)
+	var rows []exper.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exper.Table1(arts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].X86FPGA.Milliseconds()), "CGA-fpga-ms")
+}
+
+// BenchmarkTable2ThresholdEstimation regenerates Table 2: the step G
+// estimation campaign. Reports CG-A's FPGA threshold.
+func BenchmarkTable2ThresholdEstimation(b *testing.B) {
+	apps, err := workloads.Registry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var thr int
+	for i := 0; i < b.N; i++ {
+		table, err := EstimateThresholds(apps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := table.Get("CG-A")
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr = rec.FPGAThr
+	}
+	b.ReportMetric(float64(thr), "CGA-fpga-thr")
+}
+
+// BenchmarkTable4BFS regenerates the Section 4.4 BFS study. Reports
+// the 5000-node FPGA/x86 slowdown factor.
+func BenchmarkTable4BFS(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.Table4([]int{1000, 3000, 5000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		factor = float64(last.FPGA) / float64(last.X86)
+	}
+	b.ReportMetric(factor, "fpga/x86-slowdown")
+}
+
+// benchFixedLoad runs a shrunken Figures 3-5 sweep and reports the
+// Xar-Trek vs Vanilla/x86 speedup at the largest set size.
+func benchFixedLoad(b *testing.B, load int) {
+	arts := benchArtifacts(b)
+	modes := []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.RunFixedLoadSweep(arts, []int{5, 15}, modes, load, 2, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-2:]
+		speedup = float64(last[1].Average) / float64(last[0].Average)
+	}
+	b.ReportMetric(speedup, "x86/xar-speedup")
+}
+
+// BenchmarkFigure3LowLoad regenerates Figure 3 (low load: no
+// background processes).
+func BenchmarkFigure3LowLoad(b *testing.B) { benchFixedLoad(b, 0) }
+
+// BenchmarkFigure4MediumLoad regenerates Figure 4 (60 processes).
+func BenchmarkFigure4MediumLoad(b *testing.B) { benchFixedLoad(b, 60) }
+
+// BenchmarkFigure5HighLoad regenerates Figure 5 (120 processes).
+func BenchmarkFigure5HighLoad(b *testing.B) { benchFixedLoad(b, 120) }
+
+// BenchmarkFigure6Throughput regenerates Figure 6's load-50 bars and
+// reports Xar-Trek's throughput gain over vanilla x86.
+func BenchmarkFigure6Throughput(b *testing.B) {
+	arts := benchArtifacts(b)
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		xar, err := exper.RunThroughput(arts, fd, exper.ModeXarTrek, 50, 60*time.Second, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x86, err := exper.RunThroughput(arts, fd, exper.ModeVanillaX86, 50, 60*time.Second, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = xar.PerSecond / x86.PerSecond
+	}
+	b.ReportMetric(gain, "xar/x86-throughput")
+}
+
+// BenchmarkFigure7PeriodicExec regenerates a shrunken Figure 7 wave
+// experiment and reports the Xar-Trek speedup over vanilla x86.
+func BenchmarkFigure7PeriodicExec(b *testing.B) {
+	arts := benchArtifacts(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		xar, err := exper.RunWaves(arts, exper.ModeXarTrek, 6, 20, 30*time.Second, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x86, err := exper.RunWaves(arts, exper.ModeVanillaX86, 6, 20, 30*time.Second, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(x86.Average) / float64(xar.Average)
+	}
+	b.ReportMetric(speedup, "x86/xar-speedup")
+}
+
+// BenchmarkFigure8PeriodicThroughput regenerates a shrunken Figure 8
+// and reports Xar-Trek's average images/second along the load wave.
+func BenchmarkFigure8PeriodicThroughput(b *testing.B) {
+	arts := benchArtifacts(b)
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunPeriodicThroughput(arts, fd, exper.ModeXarTrek, 10, 120, 5, 60*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = r.Average
+	}
+	b.ReportMetric(avg, "img/s")
+}
+
+// BenchmarkFigure9Profitability regenerates Figure 9's endpoints and
+// reports the 0%-CG-A speedup (the all-compute-intensive best case).
+func BenchmarkFigure9Profitability(b *testing.B) {
+	arts := benchArtifacts(b)
+	modes := []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.RunProfitabilityStudy(arts, []int{0, 100}, modes, 10, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(pts[1].Average) / float64(pts[0].Average)
+	}
+	b.ReportMetric(speedup, "x86/xar-speedup-0pct")
+}
+
+// BenchmarkFigure10BinarySizes regenerates Figure 10 and reports the
+// largest Xar-Trek/Popcorn size increase across the benchmarks.
+func BenchmarkFigure10BinarySizes(b *testing.B) {
+	arts := benchArtifacts(b)
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.BinarySizes(arts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if f := float64(r.XarTrek) / float64(r.PopcornX86ARM); f > worst {
+				worst = f
+			}
+		}
+	}
+	b.ReportMetric((worst-1)*100, "max-increase-pct")
+}
+
+// ablationSpeedup measures how much the full system outperforms the
+// system with one design decision removed, on a medium-load mixed set.
+func ablationSpeedup(b *testing.B, opts exper.Options) float64 {
+	arts := benchArtifacts(b)
+	set := exper.RandomSet(rand.New(rand.NewSource(benchSeed)), arts.Apps, 10)
+	full, err := exper.RunSetOpts(arts, set, exper.ModeXarTrek, 60, exper.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ablated, err := exper.RunSetOpts(arts, set, exper.ModeXarTrek, 60, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(ablated.Average) / float64(full.Average)
+}
+
+// BenchmarkAblationCPUModel compares the processor-sharing x86 model
+// against FIFO cores (DESIGN.md §5 item 1). The scheduler observes a
+// different load trajectory under FIFO, shifting decisions.
+func BenchmarkAblationCPUModel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = ablationSpeedup(b, exper.Options{X86FIFO: true})
+	}
+	b.ReportMetric(ratio, "fifo/ps-ratio")
+}
+
+// BenchmarkAblationReconfigHiding disables Algorithm 2's
+// reconfiguration-latency hiding: processes block on the FPGA instead
+// of continuing on a CPU (item 2). Both variants run without
+// pre-configuration, since a pre-configured device never triggers the
+// on-demand path this ablation targets.
+func BenchmarkAblationReconfigHiding(b *testing.B) {
+	arts := benchArtifacts(b)
+	set := exper.RandomSet(rand.New(rand.NewSource(benchSeed)), arts.Apps, 10)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		hide, err := exper.RunSetOpts(arts, set, exper.ModeXarTrek, 60,
+			exper.Options{NoPreconfig: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		block, err := exper.RunSetOpts(arts, set, exper.ModeXarTrek, 60,
+			exper.Options{NoPreconfig: true, BlockOnReconfig: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(block.Average) / float64(hide.Average)
+	}
+	b.ReportMetric(ratio, "block/hide-ratio")
+}
+
+// BenchmarkAblationPreconfig quantifies the early-configuration design
+// decision (item 3) with the paper's own comparison (Section 4.2):
+// Xar-Trek, which configures at main start and runs on a CPU while the
+// download completes, against the traditional always-FPGA flow, which
+// configures on first use and blocks. It reports both the throughput
+// ratio and the time-to-first-hardware-image under load.
+func BenchmarkAblationPreconfig(b *testing.B) {
+	arts := benchArtifacts(b)
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio, firstImage float64
+	for i := 0; i < b.N; i++ {
+		xar, err := exper.RunThroughput(arts, fd, exper.ModeXarTrek, 25, 60*time.Second, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		always, err := exper.RunThroughput(arts, fd, exper.ModeVanillaFPGA, 25, 60*time.Second, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = xar.PerSecond / always.PerSecond
+		first, err := exper.TimeToFirstFPGA(arts, fd, 25, 60*time.Second, exper.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstImage = float64(first.Milliseconds())
+	}
+	b.ReportMetric(ratio, "xar/alwaysfpga-throughput")
+	b.ReportMetric(firstImage, "first-hw-image-ms")
+}
+
+// BenchmarkAblationDynamicThresholds freezes the threshold table at
+// the static step G estimate, disabling Algorithm 1 (item 4). Waves of
+// sequential launches give the dynamic updates decisions to influence.
+func BenchmarkAblationDynamicThresholds(b *testing.B) {
+	arts := benchArtifacts(b)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dynamic, err := exper.RunWavesOpts(arts, exper.ModeXarTrek, 6, 20, 30*time.Second, benchSeed,
+			exper.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		static, err := exper.RunWavesOpts(arts, exper.ModeXarTrek, 6, 20, 30*time.Second, benchSeed,
+			exper.Options{StaticThresholds: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(static.Average) / float64(dynamic.Average)
+	}
+	b.ReportMetric(ratio, "static/dynamic-ratio")
+}

@@ -1,0 +1,250 @@
+// Command xarbench regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated testbed.
+//
+// Usage:
+//
+//	xarbench -all
+//	xarbench -table 1        # Tables 1-4
+//	xarbench -figure 6       # Figures 3-10
+//	xarbench -all -runs 3    # cheaper randomized experiments
+//
+// Absolute times come from this repository's calibrated models, not
+// the authors' hardware; EXPERIMENTS.md records paper-vs-measured for
+// every row and series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"xartrek/internal/exper"
+	"xartrek/internal/workloads"
+)
+
+// seed makes every randomized experiment reproducible.
+const seed = 2021 // the paper's year
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xarbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xarbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "regenerate one table (1-4)")
+	figure := fs.Int("figure", 0, "regenerate one figure (3-10)")
+	all := fs.Bool("all", false, "regenerate everything")
+	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		fs.Usage()
+		return fmt.Errorf("pick -all, -table N, or -figure N")
+	}
+
+	apps, err := workloads.Registry()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "xarbench: building artifacts (compiler steps A-G)...")
+	arts, err := exper.BuildArtifacts(apps)
+	if err != nil {
+		return err
+	}
+
+	type experiment struct {
+		kind string // "table" or "figure"
+		id   int
+		fn   func(io.Writer, *exper.Artifacts, int) error
+	}
+	experiments := []experiment{
+		{"table", 1, table1},
+		{"table", 2, table2},
+		{"table", 3, table3},
+		{"table", 4, table4},
+		{"figure", 3, figure3},
+		{"figure", 4, figure4},
+		{"figure", 5, figure5},
+		{"figure", 6, figure6},
+		{"figure", 7, figure7},
+		{"figure", 8, figure8},
+		{"figure", 9, figure9},
+		{"figure", 10, figure10},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		want := *all ||
+			(e.kind == "table" && *table == e.id) ||
+			(e.kind == "figure" && *figure == e.id)
+		if !want {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(out, "\n== %s %d ==\n", e.kind, e.id)
+		if err := e.fn(out, arts, *runs); err != nil {
+			return fmt.Errorf("%s %d: %w", e.kind, e.id, err)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no experiment matches the requested table/figure")
+	}
+	return nil
+}
+
+func ms(d time.Duration) int64 { return d.Milliseconds() }
+
+// table1 prints benchmark execution times (vanilla x86, x86→FPGA,
+// x86→ARM).
+func table1(out io.Writer, arts *exper.Artifacts, _ int) error {
+	rows, err := exper.Table1(arts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s %12s %16s %15s\n", "Benchmark", "Vanilla(ms)", "XarTrek FPGA(ms)", "XarTrek ARM(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-12s %12d %16d %15d\n", r.App, ms(r.X86), ms(r.X86FPGA), ms(r.X86ARM))
+	}
+	return nil
+}
+
+// table2 prints the threshold estimation output.
+func table2(out io.Writer, arts *exper.Artifacts, _ int) error {
+	fmt.Fprintf(out, "%-12s %-14s %8s %8s\n", "Benchmark", "HW Kernel", "FPGATHR", "ARMTHR")
+	for _, r := range exper.Table2(arts) {
+		fmt.Fprintf(out, "%-12s %-14s %8d %8d\n", r.App, r.Kernel, r.FPGAThr, r.ARMThr)
+	}
+	return nil
+}
+
+// table3 prints the CPU-load definition (encoded in cluster.LoadClass).
+func table3(out io.Writer, _ *exper.Artifacts, _ int) error {
+	fmt.Fprintln(out, "CPU Load   Range of number of processes (6 x86 + 96 ARM cores)")
+	fmt.Fprintln(out, "low        #processes < 6")
+	fmt.Fprintln(out, "medium     6 <= #processes <= 102")
+	fmt.Fprintln(out, "high       #processes > 102")
+	return nil
+}
+
+// table4 prints the BFS x86-vs-FPGA study.
+func table4(out io.Writer, _ *exper.Artifacts, _ int) error {
+	rows, err := exper.Table4([]int{1000, 2000, 3000, 4000, 5000})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%8s %12s %12s\n", "nodes", "x86(ms)", "FPGA(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%8d %12.2f %12.2f\n", r.Nodes,
+			float64(r.X86)/float64(time.Millisecond),
+			float64(r.FPGA)/float64(time.Millisecond))
+	}
+	return nil
+}
+
+// fixedLoad renders one of Figures 3-5.
+func fixedLoad(out io.Writer, arts *exper.Artifacts, sizes []int, load, runs int) error {
+	pts, err := exper.RunFixedLoadSweep(arts, sizes, exper.DefaultModes(), load, runs, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%8s %-14s %12s\n", "set", "mode", "avg(ms)")
+	for _, p := range pts {
+		fmt.Fprintf(out, "%8d %-14s %12d\n", p.SetSize, p.Mode, ms(p.Average))
+	}
+	return nil
+}
+
+func figure3(out io.Writer, arts *exper.Artifacts, runs int) error {
+	return fixedLoad(out, arts, []int{1, 2, 3, 4, 5}, 0, runs)
+}
+
+func figure4(out io.Writer, arts *exper.Artifacts, runs int) error {
+	return fixedLoad(out, arts, []int{5, 10, 15, 20, 25}, 60, runs)
+}
+
+func figure5(out io.Writer, arts *exper.Artifacts, runs int) error {
+	return fixedLoad(out, arts, []int{5, 10, 15, 20, 25}, 120, runs)
+}
+
+// figure6 prints face-detection throughput vs background load.
+func figure6(out io.Writer, arts *exper.Artifacts, _ int) error {
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%8s %-14s %8s %10s\n", "load", "mode", "images", "img/s")
+	for _, load := range []int{0, 25, 50, 75, 100} {
+		for _, mode := range []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86, exper.ModeVanillaFPGA} {
+			r, err := exper.RunThroughput(arts, fd, mode, load, 60*time.Second, 1000)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%8d %-14s %8d %10.2f\n", load, mode, r.Images, r.PerSecond)
+		}
+	}
+	return nil
+}
+
+// figure7 prints the periodic-workload average execution times.
+func figure7(out io.Writer, arts *exper.Artifacts, _ int) error {
+	fmt.Fprintf(out, "%-14s %12s %8s %10s\n", "mode", "avg(ms)", "runs", "peak load")
+	for _, mode := range []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86, exper.ModeVanillaFPGA} {
+		r, err := exper.RunWaves(arts, mode, 30, 20, 30*time.Second, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-14s %12d %8d %10d\n", mode, ms(r.Average), r.Runs, r.PeakLoad)
+	}
+	return nil
+}
+
+// figure8 prints throughput under the periodic load wave.
+func figure8(out io.Writer, arts *exper.Artifacts, _ int) error {
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-14s %10s\n", "mode", "img/s avg")
+	for _, mode := range []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86, exper.ModeVanillaFPGA} {
+		r, err := exper.RunPeriodicThroughput(arts, fd, mode, 10, 120, 10, 60*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-14s %10.2f\n", mode, r.Average)
+	}
+	return nil
+}
+
+// figure9 prints the profitability study.
+func figure9(out io.Writer, arts *exper.Artifacts, _ int) error {
+	pts, err := exper.RunProfitabilityStudy(arts,
+		[]int{0, 10, 30, 50, 70, 90, 100},
+		[]exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}, 10, 120)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%8s %-14s %12s\n", "%CG-A", "mode", "avg(ms)")
+	for _, p := range pts {
+		fmt.Fprintf(out, "%8d %-14s %12d\n", p.PercentCGA, p.Mode, ms(p.Average))
+	}
+	return nil
+}
+
+// figure10 prints binary sizes per development process.
+func figure10(out io.Writer, arts *exper.Artifacts, _ int) error {
+	rows, err := exper.BinarySizes(arts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s %14s %16s %12s\n", "Benchmark", "x86+FPGA(B)", "Popcorn x86+ARM(B)", "Xar-Trek(B)")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-12s %14d %16d %12d\n", r.App, r.X86FPGA, r.PopcornX86ARM, r.XarTrek)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSelection(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no selection accepted")
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== table 2 ==") || !strings.Contains(text, "KNL_HW_FD320") {
+		t.Fatalf("table 2 output wrong:\n%s", text)
+	}
+	if strings.Contains(text, "== table 1 ==") {
+		t.Fatal("unrequested table printed")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-figure", "10"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== figure 10 ==") || !strings.Contains(text, "Xar-Trek(B)") {
+		t.Fatalf("figure 10 output wrong:\n%s", text)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "9"}, &out); err == nil {
+		t.Fatal("accepted nonexistent table 9")
+	}
+}
+
+func TestTable3Static(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "#processes > 102") {
+		t.Fatalf("table 3 text wrong:\n%s", out.String())
+	}
+}

@@ -1,0 +1,125 @@
+// Command xarc is the Xar-Trek compiler driver: it runs steps A-G of
+// Figure 1 over the paper's benchmark applications (or a subset named
+// by a profiling manifest) and reports the produced artifacts —
+// multi-ISA binary sizes, hardware-kernel resources, XCLBIN packing,
+// and the estimated threshold table.
+//
+// Usage:
+//
+//	xarc [-manifest file] [-thresholds out] [-v]
+//
+// Without -manifest, the built-in five-benchmark manifest is used.
+// With -thresholds, the step G table is written to the given file in
+// the format xarsched consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xartrek/internal/core/profile"
+	"xartrek/internal/exper"
+	"xartrek/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xarc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xarc", flag.ContinueOnError)
+	manifestPath := fs.String("manifest", "", "profiling manifest (step A); default: all five benchmarks")
+	thresholdsOut := fs.String("thresholds", "", "write the step G threshold table to this file")
+	verbose := fs.Bool("v", false, "print per-step detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	apps, err := selectApps(*manifestPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "xarc: compiling %d application(s) for x86-64 + ARM64 + Alveo U50\n", len(apps))
+	arts, err := exper.BuildArtifacts(apps)
+	if err != nil {
+		return err
+	}
+
+	if arts.Compile != nil {
+		for _, a := range arts.Compile.Apps {
+			fmt.Fprintf(out, "  %-12s multi-ISA binary %8d B", a.Name, a.Binary.TotalSize())
+			if *verbose {
+				for _, xo := range a.XOs {
+					fmt.Fprintf(out, "  kernel %s II=%d depth=%d %v",
+						xo.KernelName, xo.II, xo.Depth, xo.Res)
+				}
+			}
+			fmt.Fprintln(out)
+		}
+		for _, img := range arts.Compile.Images {
+			fmt.Fprintf(out, "  %-12s %d kernel(s) %8d B (reconfig %v)\n",
+				img.Name, len(img.Kernels), img.SizeBytes,
+				img.ReconfigTime(arts.Compile.Platform).Round(1e6))
+		}
+	}
+
+	fmt.Fprintln(out, "\nthreshold table (step G):")
+	if err := arts.Table.Write(out); err != nil {
+		return err
+	}
+
+	if *thresholdsOut != "" {
+		f, err := os.Create(*thresholdsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := arts.Table.Write(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *thresholdsOut)
+	}
+	return nil
+}
+
+// selectApps resolves the application set: every registered benchmark,
+// filtered by the manifest when one is given.
+func selectApps(manifestPath string) ([]*workloads.App, error) {
+	apps, err := workloads.Registry()
+	if err != nil {
+		return nil, err
+	}
+	if manifestPath == "" {
+		return apps, nil
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := profile.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []*workloads.App
+	for _, mApp := range m.Apps {
+		found := false
+		for _, a := range apps {
+			if a.Name == mApp.Name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("manifest names unknown application %q", mApp.Name)
+		}
+	}
+	return out, nil
+}

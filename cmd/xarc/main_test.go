@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xartrek/internal/core/threshold"
+)
+
+func TestRunDefaultManifest(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"compiling 5 application(s)",
+		"KNL_HW_CG_A",
+		"threshold table (step G)",
+		"xclbin0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunWritesThresholdFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.txt")
+	var out strings.Builder
+	if err := run([]string{"-thresholds", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	table, err := threshold.Parse(f)
+	if err != nil {
+		t.Fatalf("parse written table: %v", err)
+	}
+	if table.Len() != 5 {
+		t.Fatalf("rows = %d, want 5", table.Len())
+	}
+}
+
+func TestRunManifestSubset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.txt")
+	manifest := "platform alveo-u50\napp Digit500\n  function f kernel=K\n"
+	if err := os.WriteFile(path, []byte(manifest), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-manifest", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "compiling 1 application(s)") {
+		t.Fatalf("subset not honoured:\n%s", out.String())
+	}
+}
+
+func TestRunManifestUnknownApp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.txt")
+	manifest := "platform alveo-u50\napp Nope\n  function f kernel=K\n"
+	if err := os.WriteFile(path, []byte(manifest), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-manifest", path}, &out); err == nil {
+		t.Fatal("accepted unknown application")
+	}
+}

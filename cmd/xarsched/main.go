@@ -1,0 +1,106 @@
+// Command xarsched is the Xar-Trek scheduler server daemon: it loads a
+// step G threshold table (produced by xarc -thresholds) and serves
+// scheduling decisions (Algorithm 2) and dynamic threshold updates
+// (Algorithm 1) over TCP to scheduler clients embedded in application
+// binaries.
+//
+// Usage:
+//
+//	xarsched -thresholds table.txt [-addr :7420]
+//
+// In a standalone deployment the x86 CPU load is measured as the
+// number of live client connections: the instrumentation step gives
+// every application process exactly one scheduler-client connection,
+// so connections track the paper's process-count metric. Deployments
+// with an FPGA attach the device through the library API instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"xartrek/internal/core/sched"
+	"xartrek/internal/core/threshold"
+)
+
+func main() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sigc
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "xarsched:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop closes.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("xarsched", flag.ContinueOnError)
+	tablePath := fs.String("thresholds", "", "threshold table file (required)")
+	addr := fs.String("addr", "127.0.0.1:7420", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tablePath == "" {
+		return fmt.Errorf("-thresholds is required (generate one with: xarc -thresholds table.txt)")
+	}
+
+	table, err := loadTable(*tablePath)
+	if err != nil {
+		return err
+	}
+	ts, srv, err := serve(table, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "xarsched: serving %d application(s) on %s\n", table.Len(), ts.Addr())
+
+	<-stop
+	fmt.Fprintln(out, "xarsched: shutting down")
+	if err := ts.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "xarsched: %d requests (%d x86, %d arm, %d fpga), %d reports\n",
+		st.Requests, st.ToX86, st.ToARM, st.ToFPGA, st.Reports)
+	return nil
+}
+
+// loadTable reads a step G threshold table file.
+func loadTable(path string) (*threshold.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return threshold.Parse(f)
+}
+
+// serve binds a scheduler to a TCP listener. The x86 load metric is
+// the number of live scheduler-client connections (one per application
+// process). The listener handle is published atomically because
+// connections may request decisions before ListenAndServe returns.
+func serve(table *threshold.Table, addr string) (*sched.TCPServer, *sched.Server, error) {
+	var holder atomic.Pointer[sched.TCPServer]
+	srv := sched.NewServer(table, func() int {
+		if ts := holder.Load(); ts != nil {
+			return ts.Conns()
+		}
+		return 0
+	}, nil, nil)
+	ts, err := sched.ListenAndServe(addr, srv)
+	if err != nil {
+		return nil, nil, err
+	}
+	holder.Store(ts)
+	return ts, srv, nil
+}

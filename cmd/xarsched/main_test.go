@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xartrek/internal/core/sched"
+	"xartrek/internal/core/threshold"
+)
+
+const tableText = `# app kernel fpga_thr arm_thr x86_ms arm_ms fpga_ms
+Digit2000 KNL_HW_DR200 0 17 3521 8963 1229
+`
+
+func writeTable(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "table.txt")
+	if err := os.WriteFile(path, []byte(tableText), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeDecidesOverTCP(t *testing.T) {
+	table, err := loadTable(writeTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, srv, err := serve(table, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	c, err := sched.Dial(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// One connection = load 1 > FPGATHR 0, but no device is attached,
+	// so Algorithm 2 keeps the function on x86 while "reconfiguring"
+	// is impossible.
+	d, err := c.Decide("Digit2000", "KNL_HW_DR200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetX86 {
+		t.Fatalf("target = %v, want x86 on a device-less daemon", d.Target)
+	}
+	if srv.Stats().Requests != 1 {
+		t.Fatal("request not counted")
+	}
+}
+
+// lockedBuffer is a concurrency-safe io.Writer for daemon output.
+type lockedBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunLifecycle(t *testing.T) {
+	path := writeTable(t)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var out lockedBuffer
+	go func() {
+		done <- run([]string{"-thresholds", path, "-addr", "127.0.0.1:0"}, &out, stop)
+	}()
+
+	// Wait for the daemon to report its address, then stop it.
+	deadline := time.After(5 * time.Second)
+	for !strings.Contains(out.String(), "serving") {
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never came up; output: %s", out.String())
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v; output: %s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no shutdown message: %s", out.String())
+	}
+}
+
+func TestRunRequiresTable(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out, nil); err == nil {
+		t.Fatal("missing -thresholds accepted")
+	}
+}
+
+func TestLoadTableErrors(t *testing.T) {
+	if _, err := loadTable("/nonexistent/file"); err == nil {
+		t.Fatal("accepted missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a table\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTable(bad); err == nil {
+		t.Fatal("accepted malformed table")
+	}
+}

@@ -1,0 +1,81 @@
+// Multitenant: the paper's motivating scenario (Figures 4-5). A
+// datacenter server runs a randomized mix of tenant applications while
+// a background workload spikes the CPU. The example compares average
+// execution time across all four regimes at low, medium, and high
+// loads and prints the Xar-Trek gains.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"xartrek"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multitenant:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	apps, err := xartrek.Benchmarks()
+	if err != nil {
+		return err
+	}
+	arts, err := xartrek.Build(apps)
+	if err != nil {
+		return err
+	}
+
+	// Ten tenants drawn uniformly from the benchmark pool.
+	rng := rand.New(rand.NewSource(7))
+	tenants := xartrek.RandomSet(rng, apps, 10)
+	fmt.Print("tenant mix: ")
+	for i, t := range tenants {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(t.Name)
+	}
+	fmt.Println()
+
+	loads := []struct {
+		name  string
+		total int
+	}{
+		{"low (10 procs)", 0},
+		{"medium (60 procs)", 60},
+		{"high (120 procs)", 120},
+	}
+	modes := []xartrek.Mode{
+		xartrek.ModeXarTrek, xartrek.ModeVanillaX86,
+		xartrek.ModeVanillaFPGA, xartrek.ModeVanillaARM,
+	}
+
+	for _, load := range loads {
+		fmt.Printf("\n-- %s --\n", load.name)
+		averages := make(map[xartrek.Mode]time.Duration, len(modes))
+		for _, mode := range modes {
+			res, err := xartrek.RunSet(arts, tenants, mode, load.total)
+			if err != nil {
+				return err
+			}
+			averages[mode] = res.Average
+			fmt.Printf("  %-14s %8v avg\n", mode, res.Average.Round(time.Millisecond))
+		}
+		xar, x86 := averages[xartrek.ModeXarTrek], averages[xartrek.ModeVanillaX86]
+		if xar < x86 {
+			gain := 100 * float64(x86-xar) / float64(x86)
+			fmt.Printf("  Xar-Trek gain over x86-only: %.0f%%\n", gain)
+		} else {
+			fmt.Println("  no migration pays off at this load")
+		}
+	}
+	return nil
+}

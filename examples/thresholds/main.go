@@ -1,0 +1,76 @@
+// Thresholds: step G and Algorithm 1 up close. The example estimates
+// the threshold table in isolation, serialises it (the artifact
+// xarsched consumes), then demonstrates the run-time's dynamic
+// refinement: after observed executions contradict the static
+// estimate, the table shifts.
+//
+//	go run ./examples/thresholds
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xartrek"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "thresholds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	apps, err := xartrek.Benchmarks()
+	if err != nil {
+		return err
+	}
+
+	// Step G: in-locus measurement of both migration scenarios plus a
+	// load sweep to the crossover points.
+	table, err := xartrek.EstimateThresholds(apps)
+	if err != nil {
+		return err
+	}
+	fmt.Println("static estimate (compiler step G):")
+	fmt.Print(table)
+
+	// The table round-trips through its text format — this is the
+	// file xarc -thresholds writes and xarsched loads.
+	parsed, err := xartrek.ParseThresholdTable(strings.NewReader(table.String()))
+	if err != nil {
+		return err
+	}
+
+	// Algorithm 1 in action. Suppose FaceDet320 keeps running on x86
+	// while the server is moderately loaded, and its observed time
+	// (400ms) now exceeds the FPGA scenario's — the runtime pulls the
+	// FPGA threshold down to the observed load so migration fires
+	// earlier next time.
+	before, err := parsed.Get("FaceDet320")
+	if err != nil {
+		return err
+	}
+	after, err := parsed.Update("FaceDet320", xartrek.TargetX86, 400*time.Millisecond, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAlgorithm 1: x86 run of 400ms at load 8 → FPGA threshold %d → %d\n",
+		before.FPGAThr, after.FPGAThr)
+
+	// And the opposite correction: an FPGA run slower than the last
+	// x86 time raises the threshold (migration fired too eagerly).
+	after2, err := parsed.Update("FaceDet320", xartrek.TargetFPGA, 500*time.Millisecond, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm 1: slow FPGA run of 500ms → FPGA threshold %d → %d\n",
+		after.FPGAThr, after2.FPGAThr)
+
+	fmt.Println("\nrefined table:")
+	fmt.Print(parsed)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package cluster models the evaluation hardware of the paper: a Dell
+// 7920 x86 server (Xeon Bronze 3104, 6 cores, 1.7 GHz), a Cavium
+// ThunderX ARM server (96 cores, 2 GHz), the 1 Gbps Ethernet between
+// them, and the process-count load metric the Xar-Trek scheduler reads.
+package cluster
+
+import (
+	"time"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+	"xartrek/internal/simtime"
+)
+
+// Machine describes one server's compute capability.
+type Machine struct {
+	Name  string
+	Arch  isa.Arch
+	Cores int
+	Cost  *isa.CostModel
+}
+
+// X86Server returns the paper's x86 host (Xeon Bronze 3104).
+func X86Server() Machine {
+	return Machine{Name: "dell7920", Arch: isa.X86_64, Cores: 6, Cost: isa.X86CostModel()}
+}
+
+// ARMServer returns the paper's ARM server (Cavium ThunderX).
+func ARMServer() Machine {
+	return Machine{Name: "thunderx", Arch: isa.ARM64, Cores: 96, Cost: isa.ARMCostModel()}
+}
+
+// Node is a machine with its processor-sharing run queue.
+type Node struct {
+	Machine
+	Pool *simtime.PSServer
+}
+
+// Exec runs work (exclusive single-core time) on the node; done fires
+// at completion under the current multiprogramming level.
+func (n *Node) Exec(work time.Duration, done func()) *simtime.PSJob {
+	return n.Pool.Submit(work, done)
+}
+
+// Load reports the number of resident compute processes — the CPU-load
+// metric the paper's scheduler samples (Section 4, Table 3).
+func (n *Node) Load() int { return n.Pool.Active() }
+
+// Cluster is the full evaluation platform.
+type Cluster struct {
+	Sim *simtime.Simulator
+	X86 *Node
+	ARM *Node
+	// Eth is the server interconnect carrying Popcorn DSM and
+	// migration traffic.
+	Eth popcorn.NetModel
+	// EthLink is the shared-capacity model of that interconnect:
+	// concurrent transfers and DSM fault traffic divide the 1 Gbps
+	// (processor-sharing with capacity 1). Submit link work as the
+	// uncontended transfer time; completion reflects contention.
+	EthLink *simtime.PSServer
+}
+
+// New assembles the paper's testbed on the given simulator.
+func New(sim *simtime.Simulator) *Cluster {
+	x86 := X86Server()
+	arm := ARMServer()
+	return &Cluster{
+		Sim:     sim,
+		X86:     &Node{Machine: x86, Pool: simtime.NewPSServer(sim, float64(x86.Cores))},
+		ARM:     &Node{Machine: arm, Pool: simtime.NewPSServer(sim, float64(arm.Cores))},
+		Eth:     popcorn.EthernetGbps1(),
+		EthLink: simtime.NewPSServer(sim, 1),
+	}
+}
+
+// TotalCores reports the platform core count (6 + 96 = 102).
+func (c *Cluster) TotalCores() int { return c.X86.Cores + c.ARM.Cores }
+
+// LoadClass is the paper's Table 3 classification.
+type LoadClass int
+
+// Load classes per Table 3.
+const (
+	LoadLow LoadClass = iota + 1
+	LoadMedium
+	LoadHigh
+)
+
+// String implements fmt.Stringer.
+func (l LoadClass) String() string {
+	switch l {
+	case LoadLow:
+		return "low"
+	case LoadMedium:
+		return "medium"
+	case LoadHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyLoad maps a process count to Table 3's ranges.
+func (c *Cluster) ClassifyLoad(processes int) LoadClass {
+	switch {
+	case processes < c.X86.Cores:
+		return LoadLow
+	case processes <= c.TotalCores():
+		return LoadMedium
+	default:
+		return LoadHigh
+	}
+}

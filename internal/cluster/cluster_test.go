@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/simtime"
+)
+
+func TestNewClusterMatchesTestbed(t *testing.T) {
+	c := New(simtime.New())
+	if c.X86.Cores != 6 || c.X86.Arch != isa.X86_64 {
+		t.Fatalf("x86 node = %+v", c.X86.Machine)
+	}
+	if c.ARM.Cores != 96 || c.ARM.Arch != isa.ARM64 {
+		t.Fatalf("arm node = %+v", c.ARM.Machine)
+	}
+	if c.TotalCores() != 102 {
+		t.Fatalf("total cores = %d, want 102", c.TotalCores())
+	}
+}
+
+func TestClassifyLoadTable3(t *testing.T) {
+	c := New(simtime.New())
+	tests := []struct {
+		procs int
+		want  LoadClass
+	}{
+		{1, LoadLow},
+		{5, LoadLow},
+		{6, LoadMedium}, // not strictly less than #x86 cores
+		{60, LoadMedium},
+		{102, LoadMedium},
+		{103, LoadHigh},
+		{160, LoadHigh},
+	}
+	for _, tt := range tests {
+		if got := c.ClassifyLoad(tt.procs); got != tt.want {
+			t.Errorf("ClassifyLoad(%d) = %v, want %v", tt.procs, got, tt.want)
+		}
+	}
+}
+
+func TestLoadClassString(t *testing.T) {
+	if LoadLow.String() != "low" || LoadMedium.String() != "medium" || LoadHigh.String() != "high" {
+		t.Fatal("LoadClass strings wrong")
+	}
+	if LoadClass(0).String() != "unknown" {
+		t.Fatal("zero LoadClass not unknown")
+	}
+}
+
+func TestNodeExecAndLoad(t *testing.T) {
+	sim := simtime.New()
+	c := New(sim)
+	if c.X86.Load() != 0 {
+		t.Fatal("fresh node has load")
+	}
+	done := 0
+	for i := 0; i < 12; i++ {
+		c.X86.Exec(time.Second, func() { done++ })
+	}
+	if c.X86.Load() != 12 {
+		t.Fatalf("load = %d, want 12", c.X86.Load())
+	}
+	sim.Run()
+	if done != 12 {
+		t.Fatalf("completions = %d, want 12", done)
+	}
+	// 12 jobs of 1s on 6 cores take ~2s.
+	if sim.Now() < 1900*time.Millisecond || sim.Now() > 2100*time.Millisecond {
+		t.Fatalf("makespan = %v, want ~2s", sim.Now())
+	}
+}
+
+func TestARMManyCoreAbsorbsLoad(t *testing.T) {
+	sim := simtime.New()
+	c := New(sim)
+	var last time.Duration
+	for i := 0; i < 96; i++ {
+		c.ARM.Exec(time.Second, func() { last = sim.Now() })
+	}
+	sim.Run()
+	// 96 cores run 96 jobs with no slowdown.
+	if last != time.Second {
+		t.Fatalf("96 jobs on 96 cores finished at %v, want 1s", last)
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/simtime"
+)
+
+func TestEthLinkSharesBandwidth(t *testing.T) {
+	sim := simtime.New()
+	c := New(sim)
+
+	// Two concurrent 1-second transfers on the capacity-1 link take
+	// 2 seconds each (processor sharing of the wire).
+	var t1, t2 time.Duration
+	c.EthLink.Submit(time.Second, func() { t1 = sim.Now() })
+	c.EthLink.Submit(time.Second, func() { t2 = sim.Now() })
+	sim.Run()
+	if t1 != 2*time.Second || t2 != 2*time.Second {
+		t.Fatalf("transfer completions = %v, %v; want 2s each", t1, t2)
+	}
+}
+
+func TestEthLinkIsolatedTransferAtFullRate(t *testing.T) {
+	sim := simtime.New()
+	c := New(sim)
+	work := c.Eth.TransferTime(26 << 20) // CG-A's working set
+	var done time.Duration
+	c.EthLink.Submit(work, func() { done = sim.Now() })
+	sim.Run()
+	if done != work {
+		t.Fatalf("isolated transfer took %v, want %v", done, work)
+	}
+	// 26 MiB at 1 Gbps is on the order of 200 ms.
+	if work < 150*time.Millisecond || work > 400*time.Millisecond {
+		t.Fatalf("26 MiB transfer time %v implausible for 1 Gbps", work)
+	}
+}
+
+func TestEthLinkIndependentFromCPUPools(t *testing.T) {
+	sim := simtime.New()
+	c := New(sim)
+	// Saturate x86; link transfers must be unaffected.
+	for i := 0; i < 60; i++ {
+		c.X86.Exec(10*time.Second, nil)
+	}
+	var done time.Duration
+	c.EthLink.Submit(100*time.Millisecond, func() { done = sim.Now() })
+	sim.RunUntil(time.Second)
+	if done != 100*time.Millisecond {
+		t.Fatalf("link transfer took %v under CPU load, want 100ms", done)
+	}
+}

@@ -1,0 +1,213 @@
+// Package compilepipe orchestrates steps B-F of the Xar-Trek compiler
+// (Figure 1): instrumentation of each application named by the
+// profiling manifest, Popcorn multi-ISA binary generation (step C,
+// leveraged from Popcorn Linux), Xilinx-object generation for the
+// selected functions (step D, the Vitis model in internal/hls), XCLBIN
+// partitioning (step E) and XCLBIN generation (step F).
+//
+// Step A (the manifest) comes in via internal/core/profile; step G
+// (threshold estimation) runs afterwards in internal/core/threshold,
+// because it needs the generated artifacts to measure migration
+// scenarios.
+package compilepipe
+
+import (
+	"errors"
+	"fmt"
+
+	"xartrek/internal/core/instrument"
+	"xartrek/internal/core/profile"
+	"xartrek/internal/hls"
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+	"xartrek/internal/xclbin"
+)
+
+// Pipeline errors.
+var (
+	ErrUnknownPlatform = errors.New("compilepipe: unknown hardware platform")
+	ErrMissingApp      = errors.New("compilepipe: manifest names app with no input program")
+	ErrMissingSpec     = errors.New("compilepipe: selected function has no kernel spec")
+)
+
+// AppInput carries one application into the pipeline: its multi-ISA
+// program and, for each selected function name, the HLS synthesis spec
+// the profiling step produced.
+type AppInput struct {
+	Name    string
+	Program *popcorn.Program
+	Specs   map[string]hls.KernelSpec
+}
+
+// Input is the full pipeline input.
+type Input struct {
+	Manifest *profile.Manifest
+	Apps     []AppInput
+	// Archs selects the CPU ISAs for multi-ISA generation; nil means
+	// every supported ISA (x86-64 + ARM64, the paper's platform).
+	Archs []isa.Arch
+}
+
+// AppArtifacts is the per-application output.
+type AppArtifacts struct {
+	Name string
+	// Binary is the Popcorn multi-ISA executable (step C).
+	Binary *popcorn.Binary
+	// Instr describes the instrumentation rewrite (step B).
+	Instr *instrument.Result
+	// XOs are the hardware objects of the app's selected functions
+	// (step D), in manifest order.
+	XOs []*hls.XO
+}
+
+// Result is the pipeline output: per-app artifacts plus the shared
+// XCLBIN images (steps E-F) for the platform.
+type Result struct {
+	Platform xclbin.Platform
+	Apps     []AppArtifacts
+	Images   []*xclbin.XCLBIN
+}
+
+// FindApp returns the artifacts for the named application.
+func (r *Result) FindApp(name string) (*AppArtifacts, bool) {
+	for i := range r.Apps {
+		if r.Apps[i].Name == name {
+			return &r.Apps[i], true
+		}
+	}
+	return nil, false
+}
+
+// ImageFor locates the XCLBIN holding the named kernel.
+func (r *Result) ImageFor(kernel string) (*xclbin.XCLBIN, bool) {
+	return xclbin.FindKernel(r.Images, kernel)
+}
+
+// TotalBinaryBytes sums the sizes of every artifact a deployment must
+// store: multi-ISA executables plus XCLBIN images (the Section 4.5
+// storage-overhead measurement).
+func (r *Result) TotalBinaryBytes() int {
+	total := 0
+	for _, a := range r.Apps {
+		total += a.Binary.TotalSize()
+	}
+	for _, x := range r.Images {
+		total += x.SizeBytes
+	}
+	return total
+}
+
+// PlatformByName resolves a manifest platform string.
+func PlatformByName(name string) (xclbin.Platform, error) {
+	u50 := xclbin.AlveoU50()
+	if name == u50.Name || name == "alveo-u50" {
+		return u50, nil
+	}
+	return xclbin.Platform{}, fmt.Errorf("%w: %q", ErrUnknownPlatform, name)
+}
+
+// Compile runs steps B-F.
+func Compile(in Input) (*Result, error) {
+	if in.Manifest == nil {
+		return nil, errors.New("compilepipe: nil manifest")
+	}
+	if err := in.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	plat, err := PlatformByName(in.Manifest.Platform)
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := make(map[string]AppInput, len(in.Apps))
+	for _, a := range in.Apps {
+		inputs[a.Name] = a
+	}
+
+	res := &Result{Platform: plat}
+	var allXOs []*hls.XO
+	for _, mApp := range in.Manifest.Apps {
+		appIn, ok := inputs[mApp.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrMissingApp, mApp.Name)
+		}
+		art, xos, err := compileApp(mApp, appIn, in.Archs)
+		if err != nil {
+			return nil, fmt.Errorf("compilepipe: %s: %w", mApp.Name, err)
+		}
+		res.Apps = append(res.Apps, *art)
+		allXOs = append(allXOs, xos...)
+	}
+
+	res.Images, err = partition(plat, in.Manifest, allXOs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// compileApp runs steps B-D for one application.
+func compileApp(mApp profile.App, in AppInput, archs []isa.Arch) (*AppArtifacts, []*hls.XO, error) {
+	if in.Program == nil || in.Program.Module == nil {
+		return nil, nil, errors.New("input has no program module")
+	}
+
+	// Step B: instrumentation. Skip when the program was already
+	// instrumented by an earlier pipeline run over the same module.
+	var instrRes *instrument.Result
+	if !instrument.Instrumented(in.Program.Module) {
+		names := make([]string, len(mApp.Functions))
+		for i, f := range mApp.Functions {
+			names[i] = f.Name
+		}
+		var err error
+		instrRes, err = instrument.Instrument(in.Program.Module, names)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Step C: Popcorn multi-ISA binary generation.
+	bin, err := popcorn.Build(in.Program, archs...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step D: Xilinx object generation for each selected function.
+	xos := make([]*hls.XO, 0, len(mApp.Functions))
+	for _, f := range mApp.Functions {
+		spec, ok := in.Specs[f.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s", ErrMissingSpec, f.Name)
+		}
+		spec.Name = f.Kernel
+		if spec.Fn == nil {
+			spec.Fn = in.Program.Module.Func(f.Name)
+		}
+		xo, err := hls.Compile(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synthesize %s: %w", f.Kernel, err)
+		}
+		xos = append(xos, xo)
+	}
+
+	return &AppArtifacts{
+		Name:   mApp.Name,
+		Binary: bin,
+		Instr:  instrRes,
+		XOs:    xos,
+	}, xos, nil
+}
+
+// partition runs steps E-F: automatic first-fit-decreasing packing, or
+// the manifest's manual assignment when one is given.
+func partition(plat xclbin.Platform, m *profile.Manifest, xos []*hls.XO) ([]*xclbin.XCLBIN, error) {
+	assign, err := m.ManualAssignment()
+	if err != nil {
+		return nil, err
+	}
+	if assign != nil {
+		return xclbin.PartitionManual(plat, xos, assign)
+	}
+	return xclbin.Partition(plat, xos)
+}

@@ -1,0 +1,253 @@
+package compilepipe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xartrek/internal/core/instrument"
+	"xartrek/internal/core/profile"
+	"xartrek/internal/hls"
+	"xartrek/internal/isa"
+	"xartrek/internal/mir"
+	"xartrek/internal/popcorn"
+	"xartrek/internal/workloads"
+	"xartrek/internal/xclbin"
+)
+
+// pipelineInput assembles a two-app input from the workloads registry.
+func pipelineInput(t *testing.T) Input {
+	t.Helper()
+	fd, err := workloads.NewFaceDet320()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := workloads.NewDigit500()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manifestText := `
+platform xilinx_u50_gen3x16_xdma
+app FaceDet320
+  function ` + fd.Spec.Fn.Name() + ` kernel=KNL_HW_FD320
+app Digit500
+  function ` + dr.Spec.Fn.Name() + ` kernel=KNL_HW_DR500
+`
+	m, err := profile.Parse(strings.NewReader(manifestText))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	return Input{
+		Manifest: m,
+		Apps: []AppInput{
+			{
+				Name:    "FaceDet320",
+				Program: fd.Program,
+				Specs:   map[string]hls.KernelSpec{fd.Spec.Fn.Name(): fd.Spec},
+			},
+			{
+				Name:    "Digit500",
+				Program: dr.Program,
+				Specs:   map[string]hls.KernelSpec{dr.Spec.Fn.Name(): dr.Spec},
+			},
+		},
+	}
+}
+
+func TestCompileEndToEnd(t *testing.T) {
+	res, err := Compile(pipelineInput(t))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %d, want 2", len(res.Apps))
+	}
+	for _, a := range res.Apps {
+		if a.Binary == nil {
+			t.Fatalf("%s: no binary", a.Name)
+		}
+		if len(a.Binary.Archs) != 2 {
+			t.Fatalf("%s: archs = %v, want both ISAs", a.Name, a.Binary.Archs)
+		}
+		if len(a.XOs) != 1 {
+			t.Fatalf("%s: XOs = %d, want 1", a.Name, len(a.XOs))
+		}
+		if a.Instr == nil || len(a.Instr.Dispatchers) != 1 {
+			t.Fatalf("%s: instrumentation missing", a.Name)
+		}
+	}
+	if len(res.Images) == 0 {
+		t.Fatal("no XCLBIN images")
+	}
+	for _, kernel := range []string{"KNL_HW_FD320", "KNL_HW_DR500"} {
+		if _, ok := res.ImageFor(kernel); !ok {
+			t.Fatalf("kernel %s not in any image", kernel)
+		}
+	}
+}
+
+func TestCompileInstrumentsModules(t *testing.T) {
+	in := pipelineInput(t)
+	res, err := Compile(in)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, appIn := range in.Apps {
+		if !instrument.Instrumented(appIn.Program.Module) {
+			t.Fatalf("%s: module not instrumented", appIn.Name)
+		}
+	}
+	_ = res
+}
+
+func TestCompileMultiISALargerThanSingle(t *testing.T) {
+	in := pipelineInput(t)
+	multi, err := Compile(in)
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+
+	// Recompile x86-only on fresh inputs (modules are already
+	// instrumented in-place, so reuse is fine).
+	in.Archs = []isa.Arch{isa.X86_64}
+	single, err := Compile(in)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	for i := range multi.Apps {
+		ms := multi.Apps[i].Binary.TotalSize()
+		ss := single.Apps[i].Binary.TotalSize()
+		if ms <= ss {
+			t.Fatalf("%s: multi-ISA %d <= single-ISA %d", multi.Apps[i].Name, ms, ss)
+		}
+	}
+}
+
+func TestCompileManualPartitioning(t *testing.T) {
+	in := pipelineInput(t)
+	for i := range in.Manifest.Apps {
+		for j := range in.Manifest.Apps[i].Functions {
+			in.Manifest.Apps[i].Functions[j].XCLBINIndex = i // one image per app
+		}
+	}
+	res, err := Compile(in)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(res.Images) != 2 {
+		t.Fatalf("images = %d, want 2 (manual split)", len(res.Images))
+	}
+	if !res.Images[0].HasKernel("KNL_HW_FD320") || !res.Images[1].HasKernel("KNL_HW_DR500") {
+		t.Fatal("manual assignment not honoured")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	t.Run("nil manifest", func(t *testing.T) {
+		if _, err := Compile(Input{}); err == nil {
+			t.Fatal("accepted nil manifest")
+		}
+	})
+	t.Run("unknown platform", func(t *testing.T) {
+		in := pipelineInput(t)
+		in.Manifest.Platform = "martian-fpga"
+		if _, err := Compile(in); !errors.Is(err, ErrUnknownPlatform) {
+			t.Fatalf("err = %v, want ErrUnknownPlatform", err)
+		}
+	})
+	t.Run("missing app input", func(t *testing.T) {
+		in := pipelineInput(t)
+		in.Apps = in.Apps[:1]
+		if _, err := Compile(in); !errors.Is(err, ErrMissingApp) {
+			t.Fatalf("err = %v, want ErrMissingApp", err)
+		}
+	})
+	t.Run("missing spec", func(t *testing.T) {
+		in := pipelineInput(t)
+		in.Apps[0].Specs = nil
+		if _, err := Compile(in); !errors.Is(err, ErrMissingSpec) {
+			t.Fatalf("err = %v, want ErrMissingSpec", err)
+		}
+	})
+}
+
+func TestPlatformByName(t *testing.T) {
+	for _, name := range []string{"xilinx_u50_gen3x16_xdma", "alveo-u50"} {
+		p, err := PlatformByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Dynamic.LUT == 0 {
+			t.Fatalf("%s: empty platform", name)
+		}
+	}
+	if _, err := PlatformByName("nope"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("err = %v, want ErrUnknownPlatform", err)
+	}
+}
+
+func TestTotalBinaryBytesSubsumesParts(t *testing.T) {
+	res, err := Compile(pipelineInput(t))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var bins, imgs int
+	for _, a := range res.Apps {
+		bins += a.Binary.TotalSize()
+	}
+	for _, x := range res.Images {
+		imgs += x.SizeBytes
+	}
+	if got := res.TotalBinaryBytes(); got != bins+imgs {
+		t.Fatalf("total = %d, want %d", got, bins+imgs)
+	}
+	if imgs <= int(res.Platform.StaticBytes) {
+		t.Fatalf("image bytes %d do not include the %d-byte shell", imgs, res.Platform.StaticBytes)
+	}
+}
+
+func TestCompileRejectsBrokenModule(t *testing.T) {
+	m := mir.NewModule("broken")
+	f, err := m.AddFunc("main", mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.NewBlock("entry") // no terminator: invalid
+
+	manifest := &profile.Manifest{
+		Platform: "alveo-u50",
+		Apps: []profile.App{{
+			Name: "broken",
+			Functions: []profile.Function{
+				{Name: "main2", Kernel: "K", XCLBINIndex: profile.AutoAssign},
+			},
+		}},
+	}
+	_, err = Compile(Input{
+		Manifest: manifest,
+		Apps: []AppInput{{
+			Name:    "broken",
+			Program: &popcorn.Program{Name: "broken", Module: m},
+			Specs:   map[string]hls.KernelSpec{"main2": {}},
+		}},
+	})
+	if err == nil {
+		t.Fatal("compile accepted a broken module")
+	}
+}
+
+func TestImageForUsesXCLBINLookup(t *testing.T) {
+	res, err := Compile(pipelineInput(t))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, ok := res.ImageFor("KNL_HW_FD320")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	want, ok := xclbin.FindKernel(res.Images, "KNL_HW_FD320")
+	if !ok || img != want {
+		t.Fatal("ImageFor disagrees with xclbin.FindKernel")
+	}
+}

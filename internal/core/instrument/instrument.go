@@ -1,0 +1,306 @@
+// Package instrument implements step B of the Xar-Trek compiler: given
+// the profiling manifest's selected functions, it rewrites the
+// application module so that
+//
+//  1. main's entry calls the scheduler-client initialisation and the
+//     FPGA pre-configuration routine (so hardware kernels are ready
+//     without waiting for configuration — Section 3.1),
+//  2. every return from main calls the scheduler-client finalisation
+//     (which records execution time and CPU load, feeding Algorithm 1),
+//     and
+//  3. every call to a selected function is redirected through a
+//     dispatch wrapper that branches on the migration flag to the x86,
+//     ARM, or FPGA target (Figure 2's "Flag equals target ID").
+//
+// The transformation is a genuine IR rewrite: the instrumented module
+// still verifies and interprets, and computes the same results as the
+// original (the interpreter's runtime stubs are semantic no-ops; the
+// run-time system supplies real behaviour for each target).
+package instrument
+
+import (
+	"errors"
+	"fmt"
+
+	"xartrek/internal/mir"
+)
+
+// Instrumentation errors.
+var (
+	ErrNoMain       = errors.New("instrument: module has no main function")
+	ErrUnknownFunc  = errors.New("instrument: selected function not in module")
+	ErrAlreadyDone  = errors.New("instrument: module already instrumented")
+	ErrSelectedMain = errors.New("instrument: cannot select main for migration")
+)
+
+// Runtime entry points inserted by the instrumentation step. The
+// scheduler run-time binds real behaviour to these symbols; in the
+// interpreter they are no-ops so the instrumented program still
+// computes the original result.
+const (
+	InitFunc      = "__xar_sched_init"
+	FiniFunc      = "__xar_sched_fini"
+	PreconfigFunc = "__xar_fpga_preconfig"
+	flagPrefix    = "__xar_flag_"
+	dispatchPref  = "__xar_dispatch_"
+	armPrefix     = "__xar_target_arm_"
+	fpgaPrefix    = "__xar_target_fpga_"
+)
+
+// Target IDs, matching the paper's migration flag values.
+const (
+	TargetX86  int64 = 0
+	TargetARM  int64 = 1
+	TargetFPGA int64 = 2
+)
+
+// DispatchName returns the wrapper symbol for a selected function.
+func DispatchName(fn string) string { return dispatchPref + fn }
+
+// FlagName returns the migration-flag accessor symbol for a selected
+// function.
+func FlagName(fn string) string { return flagPrefix + fn }
+
+// ARMTargetName returns the ARM-path symbol for a selected function.
+func ARMTargetName(fn string) string { return armPrefix + fn }
+
+// FPGATargetName returns the FPGA-path symbol for a selected function.
+func FPGATargetName(fn string) string { return fpgaPrefix + fn }
+
+// Result describes the rewrite.
+type Result struct {
+	// Dispatchers maps each selected function name to its wrapper.
+	Dispatchers map[string]*mir.Function
+	// RewrittenCalls counts call sites redirected to dispatchers.
+	RewrittenCalls int
+}
+
+// Instrument rewrites m in place for the selected function names.
+func Instrument(m *mir.Module, selected []string) (*Result, error) {
+	mainFn := m.Func("main")
+	if mainFn == nil || len(mainFn.Blocks) == 0 {
+		return nil, ErrNoMain
+	}
+	if m.Func(InitFunc) != nil {
+		return nil, ErrAlreadyDone
+	}
+
+	sel := make(map[string]*mir.Function, len(selected))
+	for _, name := range selected {
+		if name == "main" {
+			return nil, ErrSelectedMain
+		}
+		fn := m.Func(name)
+		if fn == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownFunc, name)
+		}
+		sel[name] = fn
+	}
+
+	initFn, err := addStub(m, InitFunc)
+	if err != nil {
+		return nil, err
+	}
+	finiFn, err := addStub(m, FiniFunc)
+	if err != nil {
+		return nil, err
+	}
+	preFn, err := addStub(m, PreconfigFunc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Dispatchers: make(map[string]*mir.Function, len(sel))}
+	for _, name := range selected {
+		d, err := buildDispatcher(m, sel[name])
+		if err != nil {
+			return nil, err
+		}
+		res.Dispatchers[name] = d
+	}
+
+	// Redirect call sites in every pre-existing, non-wrapper function.
+	for _, f := range m.Funcs() {
+		if isRuntimeSymbol(f.Name()) {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != mir.OpCall || in.Callee == nil {
+					continue
+				}
+				if d, ok := res.Dispatchers[in.Callee.Name()]; ok {
+					in.Callee = d
+					res.RewrittenCalls++
+				}
+			}
+		}
+	}
+
+	// main prologue: scheduler-client init, then FPGA pre-configure.
+	entry := mainFn.Entry()
+	if _, err := mainFn.InsertCall(entry, 0, preFn); err != nil {
+		return nil, err
+	}
+	if _, err := mainFn.InsertCall(entry, 0, initFn); err != nil {
+		return nil, err
+	}
+
+	// main epilogue: scheduler-client finalisation before every ret.
+	for _, b := range mainFn.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			if b.Instrs[i].Op == mir.OpRet {
+				if _, err := mainFn.InsertCall(b, i, finiFn); err != nil {
+					return nil, err
+				}
+				i++
+			}
+		}
+	}
+
+	if err := verifyModule(m); err != nil {
+		return nil, fmt.Errorf("instrument: rewritten module invalid: %w", err)
+	}
+	return res, nil
+}
+
+// Instrumented reports whether the module already carries the rewrite.
+func Instrumented(m *mir.Module) bool { return m.Func(InitFunc) != nil }
+
+// isRuntimeSymbol reports whether name belongs to the inserted runtime.
+func isRuntimeSymbol(name string) bool {
+	for _, p := range []string{flagPrefix, dispatchPref, armPrefix, fpgaPrefix} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return name == InitFunc || name == FiniFunc || name == PreconfigFunc
+}
+
+// addStub declares a no-op runtime function returning I64 0.
+func addStub(m *mir.Module, name string) (*mir.Function, error) {
+	f, err := m.AddFunc(name, mir.I64)
+	if err != nil {
+		return nil, err
+	}
+	b := mir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Ret(mir.ConstInt(mir.I64, 0))
+	return f, nil
+}
+
+// addForwarder declares a function with fn's signature whose body tail
+// calls fn — the ARM/FPGA execution paths. Semantically identical to
+// fn; the run-time binds target-specific execution to the symbol.
+func addForwarder(m *mir.Module, name string, fn *mir.Function) (*mir.Function, error) {
+	params := make([]mir.Type, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = p.Typ
+	}
+	f, err := m.AddFunc(name, fn.Ret, params...)
+	if err != nil {
+		return nil, err
+	}
+	b := mir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	args := make([]mir.Value, len(f.Params))
+	for i, p := range f.Params {
+		args[i] = p
+	}
+	r := b.Call(fn, args...)
+	if fn.Ret == mir.Void {
+		b.Ret(nil)
+	} else {
+		b.Ret(r)
+	}
+	return f, nil
+}
+
+// buildDispatcher emits the per-function wrapper:
+//
+//	flag := __xar_flag_F()
+//	switch flag { 0: F(...); 1: arm_F(...); default: fpga_F(...) }
+func buildDispatcher(m *mir.Module, fn *mir.Function) (*mir.Function, error) {
+	flagFn, err := addStub(m, FlagName(fn.Name()))
+	if err != nil {
+		return nil, err
+	}
+	armFn, err := addForwarder(m, ARMTargetName(fn.Name()), fn)
+	if err != nil {
+		return nil, err
+	}
+	fpgaFn, err := addForwarder(m, FPGATargetName(fn.Name()), fn)
+	if err != nil {
+		return nil, err
+	}
+
+	params := make([]mir.Type, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = p.Typ
+	}
+	d, err := m.AddFunc(DispatchName(fn.Name()), fn.Ret, params...)
+	if err != nil {
+		return nil, err
+	}
+
+	b := mir.NewBuilder(d)
+	entry := d.NewBlock("entry")
+	onX86 := d.NewBlock("x86")
+	checkARM := d.NewBlock("check_arm")
+	onARM := d.NewBlock("arm")
+	onFPGA := d.NewBlock("fpga")
+	join := d.NewBlock("join")
+
+	args := make([]mir.Value, len(d.Params))
+	for i, p := range d.Params {
+		args[i] = p
+	}
+
+	b.SetBlock(entry)
+	flag := b.Call(flagFn)
+	isX86 := b.ICmp(mir.CmpEQ, flag, mir.ConstInt(mir.I64, TargetX86))
+	b.CondBr(isX86, onX86, checkARM)
+
+	b.SetBlock(checkARM)
+	isARM := b.ICmp(mir.CmpEQ, flag, mir.ConstInt(mir.I64, TargetARM))
+	b.CondBr(isARM, onARM, onFPGA)
+
+	b.SetBlock(onX86)
+	rx := b.Call(fn, args...)
+	b.Br(join)
+
+	b.SetBlock(onARM)
+	ra := b.Call(armFn, args...)
+	b.Br(join)
+
+	b.SetBlock(onFPGA)
+	rf := b.Call(fpgaFn, args...)
+	b.Br(join)
+
+	b.SetBlock(join)
+	if fn.Ret == mir.Void {
+		b.Ret(nil)
+		return d, nil
+	}
+	phi := b.Phi(fn.Ret)
+	mir.AddIncoming(phi, rx, onX86)
+	mir.AddIncoming(phi, ra, onARM)
+	mir.AddIncoming(phi, rf, onFPGA)
+	// Phi must precede Ret; Builder appends in emit order, and we
+	// emitted the phi first, so ordering holds.
+	b.Ret(phi)
+	return d, nil
+}
+
+// verifyModule runs the verifier over every function.
+func verifyModule(m *mir.Module) error {
+	for _, f := range m.Funcs() {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		if err := mir.Verify(f); err != nil {
+			return fmt.Errorf("%s: %w", f.Name(), err)
+		}
+	}
+	return nil
+}

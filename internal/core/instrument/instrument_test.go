@@ -1,0 +1,247 @@
+package instrument
+
+import (
+	"errors"
+	"testing"
+
+	"xartrek/internal/mir"
+)
+
+// buildApp creates a module with a compute kernel and a main that calls
+// it twice, mirroring the shape the workloads package produces.
+func buildApp(t *testing.T) (*mir.Module, *mir.Function) {
+	t.Helper()
+	m := mir.NewModule("app")
+
+	kernel, err := m.AddFunc("work", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mir.NewBuilder(kernel)
+	b.SetBlock(kernel.NewBlock("entry"))
+	doubled := b.Add(kernel.Params[0], kernel.Params[0])
+	b.Ret(doubled)
+
+	mainFn, err := m.AddFunc("main", mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = mir.NewBuilder(mainFn)
+	b.SetBlock(mainFn.NewBlock("entry"))
+	r1 := b.Call(kernel, mir.ConstInt(mir.I64, 21))
+	r2 := b.Call(kernel, r1)
+	b.Ret(r2)
+
+	if err := mir.Verify(kernel); err != nil {
+		t.Fatal(err)
+	}
+	if err := mir.Verify(mainFn); err != nil {
+		t.Fatal(err)
+	}
+	return m, kernel
+}
+
+func runMain(t *testing.T, m *mir.Module) uint64 {
+	t.Helper()
+	ip := mir.NewInterp(1 << 12)
+	got, err := ip.Run(m.Func("main"))
+	if err != nil {
+		t.Fatalf("interpret: %v", err)
+	}
+	return got
+}
+
+func TestInstrumentPreservesSemantics(t *testing.T) {
+	m, _ := buildApp(t)
+	want := runMain(t, m)
+
+	res, err := Instrument(m, []string{"work"})
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	if got := runMain(t, m); got != want {
+		t.Fatalf("instrumented main = %d, want %d", got, want)
+	}
+	if res.RewrittenCalls != 2 {
+		t.Fatalf("rewritten calls = %d, want 2", res.RewrittenCalls)
+	}
+}
+
+func TestInstrumentInsertsRuntimeCalls(t *testing.T) {
+	m, _ := buildApp(t)
+	if _, err := Instrument(m, []string{"work"}); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+
+	mainFn := m.Func("main")
+	entry := mainFn.Entry()
+	if len(entry.Instrs) < 2 {
+		t.Fatal("entry too short")
+	}
+	if c := entry.Instrs[0]; c.Op != mir.OpCall || c.Callee.Name() != InitFunc {
+		t.Fatalf("entry[0] = %v, want call %s", entry.Instrs[0], InitFunc)
+	}
+	if c := entry.Instrs[1]; c.Op != mir.OpCall || c.Callee.Name() != PreconfigFunc {
+		t.Fatalf("entry[1] = %v, want call %s", entry.Instrs[1], PreconfigFunc)
+	}
+
+	// Every ret in main must be preceded by a fini call.
+	for _, b := range mainFn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op != mir.OpRet {
+				continue
+			}
+			if i == 0 {
+				t.Fatal("ret with no preceding instruction")
+			}
+			prev := b.Instrs[i-1]
+			if prev.Op != mir.OpCall || prev.Callee.Name() != FiniFunc {
+				t.Fatalf("instr before ret = %v, want call %s", prev, FiniFunc)
+			}
+		}
+	}
+}
+
+func TestInstrumentRedirectsCallSites(t *testing.T) {
+	m, kernel := buildApp(t)
+	res, err := Instrument(m, []string{"work"})
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	d := res.Dispatchers["work"]
+	if d == nil || d.Name() != DispatchName("work") {
+		t.Fatalf("dispatcher = %v", d)
+	}
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpCall && in.Callee == kernel {
+				t.Fatal("main still calls the kernel directly")
+			}
+		}
+	}
+}
+
+func TestDispatcherBranchesOnFlag(t *testing.T) {
+	m, _ := buildApp(t)
+	res, err := Instrument(m, []string{"work"})
+	if err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	d := res.Dispatchers["work"]
+
+	// The wrapper must reference all three targets.
+	var callees []string
+	for _, b := range d.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpCall {
+				callees = append(callees, in.Callee.Name())
+			}
+		}
+	}
+	want := map[string]bool{
+		FlagName("work"):       false,
+		"work":                 false,
+		ARMTargetName("work"):  false,
+		FPGATargetName("work"): false,
+	}
+	for _, c := range callees {
+		if _, ok := want[c]; ok {
+			want[c] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("dispatcher never calls %s (calls: %v)", name, callees)
+		}
+	}
+}
+
+func TestForwardersComputeKernelResult(t *testing.T) {
+	m, _ := buildApp(t)
+	if _, err := Instrument(m, []string{"work"}); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	ip := mir.NewInterp(1 << 12)
+	for _, name := range []string{ARMTargetName("work"), FPGATargetName("work")} {
+		got, err := ip.Run(m.Func(name), 21)
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		if got != 42 {
+			t.Fatalf("%s(21) = %d, want 42", name, got)
+		}
+	}
+}
+
+func TestInstrumentErrors(t *testing.T) {
+	t.Run("no main", func(t *testing.T) {
+		m := mir.NewModule("x")
+		if _, err := Instrument(m, nil); !errors.Is(err, ErrNoMain) {
+			t.Fatalf("err = %v, want ErrNoMain", err)
+		}
+	})
+	t.Run("unknown function", func(t *testing.T) {
+		m, _ := buildApp(t)
+		if _, err := Instrument(m, []string{"nope"}); !errors.Is(err, ErrUnknownFunc) {
+			t.Fatalf("err = %v, want ErrUnknownFunc", err)
+		}
+	})
+	t.Run("double instrumentation", func(t *testing.T) {
+		m, _ := buildApp(t)
+		if _, err := Instrument(m, []string{"work"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Instrument(m, []string{"work"}); !errors.Is(err, ErrAlreadyDone) {
+			t.Fatalf("err = %v, want ErrAlreadyDone", err)
+		}
+	})
+	t.Run("selecting main", func(t *testing.T) {
+		m, _ := buildApp(t)
+		if _, err := Instrument(m, []string{"main"}); !errors.Is(err, ErrSelectedMain) {
+			t.Fatalf("err = %v, want ErrSelectedMain", err)
+		}
+	})
+}
+
+func TestInstrumentedPredicate(t *testing.T) {
+	m, _ := buildApp(t)
+	if Instrumented(m) {
+		t.Fatal("fresh module reports instrumented")
+	}
+	if _, err := Instrument(m, []string{"work"}); err != nil {
+		t.Fatal(err)
+	}
+	if !Instrumented(m) {
+		t.Fatal("instrumented module not detected")
+	}
+}
+
+func TestInstrumentVoidKernel(t *testing.T) {
+	m := mir.NewModule("app")
+	kernel, err := m.AddFunc("sideeffect", mir.Void, mir.Ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mir.NewBuilder(kernel)
+	b.SetBlock(kernel.NewBlock("entry"))
+	b.Store(mir.ConstInt(mir.I64, 7), kernel.Params[0])
+	b.Ret(nil)
+
+	mainFn, err := m.AddFunc("main", mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = mir.NewBuilder(mainFn)
+	b.SetBlock(mainFn.NewBlock("entry"))
+	buf := b.Alloca(8)
+	b.Call(kernel, buf)
+	r := b.Load(mir.I64, buf)
+	b.Ret(r)
+
+	if _, err := Instrument(m, []string{"sideeffect"}); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	if got := runMain(t, m); got != 7 {
+		t.Fatalf("main = %d, want 7", got)
+	}
+}

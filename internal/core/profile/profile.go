@@ -1,0 +1,289 @@
+// Package profile implements step A of the Xar-Trek compiler: the
+// profiling manifest. In the paper this is a manual step — an
+// application designer runs gprof/valgrind, picks the functions that
+// can execute on all three targets, and writes a text file naming 1)
+// the hardware platform, 2) the applications, and 3) each application's
+// selected functions. This package defines that text format with a
+// parser, serializer, and validation; the rest of the pipeline (steps
+// B-G) consumes the parsed Manifest.
+package profile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Validation and parse errors.
+var (
+	ErrNoPlatform    = errors.New("profile: manifest names no platform")
+	ErrNoApps        = errors.New("profile: manifest names no applications")
+	ErrDuplicateApp  = errors.New("profile: duplicate application")
+	ErrDuplicateFunc = errors.New("profile: duplicate selected function")
+	ErrNoFunctions   = errors.New("profile: application selects no functions")
+	ErrUnknownApp    = errors.New("profile: unknown application")
+)
+
+// ParseError reports a syntax problem with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("profile: line %d: %s", e.Line, e.Msg)
+}
+
+// AutoAssign marks a function for automatic XCLBIN partitioning
+// (step E's default mode).
+const AutoAssign = -1
+
+// Function is one selected application function.
+type Function struct {
+	// Name is the function symbol in the application module.
+	Name string
+	// Kernel is the hardware-kernel name Vitis will emit (Table 2's
+	// "HW Kernel" column).
+	Kernel string
+	// XCLBINIndex pins the kernel to a specific configuration file
+	// (step E's manual mode); AutoAssign leaves the choice to the
+	// first-fit-decreasing partitioner.
+	XCLBINIndex int
+}
+
+// App is one profiled application with its selected functions.
+type App struct {
+	Name      string
+	Functions []Function
+}
+
+// SelectedFunction returns the app's single selected function. The
+// paper's benchmarks each select exactly one; multi-function apps
+// should iterate Functions directly.
+func (a *App) SelectedFunction() (Function, bool) {
+	if len(a.Functions) == 0 {
+		return Function{}, false
+	}
+	return a.Functions[0], true
+}
+
+// Manifest is the parsed profiling file.
+type Manifest struct {
+	Platform string
+	Apps     []App
+}
+
+// FindApp locates an application by name.
+func (m *Manifest) FindApp(name string) (*App, error) {
+	for i := range m.Apps {
+		if m.Apps[i].Name == name {
+			return &m.Apps[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownApp, name)
+}
+
+// Kernels lists every selected hardware-kernel name across apps, in
+// manifest order.
+func (m *Manifest) Kernels() []string {
+	var out []string
+	for _, a := range m.Apps {
+		for _, f := range a.Functions {
+			out = append(out, f.Kernel)
+		}
+	}
+	return out
+}
+
+// ManualAssignment collects the pinned XCLBIN indices; it returns nil
+// when every function uses automatic assignment, and an error when
+// assignment is mixed (the partitioner needs all-or-nothing).
+func (m *Manifest) ManualAssignment() (map[string]int, error) {
+	assign := make(map[string]int)
+	auto, manual := 0, 0
+	for _, a := range m.Apps {
+		for _, f := range a.Functions {
+			if f.XCLBINIndex == AutoAssign {
+				auto++
+				continue
+			}
+			manual++
+			assign[f.Kernel] = f.XCLBINIndex
+		}
+	}
+	if manual == 0 {
+		return nil, nil
+	}
+	if auto != 0 {
+		return nil, errors.New("profile: mixed manual and automatic xclbin assignment")
+	}
+	return assign, nil
+}
+
+// Validate checks structural invariants: a platform, at least one app,
+// unique app names, at least one function per app, globally unique
+// function/kernel names.
+func (m *Manifest) Validate() error {
+	if m.Platform == "" {
+		return ErrNoPlatform
+	}
+	if len(m.Apps) == 0 {
+		return ErrNoApps
+	}
+	apps := make(map[string]struct{}, len(m.Apps))
+	kernels := make(map[string]struct{})
+	for _, a := range m.Apps {
+		if _, dup := apps[a.Name]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateApp, a.Name)
+		}
+		apps[a.Name] = struct{}{}
+		if len(a.Functions) == 0 {
+			return fmt.Errorf("%w: %s", ErrNoFunctions, a.Name)
+		}
+		for _, f := range a.Functions {
+			if f.Name == "" || f.Kernel == "" {
+				return fmt.Errorf("profile: app %s: function with empty name or kernel", a.Name)
+			}
+			if _, dup := kernels[f.Kernel]; dup {
+				return fmt.Errorf("%w: kernel %s", ErrDuplicateFunc, f.Kernel)
+			}
+			kernels[f.Kernel] = struct{}{}
+			if f.XCLBINIndex < AutoAssign {
+				return fmt.Errorf("profile: app %s: negative xclbin index %d", a.Name, f.XCLBINIndex)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse reads the manifest text format:
+//
+//	# comment
+//	platform xilinx_u50_gen3x16_xdma
+//
+//	app CG-A
+//	  function spmv kernel=KNL_HW_CG_A
+//	  function precond kernel=KNL_HW_PC xclbin=0
+//
+// Indentation is cosmetic; "function" lines attach to the most recent
+// "app" line. The result is validated before being returned.
+func Parse(r io.Reader) (*Manifest, error) {
+	m := &Manifest{}
+	var cur *App
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "platform":
+			if len(fields) != 2 {
+				return nil, &ParseError{lineNo, "platform wants exactly one name"}
+			}
+			if m.Platform != "" {
+				return nil, &ParseError{lineNo, "platform declared twice"}
+			}
+			m.Platform = fields[1]
+		case "app":
+			if len(fields) != 2 {
+				return nil, &ParseError{lineNo, "app wants exactly one name"}
+			}
+			m.Apps = append(m.Apps, App{Name: fields[1]})
+			cur = &m.Apps[len(m.Apps)-1]
+		case "function":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "function before any app"}
+			}
+			fn, err := parseFunction(fields[1:])
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			cur.Functions = append(cur.Functions, fn)
+		default:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unknown directive %q", fields[0])}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: read manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseFunction decodes "name key=value..." fields.
+func parseFunction(fields []string) (Function, error) {
+	if len(fields) == 0 {
+		return Function{}, errors.New("function wants a name")
+	}
+	fn := Function{Name: fields[0], XCLBINIndex: AutoAssign}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Function{}, fmt.Errorf("malformed attribute %q (want key=value)", f)
+		}
+		switch key {
+		case "kernel":
+			fn.Kernel = val
+		case "xclbin":
+			idx, err := strconv.Atoi(val)
+			if err != nil || idx < 0 {
+				return Function{}, fmt.Errorf("bad xclbin index %q", val)
+			}
+			fn.XCLBINIndex = idx
+		default:
+			return Function{}, fmt.Errorf("unknown attribute %q", key)
+		}
+	}
+	if fn.Kernel == "" {
+		return Function{}, fmt.Errorf("function %s lacks kernel=", fn.Name)
+	}
+	return fn, nil
+}
+
+// Write serialises the manifest in the canonical text form; Parse
+// round-trips it.
+func (m *Manifest) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Xar-Trek profiling manifest (step A)\n")
+	fmt.Fprintf(bw, "platform %s\n", m.Platform)
+	for _, a := range m.Apps {
+		fmt.Fprintf(bw, "\napp %s\n", a.Name)
+		for _, f := range a.Functions {
+			fmt.Fprintf(bw, "  function %s kernel=%s", f.Name, f.Kernel)
+			if f.XCLBINIndex != AutoAssign {
+				fmt.Fprintf(bw, " xclbin=%d", f.XCLBINIndex)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the manifest text.
+func (m *Manifest) String() string {
+	var sb strings.Builder
+	if err := m.Write(&sb); err != nil {
+		return "<invalid manifest: " + err.Error() + ">"
+	}
+	return sb.String()
+}
+
+// SortApps orders applications by name for deterministic downstream
+// processing when the manifest is assembled programmatically.
+func (m *Manifest) SortApps() {
+	sort.Slice(m.Apps, func(i, j int) bool { return m.Apps[i].Name < m.Apps[j].Name })
+}

@@ -1,0 +1,255 @@
+package profile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleManifest = `
+# paper's five-benchmark manifest
+platform xilinx_u50_gen3x16_xdma
+
+app CG-A
+  function spmv kernel=KNL_HW_CG_A
+
+app FaceDet320
+  function detect kernel=KNL_HW_FD320
+
+app Digit2000
+  function classify kernel=KNL_HW_DR200 xclbin=0
+`
+
+func TestParseSample(t *testing.T) {
+	// Manual+auto mix is allowed at parse time; only ManualAssignment
+	// rejects it, so adjust sample to all-manual there.
+	m, err := Parse(strings.NewReader(sampleManifest))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Platform != "xilinx_u50_gen3x16_xdma" {
+		t.Fatalf("platform = %q", m.Platform)
+	}
+	if len(m.Apps) != 3 {
+		t.Fatalf("apps = %d, want 3", len(m.Apps))
+	}
+	fd, err := m.FindApp("FaceDet320")
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	fn, ok := fd.SelectedFunction()
+	if !ok || fn.Name != "detect" || fn.Kernel != "KNL_HW_FD320" {
+		t.Fatalf("selected = %+v ok=%v", fn, ok)
+	}
+	if fn.XCLBINIndex != AutoAssign {
+		t.Fatalf("xclbin index = %d, want auto", fn.XCLBINIndex)
+	}
+	dr, err := m.FindApp("Digit2000")
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	if dr.Functions[0].XCLBINIndex != 0 {
+		t.Fatalf("pinned index = %d, want 0", dr.Functions[0].XCLBINIndex)
+	}
+}
+
+func TestKernelsOrder(t *testing.T) {
+	m, err := Parse(strings.NewReader(sampleManifest))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := m.Kernels()
+	want := []string{"KNL_HW_CG_A", "KNL_HW_FD320", "KNL_HW_DR200"}
+	if len(got) != len(want) {
+		t.Fatalf("kernels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kernels[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, err := Parse(strings.NewReader(sampleManifest))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	again, err := Parse(strings.NewReader(m.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.String() != m.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", m, again)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown directive", "platform p\nbogus x\n", "unknown directive"},
+		{"function outside app", "platform p\nfunction f kernel=k\n", "before any app"},
+		{"double platform", "platform a\nplatform b\n", "declared twice"},
+		{"missing kernel attr", "platform p\napp a\nfunction f\n", "lacks kernel="},
+		{"bad attribute", "platform p\napp a\nfunction f kernel=k foo\n", "malformed attribute"},
+		{"bad xclbin", "platform p\napp a\nfunction f kernel=k xclbin=x\n", "bad xclbin index"},
+		{"platform arity", "platform a b\n", "exactly one name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("parse accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse(strings.NewReader("platform p\n\nbogus\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Manifest
+		want error
+	}{
+		{"no platform", Manifest{}, ErrNoPlatform},
+		{"no apps", Manifest{Platform: "p"}, ErrNoApps},
+		{
+			"no functions",
+			Manifest{Platform: "p", Apps: []App{{Name: "a"}}},
+			ErrNoFunctions,
+		},
+		{
+			"duplicate app",
+			Manifest{Platform: "p", Apps: []App{
+				{Name: "a", Functions: []Function{{Name: "f", Kernel: "k1", XCLBINIndex: AutoAssign}}},
+				{Name: "a", Functions: []Function{{Name: "g", Kernel: "k2", XCLBINIndex: AutoAssign}}},
+			}},
+			ErrDuplicateApp,
+		},
+		{
+			"duplicate kernel",
+			Manifest{Platform: "p", Apps: []App{
+				{Name: "a", Functions: []Function{{Name: "f", Kernel: "k", XCLBINIndex: AutoAssign}}},
+				{Name: "b", Functions: []Function{{Name: "g", Kernel: "k", XCLBINIndex: AutoAssign}}},
+			}},
+			ErrDuplicateFunc,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestManualAssignment(t *testing.T) {
+	allManual := Manifest{Platform: "p", Apps: []App{
+		{Name: "a", Functions: []Function{{Name: "f", Kernel: "k1", XCLBINIndex: 0}}},
+		{Name: "b", Functions: []Function{{Name: "g", Kernel: "k2", XCLBINIndex: 1}}},
+	}}
+	assign, err := allManual.ManualAssignment()
+	if err != nil {
+		t.Fatalf("manual: %v", err)
+	}
+	if assign["k1"] != 0 || assign["k2"] != 1 {
+		t.Fatalf("assign = %v", assign)
+	}
+
+	allAuto := Manifest{Platform: "p", Apps: []App{
+		{Name: "a", Functions: []Function{{Name: "f", Kernel: "k1", XCLBINIndex: AutoAssign}}},
+	}}
+	assign, err = allAuto.ManualAssignment()
+	if err != nil || assign != nil {
+		t.Fatalf("auto: assign=%v err=%v, want nil,nil", assign, err)
+	}
+
+	mixed := Manifest{Platform: "p", Apps: []App{
+		{Name: "a", Functions: []Function{{Name: "f", Kernel: "k1", XCLBINIndex: 0}}},
+		{Name: "b", Functions: []Function{{Name: "g", Kernel: "k2", XCLBINIndex: AutoAssign}}},
+	}}
+	if _, err := mixed.ManualAssignment(); err == nil {
+		t.Fatal("mixed assignment accepted")
+	}
+}
+
+func TestFindAppUnknown(t *testing.T) {
+	m := Manifest{Platform: "p"}
+	if _, err := m.FindApp("nope"); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err = %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestSortApps(t *testing.T) {
+	m := Manifest{Platform: "p", Apps: []App{
+		{Name: "zeta", Functions: []Function{{Name: "f", Kernel: "k1", XCLBINIndex: AutoAssign}}},
+		{Name: "alpha", Functions: []Function{{Name: "g", Kernel: "k2", XCLBINIndex: AutoAssign}}},
+	}}
+	m.SortApps()
+	if m.Apps[0].Name != "alpha" {
+		t.Fatalf("apps[0] = %s", m.Apps[0].Name)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any structurally valid manifest built from sanitised
+	// identifiers survives Write→Parse unchanged.
+	f := func(appSeeds, fnSeeds []uint8) bool {
+		if len(appSeeds) == 0 {
+			return true
+		}
+		if len(appSeeds) > 8 {
+			appSeeds = appSeeds[:8]
+		}
+		m := Manifest{Platform: "plat"}
+		kernelID := 0
+		for i := range appSeeds {
+			a := App{Name: ident("app", i)}
+			nf := 1
+			if len(fnSeeds) > 0 {
+				nf = 1 + int(fnSeeds[i%len(fnSeeds)])%3
+			}
+			for j := 0; j < nf; j++ {
+				a.Functions = append(a.Functions, Function{
+					Name:        ident("fn", kernelID),
+					Kernel:      ident("KNL", kernelID),
+					XCLBINIndex: AutoAssign,
+				})
+				kernelID++
+			}
+			m.Apps = append(m.Apps, a)
+		}
+		if m.Validate() != nil {
+			return true
+		}
+		again, err := Parse(strings.NewReader(m.String()))
+		if err != nil {
+			return false
+		}
+		return again.String() == m.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ident(prefix string, i int) string {
+	return prefix + "_" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

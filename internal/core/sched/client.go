@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+// Requester is the scheduler surface the client needs; it is satisfied
+// by *Server (direct, in-simulation transport) and by *TCPClient (the
+// real socket transport).
+type Requester interface {
+	Decide(app, kernel string) (Decision, error)
+	Report(app string, target threshold.Target, exec time.Duration) (threshold.Record, error)
+}
+
+var (
+	_ Requester = (*Server)(nil)
+	_ Requester = (*TCPClient)(nil)
+)
+
+// Client is the scheduler-client instance the instrumentation step
+// integrates with each application binary. It caches the application
+// identity and mediates the two runtime calls the instrumented binary
+// makes: the pre-invocation scheduling request (bound to the
+// __xar_dispatch_* wrapper) and the post-invocation report (bound to
+// __xar_sched_fini).
+type Client struct {
+	app    string
+	kernel string
+	r      Requester
+
+	lastDecision Decision
+	started      bool
+	startAt      time.Time
+}
+
+// NewClient binds a client to its application and transport.
+func NewClient(app, kernel string, r Requester) *Client {
+	return &Client{app: app, kernel: kernel, r: r}
+}
+
+// App returns the application name the client represents.
+func (c *Client) App() string { return c.app }
+
+// Request asks the server where the next invocation should run and
+// remembers the decision as the migration flag value.
+func (c *Client) Request() (Decision, error) {
+	d, err := c.r.Decide(c.app, c.kernel)
+	if err != nil {
+		return Decision{}, err
+	}
+	c.lastDecision = d
+	return d, nil
+}
+
+// Flag returns the current migration flag (the last decision's target;
+// x86 before any request).
+func (c *Client) Flag() threshold.Target { return c.lastDecision.Target }
+
+// Report sends the observed execution time for an invocation that ran
+// on the flagged target, feeding Algorithm 1.
+func (c *Client) Report(exec time.Duration) (threshold.Record, error) {
+	return c.r.Report(c.app, c.lastDecision.Target, exec)
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/power"
+)
+
+// UseEnergyPolicy switches the server from Algorithm 2's
+// pure-performance heuristic to the energy-delay-product policy the
+// paper sketches as future work (Section 5): each request picks the
+// target with the lowest predicted EDP, derived from the threshold
+// table's per-target execution times, the current x86 load, and the
+// platform power model. Kernel availability still gates the FPGA, and
+// background reconfiguration is still started so hardware becomes an
+// option for later invocations.
+func (s *Server) UseEnergyPolicy(m power.Model, x86Cores int) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if x86Cores <= 0 {
+		return fmt.Errorf("sched: non-positive core count %d", x86Cores)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.energy = &energyPolicy{model: m, x86Cores: x86Cores}
+	return nil
+}
+
+// energyPolicy carries the EDP policy's configuration.
+type energyPolicy struct {
+	model    power.Model
+	x86Cores int
+}
+
+// decideEDP picks the minimum-EDP target among those currently
+// executable. Called with s.mu held.
+func (s *Server) decideEDP(rec threshold.Record, kernel string) Decision {
+	x86Load := s.load()
+	hwAvail := s.dev != nil && s.dev.HasKernel(kernel)
+
+	ests := power.EstimateFromRecord(s.energy.model, rec, x86Load, s.energy.x86Cores)
+	viable := ests[:0:0]
+	for _, e := range ests {
+		if e.Target == threshold.TargetFPGA && !hwAvail {
+			continue
+		}
+		viable = append(viable, e)
+	}
+	best, err := power.PickMinEDP(viable)
+	if err != nil {
+		return Decision{Target: threshold.TargetX86}
+	}
+
+	d := Decision{Target: best.Target}
+	if !hwAvail {
+		// The FPGA was excluded this round; configure it in the
+		// background so the EDP comparison includes it next time.
+		d.ReconfigStarted = s.startReconfig(kernel)
+	}
+	return d
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/power"
+	"xartrek/internal/xclbin"
+)
+
+func TestEnergyPolicyLowLoadStaysOnX86(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 1 }, nil, nil)
+	if err := srv.UseEnergyPolicy(power.Default(), 6); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 175ms on a 14W core beats 642ms on ARM and 332ms at 75W.
+	if d.Target != threshold.TargetX86 {
+		t.Fatalf("target = %v, want x86", d.Target)
+	}
+}
+
+func TestEnergyPolicyHighLoadPrefersARM(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 100 }, dev, nil)
+	if err := srv.UseEnergyPolicy(power.Default(), 6); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 2 would pick FPGA (FPGATHR 16 < ARMTHR 31); the EDP
+	// policy prefers the 1.25W ThunderX core: ARM EDP ~0.5 Js vs
+	// FPGA ~8 Js.
+	if d.Target != threshold.TargetARM {
+		t.Fatalf("target = %v, want arm under the EDP policy", d.Target)
+	}
+}
+
+func TestEnergyPolicyExcludesUnconfiguredFPGA(t *testing.T) {
+	// Make the FPGA the EDP winner, but leave the kernel absent:
+	// the policy must fall back and start reconfiguration.
+	tab := threshold.NewTable()
+	if err := tab.Add(threshold.Record{
+		App: "app", Kernel: "KNL",
+		FPGAThr: 0, ARMThr: 0,
+		X86Exec:  10 * time.Second,
+		ARMExec:  20 * time.Second,
+		FPGAExec: 10 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev := &fakeDevice{kernels: map[string]bool{}}
+	srv := NewServer(tab, func() int { return 50 }, dev, []*xclbin.XCLBIN{imageWith(t, "KNL")})
+	if err := srv.UseEnergyPolicy(power.Default(), 6); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target == threshold.TargetFPGA {
+		t.Fatal("EDP policy picked an unavailable kernel")
+	}
+	if !d.ReconfigStarted {
+		t.Fatal("EDP policy did not start background reconfiguration")
+	}
+}
+
+func TestUseEnergyPolicyValidation(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 1 }, nil, nil)
+	if err := srv.UseEnergyPolicy(power.Model{}, 6); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if err := srv.UseEnergyPolicy(power.Default(), 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}

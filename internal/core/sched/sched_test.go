@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/hls"
+	"xartrek/internal/xclbin"
+)
+
+// fakeDevice is a scriptable Device.
+type fakeDevice struct {
+	kernels       map[string]bool
+	reconfiguring bool
+	programs      []*xclbin.XCLBIN
+	programErr    error
+}
+
+var _ Device = (*fakeDevice)(nil)
+
+func (d *fakeDevice) HasKernel(name string) bool { return d.kernels[name] }
+func (d *fakeDevice) Reconfiguring() bool        { return d.reconfiguring }
+
+func (d *fakeDevice) Program(img *xclbin.XCLBIN, done func()) error {
+	if d.programErr != nil {
+		return d.programErr
+	}
+	d.programs = append(d.programs, img)
+	d.reconfiguring = true
+	if done != nil {
+		done()
+	}
+	return nil
+}
+
+func testTable(t *testing.T) *threshold.Table {
+	t.Helper()
+	tab := threshold.NewTable()
+	err := tab.Add(threshold.Record{
+		App: "app", Kernel: "KNL",
+		FPGAThr: 16, ARMThr: 31,
+		X86Exec:  175 * time.Millisecond,
+		ARMExec:  642 * time.Millisecond,
+		FPGAExec: 332 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// imageWith builds a minimal image carrying the named kernel.
+func imageWith(t *testing.T, kernel string) *xclbin.XCLBIN {
+	t.Helper()
+	return &xclbin.XCLBIN{
+		Name:      "img",
+		Kernels:   []*hls.XO{{KernelName: kernel, II: 1, Depth: 1, ClockMHz: hls.DefaultClockMHz}},
+		SizeBytes: 1 << 20,
+	}
+}
+
+func TestDecideLowLoadStaysOnX86(t *testing.T) {
+	// Lines 19-21: load below both thresholds.
+	srv := NewServer(testTable(t), func() int { return 5 }, nil, nil)
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetX86 || d.ReconfigStarted {
+		t.Fatalf("decision = %+v, want x86 without reconfig", d)
+	}
+}
+
+func TestDecideMidLoadNoKernelHidesReconfigOnX86(t *testing.T) {
+	// Lines 9-13: FPGA threshold exceeded, ARM threshold not, kernel
+	// absent → stay on x86 and reconfigure behind the scenes.
+	dev := &fakeDevice{kernels: map[string]bool{}}
+	srv := NewServer(testTable(t), func() int { return 20 }, dev, []*xclbin.XCLBIN{imageWith(t, "KNL")})
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetX86 {
+		t.Fatalf("target = %v, want x86", d.Target)
+	}
+	if !d.ReconfigStarted || len(dev.programs) != 1 {
+		t.Fatalf("reconfiguration not started: %+v", d)
+	}
+}
+
+func TestDecideHighLoadNoKernelMigratesToARM(t *testing.T) {
+	// Lines 14-18: both thresholds exceeded, kernel absent → ARM plus
+	// background reconfiguration.
+	dev := &fakeDevice{kernels: map[string]bool{}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, []*xclbin.XCLBIN{imageWith(t, "KNL")})
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetARM || !d.ReconfigStarted {
+		t.Fatalf("decision = %+v, want ARM with reconfig", d)
+	}
+}
+
+func TestDecideARMOnlyThresholdExceeded(t *testing.T) {
+	// Lines 22-24: load above ARMTHR but at/below FPGATHR. Flip the
+	// thresholds so ARMTHR < load <= FPGATHR.
+	tab := threshold.NewTable()
+	if err := tab.Add(threshold.Record{
+		App: "app", Kernel: "KNL", FPGAThr: 31, ARMThr: 16,
+		X86Exec: time.Second, ARMExec: time.Second, FPGAExec: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(tab, func() int { return 20 }, nil, nil)
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetARM || d.ReconfigStarted {
+		t.Fatalf("decision = %+v, want ARM without reconfig", d)
+	}
+}
+
+func TestDecideKernelResidentPicksSmallerThreshold(t *testing.T) {
+	// Lines 25-31 with FPGATHR < ARMTHR → FPGA.
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetFPGA {
+		t.Fatalf("target = %v, want fpga", d.Target)
+	}
+
+	// Lines 28-30 with ARMTHR < FPGATHR → ARM even though the kernel
+	// is resident.
+	tab := threshold.NewTable()
+	if err := tab.Add(threshold.Record{
+		App: "app", Kernel: "KNL", FPGAThr: 31, ARMThr: 16,
+		X86Exec: time.Second, ARMExec: time.Second, FPGAExec: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv = NewServer(tab, func() int { return 40 }, dev, nil)
+	d, err = srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetARM {
+		t.Fatalf("target = %v, want arm", d.Target)
+	}
+}
+
+func TestDecideNoDoubleReconfig(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{}}
+	srv := NewServer(testTable(t), func() int { return 20 }, dev, []*xclbin.XCLBIN{imageWith(t, "KNL")})
+	if _, err := srv.Decide("app", "KNL"); err != nil {
+		t.Fatal(err)
+	}
+	// Device now reconfiguring; a second decision must not program
+	// again.
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReconfigStarted {
+		t.Fatal("second decision restarted reconfiguration")
+	}
+	if len(dev.programs) != 1 {
+		t.Fatalf("programs = %d, want 1", len(dev.programs))
+	}
+}
+
+func TestDecideNoImageForKernel(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{}}
+	srv := NewServer(testTable(t), func() int { return 20 }, dev, nil)
+	d, err := srv.Decide("app", "KNL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReconfigStarted {
+		t.Fatal("reconfiguration started with no image available")
+	}
+}
+
+func TestDecideUnknownApp(t *testing.T) {
+	srv := NewServer(threshold.NewTable(), func() int { return 1 }, nil, nil)
+	if _, err := srv.Decide("ghost", "K"); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err = %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestReportFeedsAlgorithm1(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 10 }, nil, nil)
+	// x86 run slower than FPGA at load 10 < FPGAThr 16 → threshold
+	// drops to 10.
+	rec, err := srv.Report("app", threshold.TargetX86, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FPGAThr != 10 {
+		t.Fatalf("FPGAThr = %d, want 10", rec.FPGAThr)
+	}
+}
+
+func TestStatsCountDecisions(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	loads := []int{5, 40, 40}
+	i := 0
+	srv := NewServer(testTable(t), func() int { v := loads[i%len(loads)]; i++; return v }, dev, nil)
+	for range loads {
+		if _, err := srv.Decide("app", "KNL"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.Report("app", threshold.TargetX86, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Requests != 3 || st.ToX86 != 1 || st.ToFPGA != 2 || st.Reports != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientFlagFollowsDecision(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	c := NewClient("app", "KNL", srv)
+	if c.Flag() != threshold.TargetX86 {
+		t.Fatalf("initial flag = %v, want x86", c.Flag())
+	}
+	d, err := c.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetFPGA || c.Flag() != threshold.TargetFPGA {
+		t.Fatalf("flag = %v after decision %+v", c.Flag(), d)
+	}
+	if _, err := c.Report(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Reports; got != 1 {
+		t.Fatalf("reports = %d, want 1", got)
+	}
+}

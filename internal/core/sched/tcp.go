@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+// Wire message types. The protocol is newline-delimited JSON: one
+// request object per line, one response object per line. The paper's
+// implementation uses raw sockets and signals; JSON-over-TCP keeps the
+// same request/response shape while staying debuggable with netcat.
+const (
+	msgRequest = "request"
+	msgReport  = "report"
+)
+
+// wireRequest is the client→server frame.
+type wireRequest struct {
+	Type   string `json:"type"`
+	App    string `json:"app"`
+	Kernel string `json:"kernel,omitempty"`
+	Target int    `json:"target,omitempty"`
+	ExecNS int64  `json:"execNanos,omitempty"`
+}
+
+// wireResponse is the server→client frame.
+type wireResponse struct {
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+	Target   int    `json:"target,omitempty"`
+	Reconfig bool   `json:"reconfig,omitempty"`
+	// Threshold echo after a report, for observability.
+	FPGAThr int `json:"fpgaThr,omitempty"`
+	ARMThr  int `json:"armThr,omitempty"`
+}
+
+// TCPServer exposes a Server over a TCP listener.
+type TCPServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts serving the scheduler on addr (e.g.
+// "127.0.0.1:0"). It returns once the listener is bound; connections
+// are served on background goroutines until Close.
+func ListenAndServe(addr string, srv *Server) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: listen %s: %w", addr, err)
+	}
+	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr reports the bound address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+// Conns reports the number of live client connections. With one
+// scheduler-client connection per application process, this doubles as
+// the paper's process-count load metric for standalone deployments.
+func (t *TCPServer) Conns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// Close stops the listener, closes live connections, and waits for
+// every connection goroutine to exit.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// acceptLoop admits connections until the listener closes.
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection.
+func (t *TCPServer) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := t.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one frame to the scheduler.
+func (t *TCPServer) handle(req wireRequest) wireResponse {
+	switch req.Type {
+	case msgRequest:
+		d, err := t.srv.Decide(req.App, req.Kernel)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Target: int(d.Target), Reconfig: d.ReconfigStarted}
+	case msgReport:
+		rec, err := t.srv.Report(req.App, threshold.Target(req.Target), time.Duration(req.ExecNS))
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, FPGAThr: rec.FPGAThr, ARMThr: rec.ARMThr}
+	default:
+		return wireResponse{Error: fmt.Sprintf("sched: unknown message type %q", req.Type)}
+	}
+}
+
+// TCPClient is the socket-backed Requester used by application
+// processes on other machines (or other processes on the host).
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a scheduler server.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: dial %s: %w", addr, err)
+	}
+	return &TCPClient{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close shuts the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads one response.
+func (c *TCPClient) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("sched: send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return wireResponse{}, fmt.Errorf("sched: recv: %w", err)
+	}
+	if resp.Error != "" {
+		return wireResponse{}, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Decide implements Requester over the wire.
+func (c *TCPClient) Decide(app, kernel string) (Decision, error) {
+	resp, err := c.roundTrip(wireRequest{Type: msgRequest, App: app, Kernel: kernel})
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Target: threshold.Target(resp.Target), ReconfigStarted: resp.Reconfig}, nil
+}
+
+// Report implements Requester over the wire. The returned record
+// carries only the threshold columns the wire echoes back.
+func (c *TCPClient) Report(app string, target threshold.Target, exec time.Duration) (threshold.Record, error) {
+	resp, err := c.roundTrip(wireRequest{
+		Type: msgReport, App: app, Target: int(target), ExecNS: int64(exec),
+	})
+	if err != nil {
+		return threshold.Record{}, err
+	}
+	return threshold.Record{App: app, FPGAThr: resp.FPGAThr, ARMThr: resp.ARMThr}, nil
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+func startTCP(t *testing.T, srv *Server) *TCPServer {
+	t.Helper()
+	ts, err := ListenAndServe("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return ts
+}
+
+func dialTCP(t *testing.T, addr string) *TCPClient {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTCPDecideRoundTrip(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	ts := startTCP(t, srv)
+	c := dialTCP(t, ts.Addr())
+
+	d, err := c.Decide("app", "KNL")
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if d.Target != threshold.TargetFPGA {
+		t.Fatalf("target = %v, want fpga", d.Target)
+	}
+	if srv.Stats().Requests != 1 {
+		t.Fatal("server did not record the request")
+	}
+}
+
+func TestTCPReportRoundTrip(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 10 }, nil, nil)
+	ts := startTCP(t, srv)
+	c := dialTCP(t, ts.Addr())
+
+	rec, err := c.Report("app", threshold.TargetX86, 400*time.Millisecond)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if rec.FPGAThr != 10 {
+		t.Fatalf("echoed FPGAThr = %d, want 10", rec.FPGAThr)
+	}
+	got, err := srv.Table().Get("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPGAThr != 10 {
+		t.Fatalf("server table FPGAThr = %d, want 10", got.FPGAThr)
+	}
+}
+
+func TestTCPErrorPropagation(t *testing.T) {
+	srv := NewServer(threshold.NewTable(), func() int { return 1 }, nil, nil)
+	ts := startTCP(t, srv)
+	c := dialTCP(t, ts.Addr())
+
+	_, err := c.Decide("ghost", "K")
+	if err == nil || !strings.Contains(err.Error(), "no threshold record") {
+		t.Fatalf("err = %v, want unknown-app error over the wire", err)
+	}
+}
+
+func TestTCPClientViaRequesterInterface(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	ts := startTCP(t, srv)
+	tc := dialTCP(t, ts.Addr())
+
+	client := NewClient("app", "KNL", tc)
+	d, err := client.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != threshold.TargetFPGA {
+		t.Fatalf("target = %v", d.Target)
+	}
+	if _, err := client.Report(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	ts := startTCP(t, srv)
+
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(ts.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				if _, err := c.Decide("app", "KNL"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Report("app", threshold.TargetFPGA, time.Millisecond); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("client error: %v", err)
+	}
+	st := srv.Stats()
+	if st.Requests != clients*perClient || st.Reports != clients*perClient {
+		t.Fatalf("stats = %+v, want %d requests and reports", st, clients*perClient)
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 1 }, nil, nil)
+	ts, err := ListenAndServe("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestTCPUnknownMessageType(t *testing.T) {
+	srv := NewServer(testTable(t), func() int { return 1 }, nil, nil)
+	ts := startTCP(t, srv)
+	c := dialTCP(t, ts.Addr())
+
+	// Abuse roundTrip with an invalid frame type.
+	_, err := c.roundTrip(wireRequest{Type: "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown message type") {
+		t.Fatalf("err = %v, want unknown-type error", err)
+	}
+}

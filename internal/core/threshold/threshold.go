@@ -1,0 +1,249 @@
+// Package threshold implements step G of the Xar-Trek compiler — the
+// threshold-estimation tool — and the run-time's dynamic threshold
+// update procedure (Algorithm 1).
+//
+// The estimation tool measures, for each application, the total
+// execution time of the two migration scenarios (x86-to-ARM and
+// x86-to-FPGA) "in locus", so every communication overhead (Popcorn
+// state transformation + Ethernet transfer, or PCIe transfers + OpenCL
+// setup) is included. It then re-runs the application on the x86 CPU
+// under increasing CPU load — by launching parallel instances, exactly
+// as the paper does — until the x86 execution time exceeds each
+// migration scenario's time. The loads at the crossovers become the
+// ARM and FPGA thresholds (Table 2).
+package threshold
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Target identifies where a function executes — the migration flag of
+// Figure 2 ("Flag equals target ID").
+type Target int
+
+// Targets, numbered as in the paper: 0 = x86 (do not migrate),
+// 1 = ARM (software migration), 2 = FPGA (hardware migration).
+const (
+	TargetX86 Target = iota
+	TargetARM
+	TargetFPGA
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetX86:
+		return "x86"
+	case TargetARM:
+		return "arm"
+	case TargetFPGA:
+		return "fpga"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// Never is the threshold sentinel for "no load makes migration
+// profitable" (the paper's BFS case: the estimator will almost always
+// keep the function on x86). Any realistic load compares below it.
+const Never = 1 << 30
+
+// Record is one application's threshold state: the Table 2 row plus
+// the per-target execution times Algorithm 1 compares against.
+type Record struct {
+	App    string
+	Kernel string
+	// FPGAThr and ARMThr are the CPU loads (process counts) above
+	// which migrating to that target is estimated profitable.
+	FPGAThr int
+	ARMThr  int
+	// X86Exec, ARMExec and FPGAExec are the most recent execution
+	// times observed (or estimated) per target.
+	X86Exec  time.Duration
+	ARMExec  time.Duration
+	FPGAExec time.Duration
+}
+
+// Table is the threshold table the estimation tool emits and the
+// scheduler consults; it is keyed by application name and preserves
+// insertion order for deterministic output.
+type Table struct {
+	rows  map[string]*Record
+	order []string
+}
+
+// Table errors.
+var (
+	ErrUnknownRecord   = errors.New("threshold: no record for application")
+	ErrDuplicateRecord = errors.New("threshold: duplicate application record")
+)
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{rows: make(map[string]*Record)}
+}
+
+// Add inserts a record; the application must not already be present.
+func (t *Table) Add(r Record) error {
+	if _, dup := t.rows[r.App]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateRecord, r.App)
+	}
+	cp := r
+	t.rows[r.App] = &cp
+	t.order = append(t.order, r.App)
+	return nil
+}
+
+// Get returns a copy of the application's record.
+func (t *Table) Get(app string) (Record, error) {
+	r, ok := t.rows[app]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrUnknownRecord, app)
+	}
+	return *r, nil
+}
+
+// Records lists copies of all rows in insertion order.
+func (t *Table) Records() []Record {
+	out := make([]Record, 0, len(t.order))
+	for _, app := range t.order {
+		out = append(out, *t.rows[app])
+	}
+	return out
+}
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.order) }
+
+// Update applies Algorithm 1 after one function invocation finished on
+// the given target with the observed execution time, under the given
+// x86 CPU load. It returns the updated record.
+func (t *Table) Update(app string, target Target, exec time.Duration, x86Load int) (Record, error) {
+	r, ok := t.rows[app]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrUnknownRecord, app)
+	}
+	switch target {
+	case TargetX86:
+		// Lines 3-12: the function ran on x86. If x86 is now slower
+		// than a migration target while the load sits below that
+		// target's threshold, the threshold is too high — pull it
+		// down to the current load so the scheduler migrates sooner.
+		switch {
+		case exec > r.FPGAExec && x86Load < r.FPGAThr:
+			r.FPGAThr = x86Load
+		case exec > r.ARMExec && x86Load < r.ARMThr:
+			r.ARMThr = x86Load
+		}
+		r.X86Exec = exec
+	case TargetARM:
+		// Lines 14-17: ARM turned out slower than the last x86 run —
+		// migration fired too eagerly; raise the ARM threshold.
+		if exec > r.X86Exec {
+			r.ARMThr++
+		}
+		r.ARMExec = exec
+	case TargetFPGA:
+		// Lines 19-23: same correction for the FPGA.
+		if exec > r.X86Exec {
+			r.FPGAThr++
+		}
+		r.FPGAExec = exec
+	default:
+		return Record{}, fmt.Errorf("threshold: unknown target %d", int(target))
+	}
+	return *r, nil
+}
+
+// Write serialises the table in the estimation tool's text format:
+// one row per application with name, hardware kernel, FPGA threshold
+// and ARM threshold (the four columns Section 3.1 lists).
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# app kernel fpga_thr arm_thr x86_ms arm_ms fpga_ms")
+	for _, r := range t.Records() {
+		fmt.Fprintf(bw, "%s %s %s %s %d %d %d\n",
+			r.App, r.Kernel, thrString(r.FPGAThr), thrString(r.ARMThr),
+			r.X86Exec.Milliseconds(), r.ARMExec.Milliseconds(), r.FPGAExec.Milliseconds())
+	}
+	return bw.Flush()
+}
+
+// thrString renders Never as "never".
+func thrString(thr int) string {
+	if thr >= Never {
+		return "never"
+	}
+	return strconv.Itoa(thr)
+}
+
+// parseThr reverses thrString.
+func parseThr(s string) (int, error) {
+	if s == "never" {
+		return Never, nil
+	}
+	return strconv.Atoi(s)
+}
+
+// Parse reads the Write format back.
+func Parse(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("threshold: line %d: want 7 fields, got %d", line, len(f))
+		}
+		fpgaThr, err := parseThr(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("threshold: line %d: fpga threshold: %w", line, err)
+		}
+		armThr, err := parseThr(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("threshold: line %d: arm threshold: %w", line, err)
+		}
+		ms := make([]int64, 3)
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseInt(f[4+i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("threshold: line %d: time column %d: %w", line, i, err)
+			}
+			ms[i] = v
+		}
+		rec := Record{
+			App: f[0], Kernel: f[1],
+			FPGAThr: fpgaThr, ARMThr: armThr,
+			X86Exec:  time.Duration(ms[0]) * time.Millisecond,
+			ARMExec:  time.Duration(ms[1]) * time.Millisecond,
+			FPGAExec: time.Duration(ms[2]) * time.Millisecond,
+		}
+		if err := t.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("threshold: read table: %w", err)
+	}
+	return t, nil
+}
+
+// String renders the table text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Write(&sb); err != nil {
+		return "<invalid table: " + err.Error() + ">"
+	}
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+package threshold
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		App: "FaceDet320", Kernel: "KNL_HW_FD320",
+		FPGAThr: 16, ARMThr: 31,
+		X86Exec:  175 * time.Millisecond,
+		ARMExec:  642 * time.Millisecond,
+		FPGAExec: 332 * time.Millisecond,
+	}
+}
+
+func TestTableAddGet(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tab.Get("FaceDet320")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != 16 || r.ARMThr != 31 {
+		t.Fatalf("record = %+v", r)
+	}
+	if err := tab.Add(sampleRecord()); !errors.Is(err, ErrDuplicateRecord) {
+		t.Fatalf("duplicate add = %v, want ErrDuplicateRecord", err)
+	}
+	if _, err := tab.Get("nope"); !errors.Is(err, ErrUnknownRecord) {
+		t.Fatalf("missing get = %v, want ErrUnknownRecord", err)
+	}
+}
+
+func TestTableGetReturnsCopy(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tab.Get("FaceDet320")
+	r.FPGAThr = 999
+	again, _ := tab.Get("FaceDet320")
+	if again.FPGAThr != 16 {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+// Algorithm 1 cases.
+
+func TestUpdateX86SlowerThanFPGALowersFPGAThreshold(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	// x86 run took 400ms (> FPGAExec 332ms) at load 10 (< FPGAThr 16):
+	// lines 4-5 pull FPGATHR down to the observed load.
+	r, err := tab.Update("FaceDet320", TargetX86, 400*time.Millisecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != 10 {
+		t.Fatalf("FPGAThr = %d, want 10", r.FPGAThr)
+	}
+	if r.X86Exec != 400*time.Millisecond {
+		t.Fatalf("X86Exec = %v, want 400ms", r.X86Exec)
+	}
+}
+
+func TestUpdateX86SlowerThanARMLowersARMThreshold(t *testing.T) {
+	rec := sampleRecord()
+	rec.FPGAThr = 0 // FPGA branch cannot fire (load never < 0)
+	tab := NewTable()
+	if err := tab.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	// 700ms > ARMExec 642ms at load 20 < ARMThr 31: lines 7-8.
+	r, err := tab.Update("FaceDet320", TargetX86, 700*time.Millisecond, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ARMThr != 20 {
+		t.Fatalf("ARMThr = %d, want 20", r.ARMThr)
+	}
+}
+
+func TestUpdateX86FastRunOnlyRecordsTime(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	// 100ms beats both targets: line 10 — record only.
+	r, err := tab.Update("FaceDet320", TargetX86, 100*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != 16 || r.ARMThr != 31 {
+		t.Fatalf("thresholds moved: %+v", r)
+	}
+	if r.X86Exec != 100*time.Millisecond {
+		t.Fatalf("X86Exec = %v", r.X86Exec)
+	}
+}
+
+func TestUpdateARMSlowerRaisesARMThreshold(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	// ARM run slower than last x86 time: lines 14-17 raise ARMTHR.
+	r, err := tab.Update("FaceDet320", TargetARM, 800*time.Millisecond, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ARMThr != 32 {
+		t.Fatalf("ARMThr = %d, want 32", r.ARMThr)
+	}
+	if r.ARMExec != 800*time.Millisecond {
+		t.Fatalf("ARMExec = %v", r.ARMExec)
+	}
+}
+
+func TestUpdateFPGASlowerRaisesFPGAThreshold(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tab.Update("FaceDet320", TargetFPGA, 500*time.Millisecond, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != 17 {
+		t.Fatalf("FPGAThr = %d, want 17", r.FPGAThr)
+	}
+}
+
+func TestUpdateFasterMigrationKeepsThresholds(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tab.Update("FaceDet320", TargetFPGA, 50*time.Millisecond, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != 16 {
+		t.Fatalf("FPGAThr = %d, want unchanged 16", r.FPGAThr)
+	}
+	if r.FPGAExec != 50*time.Millisecond {
+		t.Fatalf("FPGAExec = %v", r.FPGAExec)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	tab := NewTable()
+	if _, err := tab.Update("ghost", TargetX86, time.Second, 1); !errors.Is(err, ErrUnknownRecord) {
+		t.Fatalf("err = %v, want ErrUnknownRecord", err)
+	}
+	if err := tab.Add(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Update("FaceDet320", Target(9), time.Second, 1); err == nil {
+		t.Fatal("accepted bogus target")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tab := NewTable()
+	recs := []Record{
+		sampleRecord(),
+		{
+			App: "BFS-5000", Kernel: "KNL_HW_BFS",
+			FPGAThr: Never, ARMThr: 40,
+			X86Exec:  721 * time.Millisecond,
+			ARMExec:  2 * time.Second,
+			FPGAExec: 13524 * time.Millisecond,
+		},
+	}
+	for _, r := range recs {
+		if err := tab.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := Parse(strings.NewReader(tab.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if again.String() != tab.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", tab, again)
+	}
+	r, err := again.Get("BFS-5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPGAThr != Never {
+		t.Fatalf("Never sentinel lost: %d", r.FPGAThr)
+	}
+}
+
+func TestParseRejectsBadTables(t *testing.T) {
+	cases := []string{
+		"a b c\n",                // wrong arity
+		"a k x 31 175 642 332\n", // bad threshold
+		"a k 16 31 x 642 332\n",  // bad time
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("parse accepted %q", in)
+		}
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	for want, tgt := range map[string]Target{
+		"x86": TargetX86, "arm": TargetARM, "fpga": TargetFPGA,
+	} {
+		if tgt.String() != want {
+			t.Fatalf("%v.String() = %q", int(tgt), tgt.String())
+		}
+	}
+}

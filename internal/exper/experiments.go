@@ -1,0 +1,458 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/workloads"
+)
+
+// DefaultModes are the regimes the paper compares in Figures 3-5.
+func DefaultModes() []Mode {
+	return []Mode{ModeXarTrek, ModeVanillaX86, ModeVanillaFPGA, ModeVanillaARM}
+}
+
+// background keeps a target number of MG-B load-generator processes
+// resident on the x86 host, respawning instances as they finish — the
+// paper's "running simultaneously the NPB MG-B application n times".
+type background struct {
+	p       *Platform
+	app     *workloads.App
+	target  int
+	active  int
+	stopped bool
+}
+
+// newBackground starts n load generators.
+func newBackground(p *Platform, n int) (*background, error) {
+	mg, err := workloads.NewMGB()
+	if err != nil {
+		return nil, fmt.Errorf("exper: background: %w", err)
+	}
+	b := &background{p: p, app: mg, target: n}
+	b.top()
+	return b, nil
+}
+
+// top spawns instances until the target is met.
+func (b *background) top() {
+	for b.active < b.target && !b.stopped {
+		b.active++
+		b.p.LaunchApp(b.app, ModeVanillaX86, b.p.Sim.Now(), func(RunResult) {
+			b.active--
+			b.top()
+		})
+	}
+}
+
+// setTarget retargets the generator (used by periodic workloads).
+func (b *background) setTarget(n int) {
+	b.target = n
+	b.top()
+}
+
+// stop lets in-flight instances drain without respawning.
+func (b *background) stop() { b.stopped = true }
+
+// SetResult is one fixed-workload measurement (a bar in Figures 3-5).
+type SetResult struct {
+	Mode    Mode
+	SetSize int
+	// Load is the total process count (foreground + background).
+	Load    int
+	Average time.Duration
+	Runs    []RunResult
+}
+
+// RunSet launches the application set at time zero under the mode,
+// with enough MG-B background processes to reach totalLoad (0 leaves
+// the load at the set size), and reports the set's average execution
+// time.
+func RunSet(arts *Artifacts, set []*workloads.App, mode Mode, totalLoad int) (SetResult, error) {
+	return RunSetOpts(arts, set, mode, totalLoad, Options{})
+}
+
+// RunSetOpts is RunSet under ablation options.
+func RunSetOpts(arts *Artifacts, set []*workloads.App, mode Mode, totalLoad int, opts Options) (SetResult, error) {
+	p := NewPlatformOpts(arts, opts)
+	res := SetResult{Mode: mode, SetSize: len(set), Load: totalLoad}
+	if res.Load < len(set) {
+		res.Load = len(set)
+	}
+
+	var bg *background
+	if n := res.Load - len(set); n > 0 {
+		var err error
+		bg, err = newBackground(p, n)
+		if err != nil {
+			return SetResult{}, err
+		}
+	}
+
+	remaining := len(set)
+	for _, app := range set {
+		p.LaunchApp(app, mode, 0, func(r RunResult) {
+			res.Runs = append(res.Runs, r)
+			remaining--
+			if remaining == 0 && bg != nil {
+				bg.stop()
+			}
+		})
+	}
+	p.Run()
+
+	var total time.Duration
+	for _, r := range res.Runs {
+		total += r.Elapsed()
+	}
+	if len(res.Runs) > 0 {
+		res.Average = total / time.Duration(len(res.Runs))
+	}
+	return res, nil
+}
+
+// RandomSet draws n applications uniformly from the pool, matching the
+// paper's selection-bias avoidance.
+func RandomSet(rng *rand.Rand, pool []*workloads.App, n int) []*workloads.App {
+	out := make([]*workloads.App, n)
+	for i := range out {
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// FixedLoadPoint is one (set size, mode) cell of Figures 3-5, averaged
+// over the requested number of runs with freshly randomised sets.
+type FixedLoadPoint struct {
+	SetSize int
+	Mode    Mode
+	Average time.Duration
+}
+
+// RunFixedLoadSweep reproduces the Figure 3-5 experiments: for each
+// set size, draw `runs` random application sets and measure each
+// mode's average execution time at the given total load (0 = no
+// background, Figure 3's low-load regime).
+func RunFixedLoadSweep(arts *Artifacts, setSizes []int, modes []Mode, totalLoad, runs int, seed int64) ([]FixedLoadPoint, error) {
+	var out []FixedLoadPoint
+	for _, size := range setSizes {
+		// One RNG per size: every mode sees the same random sets, so
+		// mode comparisons are paired exactly as in the paper.
+		sets := make([][]*workloads.App, runs)
+		rng := rand.New(rand.NewSource(seed + int64(size)))
+		for i := range sets {
+			sets[i] = RandomSet(rng, arts.Apps, size)
+		}
+		for _, mode := range modes {
+			var total time.Duration
+			for _, set := range sets {
+				r, err := RunSet(arts, set, mode, totalLoad)
+				if err != nil {
+					return nil, err
+				}
+				total += r.Average
+			}
+			out = append(out, FixedLoadPoint{
+				SetSize: size,
+				Mode:    mode,
+				Average: total / time.Duration(runs),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ThroughputResult is one bar of Figures 6 and 8.
+type ThroughputResult struct {
+	Mode Mode
+	// Load is the background process count.
+	Load int
+	// Images is the number of images processed before the deadline.
+	Images int
+	// PerSecond is Images divided by the run duration.
+	PerSecond float64
+}
+
+// LaunchThroughput runs the modified multi-image face-detection
+// application: it processes up to maxImages images, one selected-
+// function invocation each. At the deadline (or once maxImages
+// complete, whichever comes first) done receives the processed count —
+// exactly the paper's "run for 60 seconds, then count" protocol; an
+// image still in flight at the deadline does not count.
+func (p *Platform) LaunchThroughput(app *workloads.App, mode Mode, at, duration time.Duration, maxImages int, done func(int)) {
+	p.Sim.At(at, func() {
+		if mode == ModeXarTrek && !p.opts.NoPreconfig {
+			p.preconfigure(app)
+		}
+		processed := 0
+		var kernelTime time.Duration
+		lastTarget := threshold.TargetX86
+		reported := false
+		report := func() {
+			if reported {
+				return
+			}
+			reported = true
+			// __xar_sched_fini fires once, immediately before the
+			// application terminates (Section 3.3): it reports the
+			// observed per-invocation time so Algorithm 1 refines the
+			// thresholds between runs, not between images.
+			if mode == ModeXarTrek && app.Migratable && processed > 0 && !p.opts.StaticThresholds {
+				mean := kernelTime / time.Duration(processed)
+				_, _ = p.Server.Report(app.Name, lastTarget, mean)
+			}
+			if done != nil {
+				done(processed)
+			}
+		}
+		p.Sim.After(duration, report)
+
+		var next func()
+		next = func() {
+			if reported {
+				return
+			}
+			if processed >= maxImages {
+				report()
+				return
+			}
+			// Read the next image file (the modified benchmark reads
+			// PGM files instead of an embedded image), then invoke.
+			p.x86Exec(app.NonKernel, func() {
+				start := p.Sim.Now()
+				p.runKernel(app, mode, func(target threshold.Target) {
+					processed++
+					kernelTime += p.Sim.Now() - start
+					lastTarget = target
+					next()
+				})
+			})
+		}
+		next()
+	})
+}
+
+// RunThroughput measures face-detection throughput under a fixed
+// background load (one bar of Figure 6).
+func RunThroughput(arts *Artifacts, app *workloads.App, mode Mode, load int, duration time.Duration, maxImages int) (ThroughputResult, error) {
+	return RunThroughputOpts(arts, app, mode, load, duration, maxImages, Options{})
+}
+
+// RunThroughputOpts is RunThroughput under ablation options.
+func RunThroughputOpts(arts *Artifacts, app *workloads.App, mode Mode, load int, duration time.Duration, maxImages int, opts Options) (ThroughputResult, error) {
+	p := NewPlatformOpts(arts, opts)
+	var bg *background
+	if load > 0 {
+		var err error
+		bg, err = newBackground(p, load)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+	res := ThroughputResult{Mode: mode, Load: load}
+	p.LaunchThroughput(app, mode, 0, duration, maxImages, func(n int) {
+		res.Images = n
+		if bg != nil {
+			bg.stop()
+		}
+	})
+	p.RunFor(duration)
+	res.PerSecond = float64(res.Images) / duration.Seconds()
+	return res, nil
+}
+
+// WaveResult is Figure 7's measurement: the average execution time of
+// every application launched by a periodic wave pattern.
+type WaveResult struct {
+	Mode    Mode
+	Runs    int
+	Average time.Duration
+	// PeakLoad is the highest x86 process count observed at any
+	// wave boundary.
+	PeakLoad int
+}
+
+// RunWaves reproduces the Figure 7 experiment: `waves` sets of
+// `perWave` randomly drawn applications, launched `interval` apart.
+// Sets pile up faster than they drain, so the load swings between
+// medium and high exactly as in the paper's 43-minute run.
+func RunWaves(arts *Artifacts, mode Mode, waves, perWave int, interval time.Duration, seed int64) (WaveResult, error) {
+	return RunWavesOpts(arts, mode, waves, perWave, interval, seed, Options{})
+}
+
+// RunWavesOpts is RunWaves under ablation options.
+func RunWavesOpts(arts *Artifacts, mode Mode, waves, perWave int, interval time.Duration, seed int64, opts Options) (WaveResult, error) {
+	p := NewPlatformOpts(arts, opts)
+	rng := rand.New(rand.NewSource(seed))
+	res := WaveResult{Mode: mode}
+
+	var total time.Duration
+	for w := 0; w < waves; w++ {
+		at := time.Duration(w) * interval
+		set := RandomSet(rng, arts.Apps, perWave)
+		for _, app := range set {
+			p.LaunchApp(app, mode, at, func(r RunResult) {
+				total += r.Elapsed()
+				res.Runs++
+			})
+		}
+		p.Sim.At(at, func() {
+			if l := p.Cluster.X86.Load(); l > res.PeakLoad {
+				res.PeakLoad = l
+			}
+		})
+	}
+	p.Run()
+	if res.Runs > 0 {
+		res.Average = total / time.Duration(res.Runs)
+	}
+	return res, nil
+}
+
+// PeriodicThroughputResult is one mode's Figure 8 bar.
+type PeriodicThroughputResult struct {
+	Mode Mode
+	// PerRun is the images/second of each of the face-detection runs
+	// along the load wave.
+	PerRun []float64
+	// Average is the mean throughput across runs.
+	Average float64
+}
+
+// RunPeriodicThroughput reproduces Figure 8: the background load
+// follows a triangular wave between minLoad and maxLoad while the
+// multi-image face-detection application executes `runs` back-to-back
+// 60-second runs; each run's throughput is recorded.
+func RunPeriodicThroughput(arts *Artifacts, app *workloads.App, mode Mode, minLoad, maxLoad, runs int, runDur time.Duration) (PeriodicThroughputResult, error) {
+	p := NewPlatform(arts)
+	bg, err := newBackground(p, minLoad)
+	if err != nil {
+		return PeriodicThroughputResult{}, err
+	}
+
+	res := PeriodicThroughputResult{Mode: mode, PerRun: make([]float64, runs)}
+	for i := 0; i < runs; i++ {
+		at := time.Duration(i) * runDur
+		// Triangular load profile: rise to maxLoad at the midpoint,
+		// fall back to minLoad.
+		level := triangle(i, runs, minLoad, maxLoad)
+		idx := i
+		p.Sim.At(at, func() { bg.setTarget(level) })
+		p.LaunchThroughput(app, mode, at, runDur, 1<<30, func(n int) {
+			res.PerRun[idx] = float64(n) / runDur.Seconds()
+		})
+	}
+	end := time.Duration(runs) * runDur
+	p.Sim.At(end, func() { bg.stop() })
+	p.RunFor(end)
+
+	var sum float64
+	for _, v := range res.PerRun {
+		sum += v
+	}
+	res.Average = sum / float64(runs)
+	return res, nil
+}
+
+// triangle maps run index i of n onto a rise-and-fall load profile.
+func triangle(i, n, lo, hi int) int {
+	if n <= 1 {
+		return hi
+	}
+	half := float64(n-1) / 2
+	frac := 1 - abs(float64(i)-half)/half
+	return lo + int(frac*float64(hi-lo)+0.5)
+}
+
+// abs is math.Abs without the import.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MixPoint is one Figure 9 measurement: the average execution time of
+// a ten-application CG-A/Digit2000 mix at a fixed 120-process load.
+type MixPoint struct {
+	// PercentCGA is the share of non-compute-intensive (CG-A)
+	// applications in the set.
+	PercentCGA int
+	Mode       Mode
+	Average    time.Duration
+}
+
+// RunProfitabilityStudy reproduces Figure 9: seven CG-A:Digit2000
+// mixes from 0% to 100% CG-A in a ten-application set, run under
+// Xar-Trek and Vanilla/x86 at a fixed total load.
+func RunProfitabilityStudy(arts *Artifacts, percents []int, modes []Mode, setSize, totalLoad int) ([]MixPoint, error) {
+	cga, err := findApp(arts.Apps, "CG-A")
+	if err != nil {
+		return nil, err
+	}
+	d2000, err := findApp(arts.Apps, "Digit2000")
+	if err != nil {
+		return nil, err
+	}
+
+	var out []MixPoint
+	for _, pct := range percents {
+		nCGA := (pct*setSize + 50) / 100
+		set := make([]*workloads.App, 0, setSize)
+		for i := 0; i < setSize; i++ {
+			if i < nCGA {
+				set = append(set, cga)
+			} else {
+				set = append(set, d2000)
+			}
+		}
+		for _, mode := range modes {
+			r, err := RunSet(arts, set, mode, totalLoad)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MixPoint{PercentCGA: pct, Mode: mode, Average: r.Average})
+		}
+	}
+	return out, nil
+}
+
+// TimeToFirstFPGA measures how long the multi-image application takes
+// to complete its first hardware-executed image under the given
+// background load — the quantity the instrumentation-inserted early
+// pre-configuration call improves (Section 3.1: "the hardware kernel
+// can be called without having to wait for its initialization").
+func TimeToFirstFPGA(arts *Artifacts, app *workloads.App, load int, duration time.Duration, opts Options) (time.Duration, error) {
+	p := NewPlatformOpts(arts, opts)
+	if load > 0 {
+		bg, err := newBackground(p, load)
+		if err != nil {
+			return 0, err
+		}
+		defer bg.stop()
+	}
+	var first time.Duration
+	p.traceHook = func(target string) {
+		if target == threshold.TargetFPGA.String() && first == 0 {
+			first = p.Sim.Now()
+		}
+	}
+	p.LaunchThroughput(app, ModeXarTrek, 0, duration, 1<<30, nil)
+	p.RunFor(duration)
+	if first == 0 {
+		return 0, fmt.Errorf("exper: no FPGA image completed within %v", duration)
+	}
+	return first, nil
+}
+
+// findApp locates an application by name in the artifact set.
+func findApp(apps []*workloads.App, name string) (*workloads.App, error) {
+	for _, a := range apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("exper: app %s not in artifact set", name)
+}

@@ -1,0 +1,173 @@
+package exper
+
+// Tests for the future-work extensions (paper Sections 5 and 7):
+// FPGA space sharing via compute-unit replication, and the
+// energy-delay-product scheduling policy.
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/power"
+	"xartrek/internal/workloads"
+)
+
+// replicatedArtifacts builds the benchmark set with n compute units
+// per hardware kernel.
+func replicatedArtifacts(t *testing.T, n int) *Artifacts {
+	t.Helper()
+	apps, err := workloads.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		a.Spec.CUs = n
+	}
+	arts, err := BuildArtifacts(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arts
+}
+
+func TestSpaceSharingParallelisesSameKernel(t *testing.T) {
+	// Four Digit2000 instances at once: with one CU they serialise on
+	// the FPGA; with four CUs they run concurrently. The paper's
+	// Section 7 motivates exactly this ("space-share multiple
+	// applications concurrently on the FPGA").
+	single := testArtifacts(t)
+	quad := replicatedArtifacts(t, 4)
+
+	measure := func(arts *Artifacts) time.Duration {
+		p := NewPlatform(arts)
+		var d2000 *workloads.App
+		for _, a := range arts.Apps {
+			if a.Name == "Digit2000" {
+				d2000 = a
+			}
+		}
+		// Warm the device, then launch four instances together.
+		p.LaunchApp(d2000, ModeXarTrek, 0, nil)
+		var last time.Duration
+		for i := 0; i < 4; i++ {
+			p.LaunchApp(d2000, ModeXarTrek, 20*time.Second, func(r RunResult) {
+				if r.End > last {
+					last = r.End
+				}
+				if r.Target != threshold.TargetFPGA {
+					t.Errorf("instance ran on %v, want fpga", r.Target)
+				}
+			})
+		}
+		p.Run()
+		return last - 20*time.Second
+	}
+
+	serial := measure(single)
+	parallel := measure(quad)
+	if parallel >= serial {
+		t.Fatalf("4 CUs (%v) not faster than 1 CU (%v)", parallel, serial)
+	}
+	speedup := float64(serial) / float64(parallel)
+	if speedup < 2 {
+		t.Fatalf("CU replication speedup = %.2f, want >= 2 for 4 concurrent instances", speedup)
+	}
+}
+
+func TestSpaceSharingCostsImageSize(t *testing.T) {
+	// Replication is not free: the image grows with the extra units.
+	single := testArtifacts(t)
+	quad := replicatedArtifacts(t, 4)
+	sizeOf := func(arts *Artifacts) int {
+		total := 0
+		for _, img := range arts.Compile.Images {
+			total += img.SizeBytes
+		}
+		return total
+	}
+	if sizeOf(quad) <= sizeOf(single) {
+		t.Fatalf("4-CU images (%d B) not larger than 1-CU (%d B)", sizeOf(quad), sizeOf(single))
+	}
+}
+
+func TestEnergyPolicyPlatform(t *testing.T) {
+	// The EDP policy (Section 5 future work) prefers the
+	// power-efficient ThunderX for Digit2000 under heavy load, where
+	// Algorithm 2 picks the faster-but-hungrier FPGA.
+	arts := testArtifacts(t)
+
+	run := func(energy bool) threshold.Target {
+		p := NewPlatform(arts)
+		if energy {
+			if err := p.Server.UseEnergyPolicy(power.Default(), p.Cluster.X86.Cores); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var d2000 *workloads.App
+		for _, a := range arts.Apps {
+			if a.Name == "Digit2000" {
+				d2000 = a
+			}
+		}
+		bg, err := newBackground(p, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got RunResult
+		// Launch late enough that the device (pre-)configuration from
+		// an earlier warm-up instance has completed.
+		p.LaunchApp(d2000, ModeXarTrek, 0, nil)
+		p.LaunchApp(d2000, ModeXarTrek, 20*time.Second, func(r RunResult) {
+			got = r
+			bg.stop()
+		})
+		p.Run()
+		return got.Target
+	}
+
+	if perf := run(false); perf != threshold.TargetFPGA {
+		t.Fatalf("Algorithm 2 picked %v, want fpga", perf)
+	}
+	if edp := run(true); edp != threshold.TargetARM {
+		t.Fatalf("EDP policy picked %v, want arm", edp)
+	}
+}
+
+func TestEnergyAccountingOfRuns(t *testing.T) {
+	// Energy of a vanilla-x86 Digit2000 run at 60-process load must
+	// exceed the same run's energy in isolation (longer occupancy of
+	// the same core).
+	m := power.Default()
+	arts := testArtifacts(t)
+	energyAt := func(load int) float64 {
+		p := NewPlatform(arts)
+		var d2000 *workloads.App
+		for _, a := range arts.Apps {
+			if a.Name == "Digit2000" {
+				d2000 = a
+			}
+		}
+		var bg *background
+		if load > 0 {
+			var err error
+			bg, err = newBackground(p, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var elapsed time.Duration
+		p.LaunchApp(d2000, ModeVanillaX86, 0, func(r RunResult) {
+			elapsed = r.Elapsed()
+			if bg != nil {
+				bg.stop()
+			}
+		})
+		p.Run()
+		return m.Energy([]power.Segment{{Target: threshold.TargetX86, Duration: elapsed}})
+	}
+	idle, loaded := energyAt(0), energyAt(60)
+	if loaded <= idle {
+		t.Fatalf("loaded energy %.1f J not above idle %.1f J", loaded, idle)
+	}
+}

@@ -1,0 +1,120 @@
+package exper
+
+import (
+	"time"
+
+	"xartrek/internal/core/sched"
+	"xartrek/internal/xclbin"
+	"xartrek/internal/xrt"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/simtime"
+)
+
+// Options disable individual Xar-Trek design decisions for the
+// ablation studies DESIGN.md §5 calls out. The zero value is the full
+// system.
+type Options struct {
+	// X86FIFO replaces the x86 server's processor-sharing run queue
+	// with FIFO cores: a process occupies one core exclusively until
+	// it finishes. Ablation 1.
+	X86FIFO bool
+	// NoPreconfig drops the instrumentation-inserted FPGA
+	// pre-configuration call at main start. Ablation 3.
+	NoPreconfig bool
+	// BlockOnReconfig makes a function whose kernel is being
+	// configured wait for the FPGA instead of continuing on a CPU —
+	// disabling Algorithm 2's latency hiding (lines 9-18).
+	// Ablation 2.
+	BlockOnReconfig bool
+	// StaticThresholds disables Algorithm 1: the threshold table
+	// stays as step G estimated it. Ablation 4.
+	StaticThresholds bool
+}
+
+// NewPlatformOpts is NewPlatform with ablation options.
+func NewPlatformOpts(arts *Artifacts, opts Options) *Platform {
+	sim := simtime.New()
+	c := cluster.New(sim)
+	var dev *xrt.Device
+	if arts.Compile != nil {
+		dev = xrt.OpenDevice(sim, arts.Compile.Platform, xrt.PCIeGen3x16())
+	}
+	table := cloneTable(arts.Table)
+	var images []*xclbin.XCLBIN
+	if arts.Compile != nil {
+		images = arts.Compile.Images
+	}
+	var sdev sched.Device
+	if dev != nil {
+		sdev = dev
+	}
+	p := &Platform{Sim: sim, Cluster: c, Device: dev, arts: arts, opts: opts}
+	if opts.X86FIFO {
+		p.fifo = &fifoGate{p: p, slots: c.X86.Cores}
+	}
+	p.Server = sched.NewServer(table, p.x86Load, sdev, images)
+	return p
+}
+
+// x86Load samples the paper's process-count metric: processes in the
+// x86 run queue, plus any queued behind FIFO cores, plus processes
+// blocked on a scheduling decision.
+func (p *Platform) x86Load() int {
+	load := p.Cluster.X86.Load() + p.deciding
+	if p.fifo != nil {
+		load += len(p.fifo.queue)
+	}
+	return load
+}
+
+// x86Exec routes x86 compute through the configured CPU model.
+func (p *Platform) x86Exec(work time.Duration, done func()) {
+	if p.fifo != nil {
+		p.fifo.exec(work, done)
+		return
+	}
+	p.Cluster.X86.Exec(work, done)
+}
+
+// fifoJob is one queued FIFO-core job.
+type fifoJob struct {
+	work time.Duration
+	done func()
+}
+
+// fifoGate admits at most `slots` concurrent jobs into the x86 pool;
+// with occupancy at or below the core count the processor-sharing pool
+// runs each admitted job at rate one, so admission-limited PS is exact
+// FIFO-core scheduling.
+type fifoGate struct {
+	p       *Platform
+	slots   int
+	running int
+	queue   []fifoJob
+}
+
+// exec runs or enqueues the job.
+func (g *fifoGate) exec(work time.Duration, done func()) {
+	if g.running >= g.slots {
+		g.queue = append(g.queue, fifoJob{work: work, done: done})
+		return
+	}
+	g.admit(fifoJob{work: work, done: done})
+}
+
+// admit starts a job on a free core.
+func (g *fifoGate) admit(j fifoJob) {
+	g.running++
+	g.p.Cluster.X86.Exec(j.work, func() {
+		g.running--
+		if len(g.queue) > 0 {
+			next := g.queue[0]
+			g.queue = g.queue[1:]
+			g.admit(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}

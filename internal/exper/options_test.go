@@ -1,0 +1,107 @@
+package exper
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/workloads"
+)
+
+func TestFIFOGateLimitsConcurrency(t *testing.T) {
+	arts := testArtifacts(t)
+	p := NewPlatformOpts(arts, Options{X86FIFO: true})
+
+	// Seven 1-second jobs on six FIFO cores: six finish at 1s, the
+	// seventh queues and finishes at 2s. Under processor sharing all
+	// seven would finish together at 7/6 s.
+	var finishes []time.Duration
+	for i := 0; i < 7; i++ {
+		p.x86Exec(time.Second, func() { finishes = append(finishes, p.Sim.Now()) })
+	}
+	p.Run()
+	if len(finishes) != 7 {
+		t.Fatalf("finishes = %d, want 7", len(finishes))
+	}
+	for i := 0; i < 6; i++ {
+		if finishes[i] != time.Second {
+			t.Fatalf("job %d finished at %v, want 1s", i, finishes[i])
+		}
+	}
+	if finishes[6] != 2*time.Second {
+		t.Fatalf("queued job finished at %v, want 2s", finishes[6])
+	}
+}
+
+func TestFIFOLoadCountsQueuedJobs(t *testing.T) {
+	arts := testArtifacts(t)
+	p := NewPlatformOpts(arts, Options{X86FIFO: true})
+	for i := 0; i < 10; i++ {
+		p.x86Exec(time.Second, nil)
+	}
+	// 6 running + 4 queued: the process-count metric sees all 10.
+	if got := p.x86Load(); got != 10 {
+		t.Fatalf("x86 load = %d, want 10", got)
+	}
+}
+
+func TestStaticThresholdsFreezeTable(t *testing.T) {
+	arts := testArtifacts(t)
+	p := NewPlatformOpts(arts, Options{StaticThresholds: true})
+	before, err := p.Server.Table().Get("Digit2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d2000 *workloads.App
+	for _, a := range arts.Apps {
+		if a.Name == "Digit2000" {
+			d2000 = a
+		}
+	}
+	p.LaunchApp(d2000, ModeXarTrek, 0, nil)
+	p.Run()
+	after, err := p.Server.Table().Get("Digit2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("static table mutated: %+v -> %+v", before, after)
+	}
+}
+
+func TestNoPreconfigSkipsEarlyProgramming(t *testing.T) {
+	arts := testArtifacts(t)
+	p := NewPlatformOpts(arts, Options{NoPreconfig: true})
+	var d2000 *workloads.App
+	for _, a := range arts.Apps {
+		if a.Name == "Digit2000" {
+			d2000 = a
+		}
+	}
+	p.LaunchApp(d2000, ModeXarTrek, 0, nil)
+	// Run only through the prologue window: without pre-configuration
+	// nothing programs the device until the first scheduling decision.
+	p.RunFor(time.Millisecond)
+	if p.Device.Reconfiguring() || p.Device.Loaded() != nil {
+		t.Fatal("device programmed before the first decision despite NoPreconfig")
+	}
+}
+
+func TestBlockOnReconfigWaitsForKernel(t *testing.T) {
+	arts := testArtifacts(t)
+	p := NewPlatformOpts(arts, Options{NoPreconfig: true, BlockOnReconfig: true})
+	var d2000 *workloads.App
+	for _, a := range arts.Apps {
+		if a.Name == "Digit2000" {
+			d2000 = a
+		}
+	}
+	var got RunResult
+	p.LaunchApp(d2000, ModeXarTrek, 0, func(r RunResult) { got = r })
+	p.Run()
+	// Load 1 > FPGAThr 0 starts a reconfiguration; blocking means the
+	// invocation ends on the FPGA rather than falling back to x86.
+	if got.Target != threshold.TargetFPGA {
+		t.Fatalf("blocked run ended on %v, want fpga", got.Target)
+	}
+}

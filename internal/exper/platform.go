@@ -1,0 +1,159 @@
+// Package exper is the experiment engine: it assembles the paper's
+// evaluation platform (Section 4's Dell 7920 + ThunderX + Alveo U50 on
+// the discrete-event simulator), runs application processes under
+// Xar-Trek or the no-migration baselines, and reproduces every table
+// and figure of the evaluation.
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/core/compilepipe"
+	"xartrek/internal/core/profile"
+	"xartrek/internal/core/sched"
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/hls"
+	"xartrek/internal/simtime"
+	"xartrek/internal/workloads"
+	"xartrek/internal/xrt"
+)
+
+// Mode selects the execution regime of an experiment.
+type Mode int
+
+// Execution modes: Xar-Trek's dynamic migration and the paper's three
+// no-migration baselines.
+const (
+	ModeXarTrek Mode = iota + 1
+	ModeVanillaX86
+	ModeVanillaFPGA
+	ModeVanillaARM
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeXarTrek:
+		return "xar-trek"
+	case ModeVanillaX86:
+		return "vanilla-x86"
+	case ModeVanillaFPGA:
+		return "vanilla-fpga"
+	case ModeVanillaARM:
+		return "vanilla-arm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Artifacts bundles everything the compiler pipeline produces once per
+// application set and every experiment platform then shares: compiled
+// binaries, XCLBIN images, and the estimated threshold table. Building
+// it is the expensive part (step G sweeps loads); a single Artifacts
+// value seeds any number of experiment platforms.
+type Artifacts struct {
+	Apps    []*workloads.App
+	Compile *compilepipe.Result
+	Table   *threshold.Table
+}
+
+// BuildArtifacts runs the full compiler pipeline (steps A-G) over the
+// application set.
+func BuildArtifacts(apps []*workloads.App) (*Artifacts, error) {
+	manifest := &profile.Manifest{Platform: "alveo-u50"}
+	inputs := make([]compilepipe.AppInput, 0, len(apps))
+	for _, app := range apps {
+		if !app.HWCapable {
+			continue
+		}
+		fnName := app.Spec.Fn.Name()
+		manifest.Apps = append(manifest.Apps, profile.App{
+			Name: app.Name,
+			Functions: []profile.Function{{
+				Name:        fnName,
+				Kernel:      app.KernelName,
+				XCLBINIndex: profile.AutoAssign,
+			}},
+		})
+		spec := app.Spec
+		spec.TripCount = app.Trips
+		inputs = append(inputs, compilepipe.AppInput{
+			Name:    app.Name,
+			Program: app.Program,
+			Specs:   map[string]hls.KernelSpec{fnName: spec},
+		})
+	}
+	var res *compilepipe.Result
+	if len(manifest.Apps) > 0 {
+		var err error
+		res, err = compilepipe.Compile(compilepipe.Input{Manifest: manifest, Apps: inputs})
+		if err != nil {
+			return nil, fmt.Errorf("exper: compile: %w", err)
+		}
+	}
+	table, err := threshold.NewEstimator().Estimate(apps)
+	if err != nil {
+		return nil, fmt.Errorf("exper: estimate thresholds: %w", err)
+	}
+	return &Artifacts{Apps: apps, Compile: res, Table: table}, nil
+}
+
+// cloneTable deep-copies the threshold table so Algorithm 1's dynamic
+// updates inside one experiment never leak into the next.
+func cloneTable(t *threshold.Table) *threshold.Table {
+	out := threshold.NewTable()
+	for _, r := range t.Records() {
+		// Add copies; error impossible on a fresh table.
+		if err := out.Add(r); err != nil {
+			panic("exper: clone table: " + err.Error())
+		}
+	}
+	return out
+}
+
+// Platform is one experiment's virtual testbed: fresh simulator,
+// cluster, device and scheduler over shared artifacts.
+type Platform struct {
+	Sim     *simtime.Simulator
+	Cluster *cluster.Cluster
+	Device  *xrt.Device
+	Server  *sched.Server
+	arts    *Artifacts
+
+	// traceHook, when set, receives per-kernel-completion notes
+	// (debugging aid for experiment development).
+	traceHook func(string)
+	// deciding counts processes currently blocked on a scheduling
+	// request; they are resident on x86 and count toward x86LOAD.
+	deciding int
+	// opts carries the ablation switches (zero value = full system).
+	opts Options
+	// fifo is the FIFO-core admission gate of the X86FIFO ablation.
+	fifo *fifoGate
+}
+
+// NewPlatform instantiates the testbed for one experiment run.
+func NewPlatform(arts *Artifacts) *Platform {
+	return NewPlatformOpts(arts, Options{})
+}
+
+// Summary formats the platform once assembled (used by examples and
+// the xarbench tool to narrate experiments).
+func (p *Platform) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x86: %d cores, ARM: %d cores", p.Cluster.X86.Cores, p.Cluster.ARM.Cores)
+	if p.Device != nil {
+		fmt.Fprintf(&sb, ", FPGA: %s", p.Device.Platform().Name)
+	}
+	return sb.String()
+}
+
+// RunFor drives the simulation until the virtual clock reaches d and
+// no earlier events remain.
+func (p *Platform) RunFor(d time.Duration) { p.Sim.RunUntil(d) }
+
+// Run drains the event queue.
+func (p *Platform) Run() { p.Sim.Run() }

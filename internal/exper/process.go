@@ -1,0 +1,243 @@
+package exper
+
+import (
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/workloads"
+	"xartrek/internal/xclbin"
+)
+
+// RunResult records one application run.
+type RunResult struct {
+	App   string
+	Mode  Mode
+	Start time.Duration
+	End   time.Duration
+	// Target is where the selected function executed.
+	Target threshold.Target
+}
+
+// Elapsed is the run's total execution time.
+func (r RunResult) Elapsed() time.Duration { return r.End - r.Start }
+
+// LaunchApp schedules one application instance at virtual time `at`.
+// The lifecycle mirrors the instrumented binary:
+//
+//  1. main starts on the x86 host; under Xar-Trek the inserted
+//     __xar_fpga_preconfig call kicks off XCLBIN download so the
+//     kernel is ready without waiting (Section 3.1),
+//  2. the non-kernel part runs on x86 under processor sharing,
+//  3. at the selected function's call site the dispatch wrapper
+//     consults the scheduler (Xar-Trek) or uses the mode's fixed
+//     target (baselines),
+//  4. on return, the scheduler client reports the observed execution
+//     time, driving Algorithm 1's dynamic threshold update.
+//
+// done may be nil.
+func (p *Platform) LaunchApp(app *workloads.App, mode Mode, at time.Duration, done func(RunResult)) {
+	p.Sim.At(at, func() {
+		start := p.Sim.Now()
+		if mode == ModeXarTrek && !p.opts.NoPreconfig {
+			p.preconfigure(app)
+		}
+		finish := func(target threshold.Target) {
+			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target}
+			if mode == ModeXarTrek && app.Migratable && !p.opts.StaticThresholds {
+				// __xar_sched_fini: report the run so Algorithm 1
+				// refines the thresholds. Errors mean the app has no
+				// threshold row (background load); ignore per the
+				// paper's design (MG-B is not instrumented).
+				_, _ = p.Server.Report(app.Name, target, res.Elapsed())
+			}
+			if done != nil {
+				done(res)
+			}
+		}
+		p.runPrologue(app, func() {
+			p.runKernel(app, mode, finish)
+		})
+	})
+}
+
+// preconfigure starts downloading the image that carries the app's
+// kernel, unless it is already resident or a download is in flight.
+func (p *Platform) preconfigure(app *workloads.App) {
+	if p.Device == nil || !app.HWCapable {
+		return
+	}
+	if p.Device.HasKernel(app.KernelName) || p.Device.Reconfiguring() {
+		return
+	}
+	img, ok := p.images(app)
+	if !ok {
+		return
+	}
+	// Ignore a losing race with another process's preconfigure.
+	_ = p.Device.Program(img, nil)
+}
+
+// images locates the XCLBIN holding the app's kernel.
+func (p *Platform) images(app *workloads.App) (*xclbin.XCLBIN, bool) {
+	if p.arts.Compile == nil {
+		return nil, false
+	}
+	return p.arts.Compile.ImageFor(app.KernelName)
+}
+
+// runPrologue executes the app's non-kernel part on the x86 pool.
+func (p *Platform) runPrologue(app *workloads.App, then func()) {
+	if app.NonKernel <= 0 {
+		then()
+		return
+	}
+	p.x86Exec(app.NonKernel, then)
+}
+
+// runKernel executes the selected function once on the mode's target.
+func (p *Platform) runKernel(app *workloads.App, mode Mode, finish func(threshold.Target)) {
+	if p.traceHook != nil {
+		inner := finish
+		finish = func(t threshold.Target) {
+			p.traceHook(t.String())
+			inner(t)
+		}
+	}
+	switch mode {
+	case ModeVanillaX86:
+		p.execX86(app, finish)
+	case ModeVanillaARM:
+		p.execVanillaARM(app, finish)
+	case ModeVanillaFPGA:
+		p.execVanillaFPGA(app, finish)
+	case ModeXarTrek:
+		p.execXarTrek(app, finish)
+	default:
+		p.execX86(app, finish)
+	}
+}
+
+// execX86 runs the kernel on the x86 host's CPU model.
+func (p *Platform) execX86(app *workloads.App, finish func(threshold.Target)) {
+	p.x86Exec(app.X86KernelTime(), func() { finish(threshold.TargetX86) })
+}
+
+// execARM performs software migration: Popcorn state transformation,
+// DSM working-set transfer over the shared Ethernet, then the kernel
+// on the ThunderX pool with its DSM fault traffic occupying the link
+// concurrently. The x86 process has left the host pool, so x86LOAD
+// drops — exactly the relief the paper exploits. With many migrated
+// pointer-chasing instances the 1 Gbps link serialises and ARM
+// migration stops paying off (Section 4.4's profitability cliff).
+func (p *Platform) execARM(app *workloads.App, finish func(threshold.Target)) {
+	p.Sim.After(app.StateTransformTime(), func() {
+		p.Cluster.EthLink.Submit(p.Cluster.Eth.TransferTime(app.WorkingSetBytes), func() {
+			pending := 2
+			part := func(threshold.Target) {
+				pending--
+				if pending == 0 {
+					finish(threshold.TargetARM)
+				}
+			}
+			p.Cluster.ARM.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
+			if dsm := app.DSMLinkWork(); dsm > 0 {
+				p.Cluster.EthLink.Submit(dsm, func() { part(threshold.TargetARM) })
+			} else {
+				part(threshold.TargetARM)
+			}
+		})
+	})
+}
+
+// execVanillaARM models the Vanilla Linux/ARM baseline: the entire
+// application runs on the ARM server (no x86 involvement beyond the
+// already-executed prologue, which the baseline also pays on ARM's
+// slower cores — approximated by the kernel-derived slowdown ratio).
+func (p *Platform) execVanillaARM(app *workloads.App, finish func(threshold.Target)) {
+	p.Cluster.ARM.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
+}
+
+// execFPGAInvoke performs one hardware invocation on a device that
+// already has the kernel: host-side OpenCL setup on x86, then PCIe in,
+// pipeline, PCIe out.
+func (p *Platform) execFPGAInvoke(app *workloads.App, finish func(threshold.Target)) {
+	p.x86Exec(app.FPGAFixedOverhead, func() {
+		p.Device.Invoke(app.KernelName, app.Trips, app.BytesIn, app.BytesOut, func(err error) {
+			if err != nil {
+				// Kernel vanished (reconfiguration race): fall back
+				// to x86, as the real runtime would.
+				p.execX86(app, finish)
+				return
+			}
+			finish(threshold.TargetFPGA)
+		})
+	})
+}
+
+// execVanillaFPGA is the always-FPGA baseline of Figures 3-6: the
+// traditional flow configures the FPGA when the accelerated call first
+// needs it, so invocations wait for any in-flight or required
+// configuration. The retry poll stands in for blocking on the OpenCL
+// context.
+func (p *Platform) execVanillaFPGA(app *workloads.App, finish func(threshold.Target)) {
+	if p.Device == nil || !app.HWCapable {
+		p.execX86(app, finish)
+		return
+	}
+	const retry = 10 * time.Millisecond
+	var attempt func()
+	attempt = func() {
+		if p.Device.HasKernel(app.KernelName) {
+			p.execFPGAInvoke(app, finish)
+			return
+		}
+		if p.Device.Reconfiguring() {
+			p.Sim.After(retry, attempt)
+			return
+		}
+		img, ok := p.images(app)
+		if !ok {
+			p.execX86(app, finish)
+			return
+		}
+		if err := p.Device.Program(img, attempt); err != nil {
+			p.Sim.After(retry, attempt)
+		}
+	}
+	attempt()
+}
+
+// execXarTrek consults the scheduler server (Algorithm 2) and runs the
+// kernel on the decided target.
+func (p *Platform) execXarTrek(app *workloads.App, finish func(threshold.Target)) {
+	if !app.Migratable {
+		p.execX86(app, finish)
+		return
+	}
+	// The requesting process is itself resident on the x86 host while
+	// it waits for the decision; x86LOAD counts it (the paper's load
+	// metric counts processes, not runnable jobs).
+	p.deciding++
+	d, err := p.Server.Decide(app.Name, app.KernelName)
+	p.deciding--
+	if err != nil {
+		p.execX86(app, finish)
+		return
+	}
+	if p.opts.BlockOnReconfig && d.ReconfigStarted {
+		// Ablation 2: instead of hiding the reconfiguration latency
+		// on a CPU (Algorithm 2 lines 9-18), the process blocks until
+		// the kernel is resident and then runs in hardware — the
+		// traditional accelerator flow's behaviour.
+		p.execVanillaFPGA(app, finish)
+		return
+	}
+	switch d.Target {
+	case threshold.TargetARM:
+		p.execARM(app, finish)
+	case threshold.TargetFPGA:
+		p.execFPGAInvoke(app, finish)
+	default:
+		p.execX86(app, finish)
+	}
+}

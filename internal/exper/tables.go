@@ -1,0 +1,197 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/hls"
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+	"xartrek/internal/workloads"
+	"xartrek/internal/xclbin"
+)
+
+// Table1Row is one row of the paper's Table 1: the benchmark's
+// execution time on vanilla x86 and under Xar-Trek migration to FPGA
+// and to ARM (measured in locus, all communication included).
+type Table1Row struct {
+	App     string
+	X86     time.Duration
+	X86FPGA time.Duration
+	X86ARM  time.Duration
+}
+
+// Table1 regenerates Table 1 from the threshold estimator's in-locus
+// measurements.
+func Table1(arts *Artifacts) ([]Table1Row, error) {
+	out := make([]Table1Row, 0, len(arts.Apps))
+	for _, app := range arts.Apps {
+		rec, err := arts.Table.Get(app.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table1Row{
+			App:     app.Name,
+			X86:     rec.X86Exec,
+			X86FPGA: rec.FPGAExec,
+			X86ARM:  rec.ARMExec,
+		})
+	}
+	return out, nil
+}
+
+// Table2Row is one row of Table 2: the estimation tool's output.
+type Table2Row struct {
+	App     string
+	Kernel  string
+	FPGAThr int
+	ARMThr  int
+}
+
+// Table2 regenerates Table 2 from the artifact threshold table.
+func Table2(arts *Artifacts) []Table2Row {
+	recs := arts.Table.Records()
+	out := make([]Table2Row, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, Table2Row{App: r.App, Kernel: r.Kernel, FPGAThr: r.FPGAThr, ARMThr: r.ARMThr})
+	}
+	return out
+}
+
+// Table4Row is one row of Table 4: BFS execution time on x86 and on
+// the FPGA for one graph size.
+type Table4Row struct {
+	Nodes int
+	X86   time.Duration
+	FPGA  time.Duration
+}
+
+// Table4 regenerates the Section 4.4 BFS study for the given graph
+// sizes (the paper uses 1000-5000; the Alveo U50 model rejects larger
+// graphs just as the authors' card did).
+func Table4(sizes []int) ([]Table4Row, error) {
+	est := threshold.NewEstimator()
+	out := make([]Table4Row, 0, len(sizes))
+	for _, n := range sizes {
+		bfs, err := workloads.NewBFS(n)
+		if err != nil {
+			return nil, fmt.Errorf("exper: bfs %d: %w", n, err)
+		}
+		x86, err := est.MeasureX86(bfs, 1)
+		if err != nil {
+			return nil, err
+		}
+		fpga, err := est.MeasureFPGA(bfs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table4Row{Nodes: n, X86: x86, FPGA: fpga})
+	}
+	return out, nil
+}
+
+// BinarySizeRow is one group of Figure 10's bars: the total binary
+// bytes one application requires under each development process.
+type BinarySizeRow struct {
+	App string
+	// X86FPGA is the traditional FPGA flow: single-ISA executable
+	// plus the application's XCLBIN.
+	X86FPGA int
+	// PopcornX86ARM is the heterogeneous-ISA flow: multi-ISA
+	// executable, no hardware image.
+	PopcornX86ARM int
+	// XarTrek subsumes both: multi-ISA executable plus XCLBIN.
+	XarTrek int
+}
+
+// BinarySizes regenerates Figure 10. Baseline binaries are built from
+// fresh, uninstrumented programs (the traditional flows carry no
+// scheduler hooks); the Xar-Trek column uses the instrumented module.
+func BinarySizes(arts *Artifacts) ([]BinarySizeRow, error) {
+	out := make([]BinarySizeRow, 0, len(arts.Apps))
+	for _, app := range arts.Apps {
+		fresh, err := freshApp(app.Name)
+		if err != nil {
+			return nil, err
+		}
+
+		single, err := popcorn.Build(fresh.Program, isa.X86_64)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s single-ISA: %w", app.Name, err)
+		}
+		multi, err := popcorn.Build(fresh.Program, isa.X86_64, isa.ARM64)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s multi-ISA: %w", app.Name, err)
+		}
+
+		imgBytes, err := appImageBytes(fresh)
+		if err != nil {
+			return nil, err
+		}
+
+		xar := 0
+		if arts.Compile != nil {
+			if art, ok := arts.Compile.FindApp(app.Name); ok {
+				xarImg, err := appImageBytes(app)
+				if err != nil {
+					return nil, err
+				}
+				xar = art.Binary.TotalSize() + xarImg
+			}
+		}
+		if xar == 0 {
+			// App outside the compiled set (e.g. CPU-only): the
+			// Xar-Trek cost is the multi-ISA binary alone.
+			xar = multi.TotalSize()
+		}
+
+		out = append(out, BinarySizeRow{
+			App:           app.Name,
+			X86FPGA:       single.TotalSize() + imgBytes,
+			PopcornX86ARM: multi.TotalSize(),
+			XarTrek:       xar,
+		})
+	}
+	return out, nil
+}
+
+// appImageBytes sizes the XCLBIN a lone application ships.
+func appImageBytes(app *workloads.App) (int, error) {
+	if !app.HWCapable {
+		return 0, nil
+	}
+	xo, err := app.XO()
+	if err != nil {
+		return 0, err
+	}
+	imgs, err := xclbin.Partition(xclbin.AlveoU50(), []*hls.XO{xo})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, img := range imgs {
+		total += img.SizeBytes
+	}
+	return total, nil
+}
+
+// freshApp rebuilds an uninstrumented application by name.
+func freshApp(name string) (*workloads.App, error) {
+	switch name {
+	case "CG-A":
+		return workloads.NewCGA()
+	case "FaceDet320":
+		return workloads.NewFaceDet320()
+	case "FaceDet640":
+		return workloads.NewFaceDet640()
+	case "Digit500":
+		return workloads.NewDigit500()
+	case "Digit2000":
+		return workloads.NewDigit2000()
+	case "MG-B":
+		return workloads.NewMGB()
+	default:
+		return nil, fmt.Errorf("exper: unknown application %q", name)
+	}
+}

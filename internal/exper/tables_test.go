@@ -1,0 +1,156 @@
+package exper
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTable1Shape(t *testing.T) {
+	arts := testArtifacts(t)
+	rows, err := Table1(arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byApp := make(map[string]Table1Row, len(rows))
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+
+	// Paper Table 1's orderings:
+	//  CG-A: x86 fastest, FPGA slowest.
+	cg := byApp["CG-A"]
+	if !(cg.X86 < cg.X86ARM && cg.X86ARM < cg.X86FPGA) {
+		t.Fatalf("CG-A ordering wrong: %+v", cg)
+	}
+	//  FaceDet320: x86 < FPGA < ARM.
+	fd := byApp["FaceDet320"]
+	if !(fd.X86 < fd.X86FPGA && fd.X86FPGA < fd.X86ARM) {
+		t.Fatalf("FaceDet320 ordering wrong: %+v", fd)
+	}
+	//  FaceDet640, Digit500, Digit2000: FPGA < x86 < ARM.
+	for _, name := range []string{"FaceDet640", "Digit500", "Digit2000"} {
+		r := byApp[name]
+		if !(r.X86FPGA < r.X86 && r.X86 < r.X86ARM) {
+			t.Fatalf("%s ordering wrong: %+v", name, r)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	arts := testArtifacts(t)
+	rows := Table2(arts)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byApp := make(map[string]Table2Row, len(rows))
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	for _, name := range []string{"FaceDet640", "Digit500", "Digit2000"} {
+		if byApp[name].FPGAThr != 0 {
+			t.Fatalf("%s FPGAThr = %d, want 0", name, byApp[name].FPGAThr)
+		}
+	}
+	if byApp["CG-A"].FPGAThr <= byApp["FaceDet320"].FPGAThr {
+		t.Fatalf("CG-A FPGAThr %d should exceed FaceDet320's %d",
+			byApp["CG-A"].FPGAThr, byApp["FaceDet320"].FPGAThr)
+	}
+}
+
+func TestTable4FPGAAlwaysSlower(t *testing.T) {
+	// Table 4: BFS is slower on the FPGA for every graph size, by a
+	// large factor, and both columns grow with the graph.
+	rows, err := Table4([]int{1000, 3000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Table4Row
+	for i, r := range rows {
+		if r.FPGA <= r.X86 {
+			t.Fatalf("n=%d: FPGA %v not slower than x86 %v", r.Nodes, r.FPGA, r.X86)
+		}
+		if r.FPGA < 5*r.X86 {
+			t.Fatalf("n=%d: FPGA/x86 = %.1f, want >= 5 (orders of magnitude in the paper)",
+				r.Nodes, float64(r.FPGA)/float64(r.X86))
+		}
+		if i > 0 && (r.X86 <= prev.X86 || r.FPGA <= prev.FPGA) {
+			t.Fatalf("times not increasing with graph size: %+v then %+v", prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestBinarySizesSubsumeBaselines(t *testing.T) {
+	// Figure 10: Xar-Trek's total is the largest for every app, since
+	// it subsumes both baselines.
+	arts := testArtifacts(t)
+	rows, err := BinarySizes(arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.XarTrek <= r.X86FPGA {
+			t.Fatalf("%s: Xar-Trek %d not above x86+FPGA %d", r.App, r.XarTrek, r.X86FPGA)
+		}
+		if r.XarTrek <= r.PopcornX86ARM {
+			t.Fatalf("%s: Xar-Trek %d not above Popcorn %d", r.App, r.XarTrek, r.PopcornX86ARM)
+		}
+		if r.PopcornX86ARM <= 0 || r.X86FPGA <= 0 {
+			t.Fatalf("%s: non-positive baseline sizes %+v", r.App, r)
+		}
+	}
+}
+
+func TestRunFixedLoadSweepPairsModes(t *testing.T) {
+	arts := testArtifacts(t)
+	pts, err := RunFixedLoadSweep(arts, []int{2}, []Mode{ModeXarTrek, ModeVanillaX86}, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	// Low load: paired sets make the two averages nearly identical.
+	ratio := float64(pts[0].Average) / float64(pts[1].Average)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("paired low-load ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestRunPeriodicThroughputWaveShape(t *testing.T) {
+	arts := testArtifacts(t)
+	fd, err := freshApp("FaceDet320")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPeriodicThroughput(arts, fd, ModeVanillaX86, 5, 60, 5, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRun) != 5 {
+		t.Fatalf("runs = %d", len(res.PerRun))
+	}
+	// Under vanilla x86, throughput must dip at the load peak
+	// (middle run) relative to the light first run.
+	if res.PerRun[2] >= res.PerRun[0] {
+		t.Fatalf("throughput did not dip at peak load: %v", res.PerRun)
+	}
+	if res.Average <= 0 {
+		t.Fatalf("average = %v", res.Average)
+	}
+}
+
+func TestFreshAppUnknown(t *testing.T) {
+	if _, err := freshApp("nope"); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}

@@ -1,0 +1,249 @@
+package fpga
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xartrek/internal/hls"
+	"xartrek/internal/simtime"
+	"xartrek/internal/xclbin"
+)
+
+func testImage(t *testing.T, kernels ...string) *xclbin.XCLBIN {
+	t.Helper()
+	xos := make([]*hls.XO, len(kernels))
+	for i, name := range kernels {
+		xos[i] = &hls.XO{
+			KernelName: name,
+			II:         1,
+			Depth:      10,
+			ClockMHz:   hls.DefaultClockMHz,
+			Res:        hls.Resources{LUT: 1000, FF: 2000, BRAM: 4, DSP: 8},
+			SizeBytes:  1 << 20,
+		}
+	}
+	imgs, err := xclbin.Partition(xclbin.AlveoU50(), xos)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if len(imgs) != 1 {
+		t.Fatalf("want 1 image, got %d", len(imgs))
+	}
+	return imgs[0]
+}
+
+func TestMemorySingleBankAllocation(t *testing.T) {
+	m := NewMemory(4, 100)
+	a, err := m.Alloc(60)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if got := len(a.Banks()); got != 1 {
+		t.Fatalf("60-byte alloc should fit one bank, spans %d", got)
+	}
+	if m.FreeBytes() != 340 {
+		t.Fatalf("free = %d, want 340", m.FreeBytes())
+	}
+	a.Release()
+	if m.FreeBytes() != 400 {
+		t.Fatalf("free after release = %d, want 400", m.FreeBytes())
+	}
+}
+
+func TestMemorySpreadsAcrossBanks(t *testing.T) {
+	m := NewMemory(2, 100)
+	a1, err := m.Alloc(60)
+	if err != nil {
+		t.Fatalf("alloc1: %v", err)
+	}
+	a2, err := m.Alloc(60)
+	if err != nil {
+		t.Fatalf("alloc2: %v", err)
+	}
+	if a1.Banks()[0] == a2.Banks()[0] {
+		t.Fatal("two 60-byte allocs landed in the same 100-byte bank")
+	}
+}
+
+func TestMemoryStripesLargeAllocation(t *testing.T) {
+	m := NewMemory(4, 100)
+	a, err := m.Alloc(250)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if got := len(a.Banks()); got < 3 {
+		t.Fatalf("250-byte alloc over 100-byte banks spans %d banks, want >= 3", got)
+	}
+	if m.FreeBytes() != 150 {
+		t.Fatalf("free = %d, want 150", m.FreeBytes())
+	}
+	a.Release()
+	if m.FreeBytes() != 400 {
+		t.Fatalf("free after release = %d, want 400", m.FreeBytes())
+	}
+}
+
+func TestMemoryExhaustion(t *testing.T) {
+	m := NewMemory(2, 100)
+	if _, err := m.Alloc(150); err != nil {
+		t.Fatalf("striped alloc: %v", err)
+	}
+	if _, err := m.Alloc(60); !errors.Is(err, ErrBankFull) {
+		t.Fatalf("overcommit error = %v, want ErrBankFull", err)
+	}
+}
+
+func TestMemoryDoubleReleaseIsNoOp(t *testing.T) {
+	m := NewMemory(1, 100)
+	a, err := m.Alloc(40)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	a.Release()
+	a.Release()
+	if m.FreeBytes() != 100 {
+		t.Fatalf("free = %d, want 100 after double release", m.FreeBytes())
+	}
+}
+
+func TestMemoryAllocNeverExceedsCapacity(t *testing.T) {
+	// Property: any sequence of allocations leaves used <= capacity
+	// in every bank, and FreeBytes is consistent.
+	f := func(sizes []uint16) bool {
+		m := NewMemory(4, 1000)
+		var live []*Allocation
+		for _, s := range sizes {
+			a, err := m.Alloc(int64(s % 800))
+			if err != nil {
+				continue
+			}
+			live = append(live, a)
+		}
+		var used int64
+		for _, b := range m.Banks() {
+			if b.Used() > b.Size {
+				return false
+			}
+			used += b.Used()
+		}
+		if used+m.FreeBytes() != m.TotalBytes() {
+			return false
+		}
+		for _, a := range live {
+			a.Release()
+		}
+		return m.FreeBytes() == m.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricLifecycle(t *testing.T) {
+	sim := simtime.New()
+	f := NewFabric(sim, xclbin.AlveoU50())
+
+	if f.Image() != nil {
+		t.Fatal("empty fabric reports an image")
+	}
+	if _, err := f.CU("k"); !errors.Is(err, ErrNotConfigured) {
+		t.Fatalf("CU on empty fabric = %v, want ErrNotConfigured", err)
+	}
+
+	img := testImage(t, "k1", "k2")
+	done := false
+	if err := f.Program(img, func() { done = true }); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	if !f.Reconfiguring() {
+		t.Fatal("fabric not reconfiguring after Program")
+	}
+	if _, err := f.CU("k1"); !errors.Is(err, ErrReconfiguring) {
+		t.Fatalf("CU while reconfiguring = %v, want ErrReconfiguring", err)
+	}
+	if err := f.Program(img, nil); !errors.Is(err, ErrReconfiguring) {
+		t.Fatalf("double program = %v, want ErrReconfiguring", err)
+	}
+
+	sim.Run()
+	if !done {
+		t.Fatal("program completion callback did not fire")
+	}
+	if f.Image() != img {
+		t.Fatal("fabric image not the programmed one")
+	}
+	if got := f.Kernels(); len(got) != 2 || got[0] != "k1" || got[1] != "k2" {
+		t.Fatalf("kernels = %v", got)
+	}
+	if _, err := f.CU("absent"); !errors.Is(err, ErrNoCU) {
+		t.Fatalf("CU for absent kernel = %v, want ErrNoCU", err)
+	}
+}
+
+func TestFabricReconfigTakesModeledTime(t *testing.T) {
+	sim := simtime.New()
+	f := NewFabric(sim, xclbin.AlveoU50())
+	img := testImage(t, "k")
+	var at time.Duration
+	if err := f.Program(img, func() { at = sim.Now() }); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	sim.Run()
+	want := img.ReconfigTime(xclbin.AlveoU50())
+	if at != want {
+		t.Fatalf("reconfig completed at %v, want %v", at, want)
+	}
+	if want < 250*time.Millisecond {
+		t.Fatalf("reconfig time %v implausibly small", want)
+	}
+}
+
+func TestComputeUnitFIFOSerialisation(t *testing.T) {
+	sim := simtime.New()
+	cu := &ComputeUnit{Kernel: "k", II: 1, Depth: 0, ClockMHz: 1} // 1 cycle = 1us
+	var first, second time.Duration
+	cu.Enqueue(sim, 1000, func() { first = sim.Now() })
+	cu.Enqueue(sim, 1000, func() { second = sim.Now() })
+	sim.Run()
+	if first != time.Millisecond {
+		t.Fatalf("first completion at %v, want 1ms", first)
+	}
+	if second != 2*time.Millisecond {
+		t.Fatalf("second completion at %v, want 2ms (FIFO)", second)
+	}
+	if cu.Launches() != 2 {
+		t.Fatalf("launches = %d, want 2", cu.Launches())
+	}
+}
+
+func TestComputeUnitLatencyModel(t *testing.T) {
+	cu := &ComputeUnit{II: 2, Depth: 100, ClockMHz: 100}
+	// cycles = 100 + 2n at 100 MHz (10ns per cycle).
+	got := cu.Latency(450)
+	want := time.Duration((100 + 900) * 10 * time.Nanosecond)
+	if got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+	if cu.Latency(-5) != cu.Latency(0) {
+		t.Fatal("negative trips should clamp to zero")
+	}
+}
+
+func TestCardU50Defaults(t *testing.T) {
+	sim := simtime.New()
+	c := NewU50(sim)
+	if got := c.Mem.TotalBytes(); got != 8<<30 {
+		t.Fatalf("U50 memory = %d, want 8 GiB", got)
+	}
+	if got := len(c.Mem.Banks()); got != HBMBankCount {
+		t.Fatalf("bank count = %d, want %d", got, HBMBankCount)
+	}
+	if c.Fabric.Platform().Name != xclbin.AlveoU50().Name {
+		t.Fatal("card platform mismatch")
+	}
+	if c.Fabric.Reconfigurations() != 0 {
+		t.Fatal("fresh card reports reconfigurations")
+	}
+}

@@ -1,0 +1,107 @@
+package fpga
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/hls"
+	"xartrek/internal/simtime"
+	"xartrek/internal/xclbin"
+)
+
+// replicatedImage builds an image whose kernel carries n compute units.
+func replicatedImage(t *testing.T, n int) *xclbin.XCLBIN {
+	t.Helper()
+	xo := &hls.XO{
+		KernelName: "k",
+		II:         1,
+		Depth:      0,
+		ClockMHz:   1, // 1 cycle = 1 us
+		Res:        hls.Resources{LUT: 1000, FF: 1000, BRAM: 2, DSP: 2},
+		SizeBytes:  1 << 20,
+		CUs:        n,
+	}
+	imgs, err := xclbin.Partition(xclbin.AlveoU50(), []*hls.XO{xo})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	return imgs[0]
+}
+
+func configure(t *testing.T, sim *simtime.Simulator, img *xclbin.XCLBIN) *Fabric {
+	t.Helper()
+	f := NewFabric(sim, xclbin.AlveoU50())
+	if err := f.Program(img, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	return f
+}
+
+func TestFabricInstantiatesReplicas(t *testing.T) {
+	sim := simtime.New()
+	f := configure(t, sim, replicatedImage(t, 3))
+	if got := f.CUCount("k"); got != 3 {
+		t.Fatalf("CU count = %d, want 3", got)
+	}
+	if got := f.CUCount("absent"); got != 0 {
+		t.Fatalf("absent kernel CU count = %d", got)
+	}
+}
+
+func TestFabricRoutesToLeastBusyCU(t *testing.T) {
+	sim := simtime.New()
+	f := configure(t, sim, replicatedImage(t, 2))
+
+	// Two concurrent invocations of 1000 trips (1ms each at 1 MHz)
+	// must run in parallel on the two CUs.
+	var first, second time.Duration
+	cu1, err := f.CU("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Now()
+	cu1.Enqueue(sim, 1000, func() { first = sim.Now() - base })
+	cu2, err := f.CU("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu2 == cu1 {
+		t.Fatal("second invocation routed to the busy CU")
+	}
+	cu2.Enqueue(sim, 1000, func() { second = sim.Now() - base })
+	sim.Run()
+	if first != time.Millisecond || second != time.Millisecond {
+		t.Fatalf("parallel invocations took %v and %v, want 1ms each", first, second)
+	}
+}
+
+func TestSingleCUStillSerialises(t *testing.T) {
+	sim := simtime.New()
+	f := configure(t, sim, replicatedImage(t, 1))
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		cu, err := f.CU("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cu.Enqueue(sim, 1000, func() { last = sim.Now() })
+	}
+	start := sim.Now()
+	sim.Run()
+	if got := last - start; got != 3*time.Millisecond {
+		t.Fatalf("3 serialized invocations finished after %v, want 3ms", got)
+	}
+}
+
+func TestPartitionRejectsOversizedReplication(t *testing.T) {
+	xo := &hls.XO{
+		KernelName: "huge",
+		II:         1, Depth: 1, ClockMHz: 300,
+		Res: hls.Resources{LUT: 400_000, FF: 400_000, BRAM: 100, DSP: 100},
+		CUs: 2, // 800K LUT > the U50's 697K dynamic region
+	}
+	if _, err := xclbin.Partition(xclbin.AlveoU50(), []*hls.XO{xo}); err == nil {
+		t.Fatal("partition accepted a replication exceeding the fabric")
+	}
+}

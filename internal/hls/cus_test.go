@@ -1,0 +1,82 @@
+package hls
+
+import (
+	"testing"
+
+	"xartrek/internal/mir"
+)
+
+// simpleKernel builds a minimal synthesizable loop function.
+func simpleKernel(t *testing.T) *mir.Function {
+	t.Helper()
+	m := mir.NewModule("k")
+	f, err := m.AddFunc("loop", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mir.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.Br(body)
+
+	b.SetBlock(body)
+	i := b.Phi(mir.I64)
+	acc := b.Phi(mir.I64)
+	next := b.Add(i, mir.ConstInt(mir.I64, 1))
+	sum := b.Add(acc, i)
+	cond := b.ICmp(mir.CmpLT, next, f.Params[0])
+	b.CondBr(cond, body, exit)
+	mir.AddIncoming(i, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(i, next, body)
+	mir.AddIncoming(acc, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(acc, sum, body)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+	if err := mir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCompilePropagatesCUs(t *testing.T) {
+	xo, err := Compile(KernelSpec{Fn: simpleKernel(t), TripCount: 100, CUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xo.CUs != 3 || xo.CUCount() != 3 {
+		t.Fatalf("CUs = %d/%d, want 3", xo.CUs, xo.CUCount())
+	}
+}
+
+func TestCUCountDefaultsToOne(t *testing.T) {
+	xo := &XO{}
+	if xo.CUCount() != 1 {
+		t.Fatalf("zero-value CU count = %d, want 1", xo.CUCount())
+	}
+	xo.CUs = -2
+	if xo.CUCount() != 1 {
+		t.Fatalf("negative CU count = %d, want 1", xo.CUCount())
+	}
+}
+
+func TestReplicationDoesNotChangePerCUTiming(t *testing.T) {
+	base, err := Compile(KernelSpec{Fn: simpleKernel(t), TripCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compile(KernelSpec{Fn: simpleKernel(t), TripCount: 100, CUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.II != rep.II || base.Depth != rep.Depth {
+		t.Fatalf("replication changed the pipeline: %d/%d vs %d/%d",
+			base.II, base.Depth, rep.II, rep.Depth)
+	}
+	if base.Res != rep.Res {
+		t.Fatal("XO resources are per-CU and must not scale at compile time")
+	}
+}

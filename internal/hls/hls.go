@@ -1,0 +1,319 @@
+// Package hls models the high-level-synthesis step of the Xar-Trek
+// compiler (step D in Fig. 1, performed by Xilinx Vitis in the paper):
+// it maps a self-contained MIR function to a hardware kernel, producing
+// a Xilinx-object (XO) equivalent that carries the kernel's FPGA
+// resource utilisation and its pipeline timing (initiation interval and
+// depth).
+//
+// The paper treats Vitis as an oracle returning exactly these
+// quantities; this package computes them from the kernel's instruction
+// profile with standard HLS first-order models.
+package hls
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/mir"
+)
+
+// HLS errors.
+var (
+	ErrNotSynthesizable = errors.New("hls: function is not synthesizable")
+	ErrNoFunction       = errors.New("hls: kernel spec has no function")
+)
+
+// Resources is an FPGA resource vector.
+type Resources struct {
+	LUT  int
+	FF   int
+	BRAM int // 36Kb blocks
+	DSP  int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		LUT:  r.LUT + o.LUT,
+		FF:   r.FF + o.FF,
+		BRAM: r.BRAM + o.BRAM,
+		DSP:  r.DSP + o.DSP,
+	}
+}
+
+// FitsIn reports whether r fits inside budget.
+func (r Resources) FitsIn(budget Resources) bool {
+	return r.LUT <= budget.LUT && r.FF <= budget.FF &&
+		r.BRAM <= budget.BRAM && r.DSP <= budget.DSP
+}
+
+// Scale returns r with every component multiplied by k.
+func (r Resources) Scale(k int) Resources {
+	return Resources{LUT: r.LUT * k, FF: r.FF * k, BRAM: r.BRAM * k, DSP: r.DSP * k}
+}
+
+// String implements fmt.Stringer.
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d BRAM=%d DSP=%d", r.LUT, r.FF, r.BRAM, r.DSP)
+}
+
+// perOpResources is the synthesis cost of one spatial instance of an
+// operation (rough Vitis-like numbers for 64-bit datapaths).
+var perOpResources = map[isa.OpKind]Resources{
+	isa.OpIntALU:   {LUT: 70, FF: 70},
+	isa.OpIntMul:   {LUT: 120, FF: 150, DSP: 4},
+	isa.OpIntDiv:   {LUT: 1800, FF: 2200},
+	isa.OpFloatALU: {LUT: 450, FF: 600, DSP: 2},
+	isa.OpFloatMul: {LUT: 220, FF: 350, DSP: 3},
+	isa.OpFloatDiv: {LUT: 900, FF: 1400},
+	isa.OpLoad:     {LUT: 90, FF: 110},
+	isa.OpStore:    {LUT: 90, FF: 110},
+	isa.OpBranch:   {LUT: 25, FF: 15},
+	isa.OpCall:     {LUT: 40, FF: 40},
+	isa.OpRet:      {LUT: 10, FF: 10},
+	isa.OpMove:     {LUT: 20, FF: 30},
+}
+
+// pipeline latency in cycles of each op class at the target clock.
+var perOpLatency = map[isa.OpKind]int{
+	isa.OpIntALU:   1,
+	isa.OpIntMul:   3,
+	isa.OpIntDiv:   34,
+	isa.OpFloatALU: 7,
+	isa.OpFloatMul: 5,
+	isa.OpFloatDiv: 28,
+	isa.OpLoad:     2,
+	isa.OpStore:    1,
+	isa.OpBranch:   1,
+	isa.OpCall:     2,
+	isa.OpRet:      1,
+	isa.OpMove:     0,
+}
+
+// KernelSpec describes one candidate function for hardware synthesis —
+// the unit named in the profiling manifest (step A).
+type KernelSpec struct {
+	// Name is the hardware kernel name, e.g. "KNL_HW_FD320".
+	Name string
+	// Fn is the self-contained function to synthesize.
+	Fn *mir.Function
+	// TripCount is the number of inner-loop iterations one
+	// invocation executes (from profiling).
+	TripCount int64
+	// Unroll is the requested spatial unroll factor (>=1).
+	Unroll int
+	// RecurrenceII is the minimum initiation interval forced by a
+	// loop-carried dependency (e.g. a floating-point accumulator);
+	// 0 means none detected.
+	RecurrenceII int
+	// MemoryPorts is the number of concurrent memory ports the
+	// platform gives the kernel (HBM pseudo-channels); default 2.
+	MemoryPorts int
+	// LocalBufferBytes is data kept in on-chip BRAM/URAM.
+	LocalBufferBytes int64
+	// CUs replicates the kernel's compute unit so concurrent
+	// invocations from different processes run in parallel — the
+	// FPGA space-sharing extension the paper lists as future work
+	// (Section 7). Default 1.
+	CUs int
+}
+
+// XO is the synthesized hardware object for one kernel: the paper's
+// Xilinx-object file (step D output).
+type XO struct {
+	KernelName string
+	FuncName   string
+	Res        Resources
+	// II is the pipeline initiation interval in cycles.
+	II int
+	// Depth is the pipeline depth in cycles.
+	Depth int
+	// ClockMHz is the kernel clock.
+	ClockMHz float64
+	// TripCount is the per-invocation iteration count used for
+	// latency estimation.
+	TripCount int64
+	// SizeBytes models the XO file size (per compute unit).
+	SizeBytes int
+	// CUs is the compute-unit replica count (0 behaves as 1). Res
+	// and SizeBytes are per CU; packing scales by CUs.
+	CUs int
+}
+
+// CUCount normalises the replica count.
+func (x *XO) CUCount() int {
+	if x.CUs < 1 {
+		return 1
+	}
+	return x.CUs
+}
+
+// DefaultClockMHz is the kernel clock Vitis typically closes on Alveo
+// U50 designs.
+const DefaultClockMHz = 300
+
+// Synthesizable checks the Vitis restrictions the paper cites: the
+// function must be self-contained — no calls to functions with bodies
+// outside the module, and only CPU/memory operations (which is all our
+// IR can express). Recursive functions are rejected.
+func Synthesizable(fn *mir.Function) error {
+	if fn == nil {
+		return ErrNoFunction
+	}
+	if len(fn.Blocks) == 0 {
+		return fmt.Errorf("%w: %s is a declaration", ErrNotSynthesizable, fn.Nam)
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != mir.OpCall {
+				continue
+			}
+			if in.Callee == fn {
+				return fmt.Errorf("%w: %s is recursive", ErrNotSynthesizable, fn.Nam)
+			}
+			if len(in.Callee.Blocks) == 0 {
+				return fmt.Errorf("%w: %s calls external %s", ErrNotSynthesizable, fn.Nam, in.Callee.Nam)
+			}
+			// Nested calls are allowed (Vitis inlines them), but
+			// the callee must itself be synthesizable.
+			if err := Synthesizable(in.Callee); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// inlineMix flattens fn's static op mix, inlining callees.
+func inlineMix(fn *mir.Function, depth int) isa.OpMix {
+	mix := isa.OpMix{}
+	if depth > 8 {
+		return mix
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == mir.OpCall && in.Callee != nil && len(in.Callee.Blocks) > 0 {
+				mix = mix.Add(inlineMix(in.Callee, depth+1))
+				continue
+			}
+			mix[in.Op.Kind()]++
+		}
+	}
+	return mix
+}
+
+// EstimateResources computes the kernel's resource vector: one spatial
+// instance per static operation, times the unroll factor, plus BRAM
+// for local buffers (36Kb = 4.5KB per block).
+func EstimateResources(spec KernelSpec) (Resources, error) {
+	if err := Synthesizable(spec.Fn); err != nil {
+		return Resources{}, err
+	}
+	unroll := spec.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	mix := inlineMix(spec.Fn, 0)
+	var r Resources
+	for k, n := range mix {
+		r = r.Add(perOpResources[k].Scale(int(n)))
+	}
+	r = r.Scale(unroll)
+	const bramBytes = 4608
+	r.BRAM += int((spec.LocalBufferBytes + bramBytes - 1) / bramBytes)
+	// Control logic overhead.
+	r.LUT += 2000
+	r.FF += 3000
+	return r, nil
+}
+
+// Schedule computes the pipeline initiation interval and depth.
+//
+// II is bounded below by the memory-port pressure (loads+stores per
+// iteration divided by available ports, divided by unroll) and by any
+// loop-carried recurrence. Depth approximates the latency sum of one
+// iteration's operation chain.
+func Schedule(spec KernelSpec) (ii, depth int, err error) {
+	if err := Synthesizable(spec.Fn); err != nil {
+		return 0, 0, err
+	}
+	unroll := spec.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	ports := spec.MemoryPorts
+	if ports < 1 {
+		ports = 2
+	}
+	mix := inlineMix(spec.Fn, 0)
+	memOps := mix[isa.OpLoad] + mix[isa.OpStore]
+	memII := int((memOps + float64(ports) - 1) / float64(ports))
+	if memII < 1 {
+		memII = 1
+	}
+	// Unrolling amortises trip count, not port pressure (the ports
+	// are shared), so the effective per-iteration II shrinks only
+	// when the loop body is compute-bound.
+	ii = memII
+	if spec.RecurrenceII > ii {
+		ii = spec.RecurrenceII
+	}
+	for k, n := range mix {
+		depth += perOpLatency[k] * int(n)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return ii, depth, nil
+}
+
+// Compile synthesizes the kernel, producing its XO.
+func Compile(spec KernelSpec) (*XO, error) {
+	if spec.Fn == nil {
+		return nil, ErrNoFunction
+	}
+	res, err := EstimateResources(spec)
+	if err != nil {
+		return nil, err
+	}
+	ii, depth, err := Schedule(spec)
+	if err != nil {
+		return nil, err
+	}
+	unroll := spec.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	name := spec.Name
+	if name == "" {
+		name = "KNL_HW_" + spec.Fn.Nam
+	}
+	return &XO{
+		KernelName: name,
+		FuncName:   spec.Fn.Nam,
+		Res:        res,
+		II:         ii,
+		Depth:      depth,
+		ClockMHz:   DefaultClockMHz,
+		TripCount:  (spec.TripCount + int64(unroll) - 1) / int64(unroll),
+		// XO container: netlist scales with resources.
+		SizeBytes: 40_000 + res.LUT*14 + res.DSP*160,
+		CUs:       spec.CUs,
+	}, nil
+}
+
+// Latency is the kernel execution time for n pipeline iterations.
+func (x *XO) Latency(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	cycles := float64(x.Depth) + float64(n)*float64(x.II)
+	sec := cycles / (x.ClockMHz * 1e6)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// InvocationLatency is the kernel time for one invocation at the
+// profiled trip count.
+func (x *XO) InvocationLatency() time.Duration { return x.Latency(x.TripCount) }

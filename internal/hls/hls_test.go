@@ -1,0 +1,240 @@
+package hls
+
+import (
+	"errors"
+	"testing"
+
+	"xartrek/internal/mir"
+)
+
+// buildLoopKernel builds a simple streaming kernel: out[i] = in[i]*3+1.
+func buildLoopKernel(t *testing.T) *mir.Function {
+	t.Helper()
+	m := mir.NewModule("k")
+	f, err := m.AddFunc("saxpyish", mir.Void, mir.Ptr, mir.Ptr, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b := mir.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(mir.I64)
+	b.CondBr(b.ICmp(mir.CmpLT, i, f.Params[2]), body, exit)
+	b.SetBlock(body)
+	off := b.Mul(i, mir.ConstInt(mir.I64, 8))
+	v := b.Load(mir.I64, b.PtrAdd(f.Params[0], off))
+	v3 := b.Mul(v, mir.ConstInt(mir.I64, 3))
+	v31 := b.Add(v3, mir.ConstInt(mir.I64, 1))
+	b.Store(v31, b.PtrAdd(f.Params[1], off))
+	i2 := b.Add(i, mir.ConstInt(mir.I64, 1))
+	b.Br(loop)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	mir.AddIncoming(i, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(i, i2, body)
+	if err := mir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func buildRecursive(t *testing.T) *mir.Function {
+	t.Helper()
+	m := mir.NewModule("r")
+	f, err := m.AddFunc("rec", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	again := f.NewBlock("again")
+	base := f.NewBlock("base")
+	b := mir.NewBuilder(f)
+	b.SetBlock(entry)
+	b.CondBr(b.ICmp(mir.CmpLE, f.Params[0], mir.ConstInt(mir.I64, 0)), base, again)
+	b.SetBlock(base)
+	b.Ret(mir.ConstInt(mir.I64, 0))
+	b.SetBlock(again)
+	r := b.Call(f, b.Sub(f.Params[0], mir.ConstInt(mir.I64, 1)))
+	b.Ret(r)
+	if err := mir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSynthesizableAcceptsLoop(t *testing.T) {
+	if err := Synthesizable(buildLoopKernel(t)); err != nil {
+		t.Fatalf("loop kernel rejected: %v", err)
+	}
+}
+
+func TestSynthesizableRejectsRecursion(t *testing.T) {
+	if err := Synthesizable(buildRecursive(t)); !errors.Is(err, ErrNotSynthesizable) {
+		t.Fatalf("recursion error = %v, want ErrNotSynthesizable", err)
+	}
+}
+
+func TestSynthesizableRejectsNilAndDecl(t *testing.T) {
+	if err := Synthesizable(nil); !errors.Is(err, ErrNoFunction) {
+		t.Fatalf("nil error = %v", err)
+	}
+	m := mir.NewModule("d")
+	f, err := m.AddFunc("decl", mir.Void)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesizable(f); !errors.Is(err, ErrNotSynthesizable) {
+		t.Fatalf("decl error = %v", err)
+	}
+}
+
+func TestEstimateResources(t *testing.T) {
+	fn := buildLoopKernel(t)
+	r1, err := EstimateResources(KernelSpec{Fn: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LUT <= 0 || r1.DSP <= 0 {
+		t.Fatalf("resources = %v, want positive LUT and DSP (has multiplies)", r1)
+	}
+	// Unrolling multiplies spatial resources.
+	r4, err := EstimateResources(KernelSpec{Fn: fn, Unroll: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.DSP != r1.DSP*4 {
+		t.Fatalf("unroll-4 DSP = %d, want %d", r4.DSP, r1.DSP*4)
+	}
+	// Local buffers consume BRAM.
+	rb, err := EstimateResources(KernelSpec{Fn: fn, LocalBufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.BRAM <= r1.BRAM {
+		t.Fatal("local buffer did not add BRAM")
+	}
+}
+
+func TestScheduleMemoryBound(t *testing.T) {
+	fn := buildLoopKernel(t)
+	ii, depth, err := Schedule(KernelSpec{Fn: fn, MemoryPorts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One load + one store per iteration over one port: II >= 2.
+	if ii < 2 {
+		t.Fatalf("II = %d, want >= 2 on one port", ii)
+	}
+	if depth < ii {
+		t.Fatalf("depth %d < II %d", depth, ii)
+	}
+	ii2, _, err := Schedule(KernelSpec{Fn: fn, MemoryPorts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii2 > ii {
+		t.Fatal("more ports increased II")
+	}
+}
+
+func TestScheduleRecurrenceDominates(t *testing.T) {
+	fn := buildLoopKernel(t)
+	ii, _, err := Schedule(KernelSpec{Fn: fn, RecurrenceII: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 9 {
+		t.Fatalf("II = %d, want recurrence-bound 9", ii)
+	}
+}
+
+func TestCompileAndLatency(t *testing.T) {
+	fn := buildLoopKernel(t)
+	xo, err := Compile(KernelSpec{Name: "KNL_HW_TEST", Fn: fn, TripCount: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xo.KernelName != "KNL_HW_TEST" {
+		t.Errorf("kernel name = %q", xo.KernelName)
+	}
+	if xo.ClockMHz != DefaultClockMHz {
+		t.Errorf("clock = %v", xo.ClockMHz)
+	}
+	if xo.SizeBytes <= 40_000 {
+		t.Error("XO size model not sensitive to resources")
+	}
+	l1 := xo.Latency(1000)
+	l2 := xo.Latency(2000)
+	if l2 <= l1 {
+		t.Fatal("latency not increasing in trip count")
+	}
+	// Latency is affine: depth + n*II.
+	if xo.InvocationLatency() != xo.Latency(xo.TripCount) {
+		t.Fatal("InvocationLatency mismatch")
+	}
+	if xo.Latency(-1) != xo.Latency(0) {
+		t.Fatal("negative trips not clamped")
+	}
+}
+
+func TestCompileDefaultsName(t *testing.T) {
+	fn := buildLoopKernel(t)
+	xo, err := Compile(KernelSpec{Fn: fn, TripCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xo.KernelName != "KNL_HW_saxpyish" {
+		t.Fatalf("default name = %q", xo.KernelName)
+	}
+}
+
+func TestCompileUnrollReducesTrips(t *testing.T) {
+	fn := buildLoopKernel(t)
+	plain, err := Compile(KernelSpec{Fn: fn, TripCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled, err := Compile(KernelSpec{Fn: fn, TripCount: 1000, Unroll: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrolled.TripCount != 250 {
+		t.Fatalf("unrolled trip count = %d, want 250", unrolled.TripCount)
+	}
+	_ = plain
+}
+
+func TestCompileRejectsRecursive(t *testing.T) {
+	if _, err := Compile(KernelSpec{Fn: buildRecursive(t), TripCount: 5}); err == nil {
+		t.Fatal("Compile accepted recursive function")
+	}
+	if _, err := Compile(KernelSpec{}); !errors.Is(err, ErrNoFunction) {
+		t.Fatalf("empty spec error = %v", err)
+	}
+}
+
+func TestResourcesAlgebra(t *testing.T) {
+	a := Resources{LUT: 10, FF: 20, BRAM: 1, DSP: 2}
+	b := Resources{LUT: 5, FF: 5, BRAM: 1, DSP: 1}
+	sum := a.Add(b)
+	if sum != (Resources{LUT: 15, FF: 25, BRAM: 2, DSP: 3}) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if !b.FitsIn(a) {
+		t.Fatal("b should fit in a")
+	}
+	if a.FitsIn(b) {
+		t.Fatal("a should not fit in b")
+	}
+	if a.Scale(2) != (Resources{LUT: 20, FF: 40, BRAM: 2, DSP: 4}) {
+		t.Fatalf("Scale = %v", a.Scale(2))
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

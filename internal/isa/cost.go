@@ -1,0 +1,234 @@
+package isa
+
+import "fmt"
+
+// OpKind is an ISA-independent operation category. Backends map IR
+// opcodes onto these categories to estimate cycles and code bytes.
+type OpKind int
+
+// Operation categories used by the cycle and code-size models.
+const (
+	OpIntALU OpKind = iota + 1 // add/sub/logic/shift/compare
+	OpIntMul
+	OpIntDiv
+	OpFloatALU
+	OpFloatMul
+	OpFloatDiv
+	OpLoad
+	OpStore
+	OpBranch
+	OpCall
+	OpRet
+	OpMove
+)
+
+// opKinds lists every category in deterministic order.
+func opKinds() []OpKind {
+	return []OpKind{
+		OpIntALU, OpIntMul, OpIntDiv,
+		OpFloatALU, OpFloatMul, OpFloatDiv,
+		OpLoad, OpStore, OpBranch, OpCall, OpRet, OpMove,
+	}
+}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	names := map[OpKind]string{
+		OpIntALU:   "int-alu",
+		OpIntMul:   "int-mul",
+		OpIntDiv:   "int-div",
+		OpFloatALU: "fp-alu",
+		OpFloatMul: "fp-mul",
+		OpFloatDiv: "fp-div",
+		OpLoad:     "load",
+		OpStore:    "store",
+		OpBranch:   "branch",
+		OpCall:     "call",
+		OpRet:      "ret",
+		OpMove:     "move",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// CostModel estimates execution cycles and code size for one CPU.
+//
+// Cycles are average throughput costs (not latencies) for a scalar
+// in-order pipeline approximation; IPC differences between the wide
+// out-of-order Xeon core and the narrow in-order ThunderX core are
+// captured by the per-op tables plus the IPC factor.
+type CostModel struct {
+	Arch Arch
+	// ClockGHz is the core clock.
+	ClockGHz float64
+	// IPC is the sustained instructions-per-cycle factor for typical
+	// compute kernels on this core.
+	IPC float64
+	// Cycles per operation category.
+	Cycles map[OpKind]float64
+	// Bytes of machine code per operation category (code-size model).
+	Bytes map[OpKind]int
+	// CacheMissPenalty is the extra cycles charged per irregular
+	// memory access (pointer chasing), on top of the base load cost.
+	CacheMissPenalty float64
+}
+
+// X86CostModel models the Xeon Bronze 3104 (1.7 GHz, wide OoO core).
+func X86CostModel() *CostModel {
+	return &CostModel{
+		Arch:     X86_64,
+		ClockGHz: 1.7,
+		IPC:      2.2,
+		Cycles: map[OpKind]float64{
+			OpIntALU:   1,
+			OpIntMul:   3,
+			OpIntDiv:   22,
+			OpFloatALU: 3,
+			OpFloatMul: 4,
+			OpFloatDiv: 14,
+			OpLoad:     3,
+			OpStore:    2,
+			OpBranch:   1,
+			OpCall:     4,
+			OpRet:      2,
+			OpMove:     0.5,
+		},
+		Bytes: map[OpKind]int{
+			OpIntALU:   3,
+			OpIntMul:   4,
+			OpIntDiv:   3,
+			OpFloatALU: 4,
+			OpFloatMul: 4,
+			OpFloatDiv: 4,
+			OpLoad:     4,
+			OpStore:    4,
+			OpBranch:   2,
+			OpCall:     5,
+			OpRet:      1,
+			OpMove:     3,
+		},
+		CacheMissPenalty: 120,
+	}
+}
+
+// ARMCostModel models the Cavium ThunderX CN8890 (2.0 GHz, dual-issue
+// in-order core; weak single-thread performance, 96 cores).
+func ARMCostModel() *CostModel {
+	return &CostModel{
+		Arch:     ARM64,
+		ClockGHz: 2.0,
+		IPC:      0.8,
+		Cycles: map[OpKind]float64{
+			OpIntALU:   1,
+			OpIntMul:   4,
+			OpIntDiv:   28,
+			OpFloatALU: 5,
+			OpFloatMul: 6,
+			OpFloatDiv: 22,
+			OpLoad:     4,
+			OpStore:    2,
+			OpBranch:   2,
+			OpCall:     5,
+			OpRet:      3,
+			OpMove:     1,
+		},
+		Bytes: map[OpKind]int{
+			// Fixed 4-byte instructions; some ops need extra moves.
+			OpIntALU:   4,
+			OpIntMul:   4,
+			OpIntDiv:   4,
+			OpFloatALU: 4,
+			OpFloatMul: 4,
+			OpFloatDiv: 4,
+			OpLoad:     4,
+			OpStore:    4,
+			OpBranch:   4,
+			OpCall:     8,
+			OpRet:      4,
+			OpMove:     4,
+		},
+		CacheMissPenalty: 200,
+	}
+}
+
+// CostModelFor returns the cost model for arch.
+func CostModelFor(arch Arch) (*CostModel, error) {
+	switch arch {
+	case X86_64:
+		return X86CostModel(), nil
+	case ARM64:
+		return ARMCostModel(), nil
+	default:
+		return nil, fmt.Errorf("isa: unknown architecture %v", arch)
+	}
+}
+
+// OpMix is a histogram of operation categories, the profile summary a
+// compiler backend extracts from a kernel.
+type OpMix map[OpKind]float64
+
+// Total sums all operation counts.
+func (m OpMix) Total() float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Scale returns a copy of the mix with every count multiplied by f.
+func (m OpMix) Scale(f float64) OpMix {
+	out := make(OpMix, len(m))
+	for k, v := range m {
+		out[k] = v * f
+	}
+	return out
+}
+
+// Add returns the element-wise sum of two mixes.
+func (m OpMix) Add(o OpMix) OpMix {
+	out := make(OpMix, len(m)+len(o))
+	for k, v := range m {
+		out[k] = v
+	}
+	for k, v := range o {
+		out[k] += v
+	}
+	return out
+}
+
+// Seconds estimates single-core execution time of the mix, with
+// irregular the fraction (0..1) of loads that miss cache due to
+// pointer-chasing access patterns.
+func (c *CostModel) Seconds(mix OpMix, irregular float64) float64 {
+	if irregular < 0 {
+		irregular = 0
+	}
+	if irregular > 1 {
+		irregular = 1
+	}
+	var cycles float64
+	for _, k := range opKinds() {
+		n := mix[k]
+		if n == 0 {
+			continue
+		}
+		cycles += n * c.Cycles[k]
+		if k == OpLoad {
+			cycles += n * irregular * c.CacheMissPenalty
+		}
+	}
+	cycles /= c.IPC
+	return cycles / (c.ClockGHz * 1e9)
+}
+
+// CodeBytes estimates machine-code size for the mix.
+func (c *CostModel) CodeBytes(mix OpMix) int {
+	var bytes float64
+	for _, k := range opKinds() {
+		bytes += mix[k] * float64(c.Bytes[k])
+	}
+	return int(bytes)
+}

@@ -1,0 +1,137 @@
+// Package isa describes the instruction-set architectures of the
+// reproduction platform: the x86-64 host server and the ARM64 server.
+//
+// Xar-Trek (via Popcorn Linux) needs three ISA-specific facts per
+// target: the ABI (where live values sit at a call site, so program
+// state can be transformed between ISA formats), a code-size model (to
+// lay out aligned multi-ISA binaries and reproduce the binary-size
+// study, Fig. 10), and a cycle-cost model (to time kernels on each CPU).
+package isa
+
+import "fmt"
+
+// Arch identifies an instruction-set architecture.
+type Arch int
+
+// Supported architectures. The paper's hardware is an Intel Xeon Bronze
+// 3104 (x86-64) and a Cavium ThunderX (ARM64).
+const (
+	X86_64 Arch = iota + 1
+	ARM64
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	switch a {
+	case X86_64:
+		return "x86-64"
+	case ARM64:
+		return "arm64"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// All lists every supported architecture in deterministic order.
+func All() []Arch { return []Arch{X86_64, ARM64} }
+
+// RegClass partitions the register file.
+type RegClass int
+
+// Register classes.
+const (
+	ClassInt RegClass = iota + 1
+	ClassFloat
+)
+
+// Register names one architectural register.
+type Register struct {
+	Name  string
+	Class RegClass
+	// Width in bits.
+	Width int
+}
+
+// ABI captures the calling convention parts needed for cross-ISA state
+// transformation: which registers carry arguments, which are preserved
+// across calls, and how stack frames are aligned.
+type ABI struct {
+	Arch           Arch
+	IntArgRegs     []Register
+	FloatArgRegs   []Register
+	CalleeSaved    []Register
+	ReturnReg      Register
+	StackAlign     int // bytes
+	WordSize       int // bytes
+	RedZone        int // bytes below SP usable without adjustment
+	FramePointer   Register
+	StackPointer   Register
+	SlotSize       int // bytes per spill slot
+	MaxRegArgCount int
+}
+
+func intRegs(names ...string) []Register {
+	rs := make([]Register, len(names))
+	for i, n := range names {
+		rs[i] = Register{Name: n, Class: ClassInt, Width: 64}
+	}
+	return rs
+}
+
+func floatRegs(names ...string) []Register {
+	rs := make([]Register, len(names))
+	for i, n := range names {
+		rs[i] = Register{Name: n, Class: ClassFloat, Width: 128}
+	}
+	return rs
+}
+
+// X86ABI returns the System V AMD64 calling convention subset used by
+// the state transformer.
+func X86ABI() *ABI {
+	return &ABI{
+		Arch:           X86_64,
+		IntArgRegs:     intRegs("rdi", "rsi", "rdx", "rcx", "r8", "r9"),
+		FloatArgRegs:   floatRegs("xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7"),
+		CalleeSaved:    intRegs("rbx", "rbp", "r12", "r13", "r14", "r15"),
+		ReturnReg:      Register{Name: "rax", Class: ClassInt, Width: 64},
+		StackAlign:     16,
+		WordSize:       8,
+		RedZone:        128,
+		FramePointer:   Register{Name: "rbp", Class: ClassInt, Width: 64},
+		StackPointer:   Register{Name: "rsp", Class: ClassInt, Width: 64},
+		SlotSize:       8,
+		MaxRegArgCount: 6,
+	}
+}
+
+// ARM64ABI returns the AAPCS64 calling convention subset used by the
+// state transformer.
+func ARM64ABI() *ABI {
+	return &ABI{
+		Arch:           ARM64,
+		IntArgRegs:     intRegs("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"),
+		FloatArgRegs:   floatRegs("v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"),
+		CalleeSaved:    intRegs("x19", "x20", "x21", "x22", "x23", "x24", "x25", "x26", "x27", "x28"),
+		ReturnReg:      Register{Name: "x0", Class: ClassInt, Width: 64},
+		StackAlign:     16,
+		WordSize:       8,
+		RedZone:        0,
+		FramePointer:   Register{Name: "x29", Class: ClassInt, Width: 64},
+		StackPointer:   Register{Name: "sp", Class: ClassInt, Width: 64},
+		SlotSize:       8,
+		MaxRegArgCount: 8,
+	}
+}
+
+// ABIFor returns the calling convention for arch.
+func ABIFor(arch Arch) (*ABI, error) {
+	switch arch {
+	case X86_64:
+		return X86ABI(), nil
+	case ARM64:
+		return ARM64ABI(), nil
+	default:
+		return nil, fmt.Errorf("isa: unknown architecture %v", arch)
+	}
+}

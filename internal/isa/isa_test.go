@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestABIFor(t *testing.T) {
+	tests := []struct {
+		arch        Arch
+		wantArgs    int
+		wantWord    int
+		wantRedZone int
+	}{
+		{X86_64, 6, 8, 128},
+		{ARM64, 8, 8, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.arch.String(), func(t *testing.T) {
+			abi, err := ABIFor(tt.arch)
+			if err != nil {
+				t.Fatalf("ABIFor(%v): %v", tt.arch, err)
+			}
+			if got := len(abi.IntArgRegs); got != tt.wantArgs {
+				t.Errorf("int arg regs = %d, want %d", got, tt.wantArgs)
+			}
+			if abi.WordSize != tt.wantWord {
+				t.Errorf("word size = %d, want %d", abi.WordSize, tt.wantWord)
+			}
+			if abi.RedZone != tt.wantRedZone {
+				t.Errorf("red zone = %d, want %d", abi.RedZone, tt.wantRedZone)
+			}
+			if abi.StackAlign != 16 {
+				t.Errorf("stack align = %d, want 16", abi.StackAlign)
+			}
+		})
+	}
+}
+
+func TestABIForUnknownArch(t *testing.T) {
+	if _, err := ABIFor(Arch(99)); err == nil {
+		t.Fatal("ABIFor(99) succeeded, want error")
+	}
+}
+
+func TestABIRegisterNamesUnique(t *testing.T) {
+	for _, arch := range All() {
+		abi, err := ABIFor(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		all := append(append([]Register{}, abi.IntArgRegs...), abi.CalleeSaved...)
+		for _, r := range all {
+			if seen[r.Name] {
+				t.Errorf("%v: duplicate register %q", arch, r.Name)
+			}
+			seen[r.Name] = true
+		}
+	}
+}
+
+func TestCostModelsCoverAllOpKinds(t *testing.T) {
+	for _, arch := range All() {
+		cm, err := CostModelFor(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range opKinds() {
+			if _, ok := cm.Cycles[k]; !ok {
+				t.Errorf("%v: missing cycle cost for %v", arch, k)
+			}
+			if _, ok := cm.Bytes[k]; !ok {
+				t.Errorf("%v: missing byte cost for %v", arch, k)
+			}
+		}
+	}
+}
+
+func TestThunderXSlowerPerCore(t *testing.T) {
+	// The paper's premise: the ThunderX core is much weaker than the
+	// Xeon core for single-threaded kernels (Table 1 ARM times are
+	// ~2.5-4x the x86 times).
+	mix := OpMix{OpIntALU: 1e9, OpLoad: 3e8, OpFloatMul: 2e8, OpBranch: 1e8}
+	x86 := X86CostModel().Seconds(mix, 0)
+	arm := ARMCostModel().Seconds(mix, 0)
+	if ratio := arm / x86; ratio < 2 || ratio > 6 {
+		t.Fatalf("ARM/x86 per-core ratio = %.2f, want within [2, 6]", ratio)
+	}
+}
+
+func TestIrregularAccessPenalty(t *testing.T) {
+	mix := OpMix{OpLoad: 1e8, OpIntALU: 1e8}
+	cm := X86CostModel()
+	regular := cm.Seconds(mix, 0)
+	chased := cm.Seconds(mix, 0.5)
+	if chased <= regular*2 {
+		t.Fatalf("pointer-chasing run %.3fs not much slower than regular %.3fs", chased, regular)
+	}
+}
+
+func TestSecondsClampIrregular(t *testing.T) {
+	mix := OpMix{OpLoad: 1e6}
+	cm := X86CostModel()
+	if cm.Seconds(mix, -1) != cm.Seconds(mix, 0) {
+		t.Error("negative irregularity not clamped to 0")
+	}
+	if cm.Seconds(mix, 2) != cm.Seconds(mix, 1) {
+		t.Error("irregularity > 1 not clamped to 1")
+	}
+}
+
+func TestOpMixAlgebra(t *testing.T) {
+	a := OpMix{OpIntALU: 10, OpLoad: 5}
+	b := OpMix{OpLoad: 5, OpStore: 1}
+	sum := a.Add(b)
+	if sum[OpIntALU] != 10 || sum[OpLoad] != 10 || sum[OpStore] != 1 {
+		t.Fatalf("Add = %v", sum)
+	}
+	if got := a.Scale(2)[OpIntALU]; got != 20 {
+		t.Fatalf("Scale(2)[IntALU] = %v, want 20", got)
+	}
+	if got := sum.Total(); got != 21 {
+		t.Fatalf("Total = %v, want 21", got)
+	}
+}
+
+// Property: Seconds is monotone in the op counts and linear under Scale.
+func TestSecondsLinearInWork(t *testing.T) {
+	cm := X86CostModel()
+	f := func(alu, load uint16, k uint8) bool {
+		mix := OpMix{OpIntALU: float64(alu), OpLoad: float64(load)}
+		factor := float64(k%7 + 1)
+		lhs := cm.Seconds(mix.Scale(factor), 0.25)
+		rhs := cm.Seconds(mix, 0.25) * factor
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeBytesPositive(t *testing.T) {
+	mix := OpMix{OpIntALU: 100, OpCall: 3, OpRet: 1}
+	for _, arch := range All() {
+		cm, err := CostModelFor(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := cm.CodeBytes(mix); b <= 0 {
+			t.Errorf("%v: CodeBytes = %d, want > 0", arch, b)
+		}
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if X86_64.String() != "x86-64" || ARM64.String() != "arm64" {
+		t.Fatal("unexpected Arch string values")
+	}
+	if Arch(42).String() != "Arch(42)" {
+		t.Fatal("unknown arch String not formatted")
+	}
+}

@@ -1,0 +1,185 @@
+package mir
+
+import "fmt"
+
+// Builder constructs instructions at the end of a current block,
+// assigning deterministic value ids.
+type Builder struct {
+	fn  *Function
+	cur *Block
+}
+
+// NewBuilder returns a builder for f without a current block.
+func NewBuilder(f *Function) *Builder { return &Builder{fn: f} }
+
+// SetBlock positions the builder at the end of b.
+func (bld *Builder) SetBlock(b *Block) { bld.cur = b }
+
+// Block returns the current block.
+func (bld *Builder) Block() *Block { return bld.cur }
+
+// Func returns the function under construction.
+func (bld *Builder) Func() *Function { return bld.fn }
+
+// emit appends the instruction to the current block.
+func (bld *Builder) emit(in *Instr) *Instr {
+	if bld.cur == nil {
+		panic("mir: builder has no current block")
+	}
+	if bld.cur.Term() != nil {
+		panic(fmt.Sprintf("mir: emitting %s after terminator in %s", in.Op, bld.cur.Nam))
+	}
+	in.id = bld.fn.nextValueID
+	bld.fn.nextValueID++
+	in.block = bld.cur
+	bld.cur.Instrs = append(bld.cur.Instrs, in)
+	return in
+}
+
+func (bld *Builder) binary(op Opcode, t Type, x, y Value) *Instr {
+	return bld.emit(&Instr{Op: op, Typ: t, Args: []Value{x, y}})
+}
+
+// Add emits x+y.
+func (bld *Builder) Add(x, y Value) *Instr { return bld.binary(OpAdd, x.Type(), x, y) }
+
+// Sub emits x-y.
+func (bld *Builder) Sub(x, y Value) *Instr { return bld.binary(OpSub, x.Type(), x, y) }
+
+// Mul emits x*y.
+func (bld *Builder) Mul(x, y Value) *Instr { return bld.binary(OpMul, x.Type(), x, y) }
+
+// SDiv emits signed x/y.
+func (bld *Builder) SDiv(x, y Value) *Instr { return bld.binary(OpSDiv, x.Type(), x, y) }
+
+// SRem emits signed x%y.
+func (bld *Builder) SRem(x, y Value) *Instr { return bld.binary(OpSRem, x.Type(), x, y) }
+
+// And emits x&y.
+func (bld *Builder) And(x, y Value) *Instr { return bld.binary(OpAnd, x.Type(), x, y) }
+
+// Or emits x|y.
+func (bld *Builder) Or(x, y Value) *Instr { return bld.binary(OpOr, x.Type(), x, y) }
+
+// Xor emits x^y.
+func (bld *Builder) Xor(x, y Value) *Instr { return bld.binary(OpXor, x.Type(), x, y) }
+
+// Shl emits x<<y.
+func (bld *Builder) Shl(x, y Value) *Instr { return bld.binary(OpShl, x.Type(), x, y) }
+
+// LShr emits logical x>>y.
+func (bld *Builder) LShr(x, y Value) *Instr { return bld.binary(OpLShr, x.Type(), x, y) }
+
+// AShr emits arithmetic x>>y.
+func (bld *Builder) AShr(x, y Value) *Instr { return bld.binary(OpAShr, x.Type(), x, y) }
+
+// FAdd emits x+y on floats.
+func (bld *Builder) FAdd(x, y Value) *Instr { return bld.binary(OpFAdd, F64, x, y) }
+
+// FSub emits x-y on floats.
+func (bld *Builder) FSub(x, y Value) *Instr { return bld.binary(OpFSub, F64, x, y) }
+
+// FMul emits x*y on floats.
+func (bld *Builder) FMul(x, y Value) *Instr { return bld.binary(OpFMul, F64, x, y) }
+
+// FDiv emits x/y on floats.
+func (bld *Builder) FDiv(x, y Value) *Instr { return bld.binary(OpFDiv, F64, x, y) }
+
+// ICmp emits an integer comparison producing i1.
+func (bld *Builder) ICmp(p CmpPred, x, y Value) *Instr {
+	in := bld.binary(OpICmp, I1, x, y)
+	in.Pred = p
+	return in
+}
+
+// FCmp emits a float comparison producing i1.
+func (bld *Builder) FCmp(p CmpPred, x, y Value) *Instr {
+	in := bld.binary(OpFCmp, I1, x, y)
+	in.Pred = p
+	return in
+}
+
+// Select emits cond ? x : y.
+func (bld *Builder) Select(cond, x, y Value) *Instr {
+	return bld.emit(&Instr{Op: OpSelect, Typ: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// Alloca reserves n bytes of frame memory, yielding a pointer.
+func (bld *Builder) Alloca(n int) *Instr {
+	return bld.emit(&Instr{Op: OpAlloca, Typ: Ptr, AllocBytes: n})
+}
+
+// Load reads a value of type t from ptr.
+func (bld *Builder) Load(t Type, ptr Value) *Instr {
+	return bld.emit(&Instr{Op: OpLoad, Typ: t, Args: []Value{ptr}})
+}
+
+// Store writes val to ptr.
+func (bld *Builder) Store(val, ptr Value) *Instr {
+	return bld.emit(&Instr{Op: OpStore, Typ: Void, Args: []Value{val, ptr}})
+}
+
+// PtrAdd emits ptr + off (byte offset).
+func (bld *Builder) PtrAdd(ptr, off Value) *Instr {
+	return bld.emit(&Instr{Op: OpPtrAdd, Typ: Ptr, Args: []Value{ptr, off}})
+}
+
+// Call emits a call to callee.
+func (bld *Builder) Call(callee *Function, args ...Value) *Instr {
+	return bld.emit(&Instr{Op: OpCall, Typ: callee.Ret, Args: args, Callee: callee})
+}
+
+// Br emits an unconditional branch.
+func (bld *Builder) Br(target *Block) *Instr {
+	return bld.emit(&Instr{Op: OpBr, Typ: Void, Targets: []*Block{target}})
+}
+
+// CondBr branches to then when cond is true, otherwise to els.
+func (bld *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bld.emit(&Instr{Op: OpCondBr, Typ: Void, Args: []Value{cond}, Targets: []*Block{then, els}})
+}
+
+// Ret returns from the function; v may be nil for void returns.
+func (bld *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bld.emit(in)
+}
+
+// Phi emits an empty phi of type t at the end of the current block;
+// incoming edges are attached with AddIncoming. Phis must be created
+// before non-phi instructions in a block.
+func (bld *Builder) Phi(t Type) *Instr {
+	return bld.emit(&Instr{Op: OpPhi, Typ: t})
+}
+
+// AddIncoming attaches an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("mir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Targets = append(phi.Targets, from)
+}
+
+// SExt sign-extends x to type t.
+func (bld *Builder) SExt(t Type, x Value) *Instr {
+	return bld.emit(&Instr{Op: OpSExt, Typ: t, Args: []Value{x}})
+}
+
+// Trunc truncates x to type t.
+func (bld *Builder) Trunc(t Type, x Value) *Instr {
+	return bld.emit(&Instr{Op: OpTrunc, Typ: t, Args: []Value{x}})
+}
+
+// SIToFP converts a signed integer to F64.
+func (bld *Builder) SIToFP(x Value) *Instr {
+	return bld.emit(&Instr{Op: OpSIToFP, Typ: F64, Args: []Value{x}})
+}
+
+// FPToSI converts an F64 to a signed integer of type t.
+func (bld *Builder) FPToSI(t Type, x Value) *Instr {
+	return bld.emit(&Instr{Op: OpFPToSI, Typ: t, Args: []Value{x}})
+}

@@ -1,0 +1,117 @@
+package mir
+
+// Succs returns the successor blocks of b in terminator order.
+func Succs(b *Block) []*Block {
+	t := b.Term()
+	if t == nil || t.Op == OpRet {
+		return nil
+	}
+	return t.Targets
+}
+
+// Preds computes predecessor lists for every block of f, keyed by
+// block, in deterministic (block declaration, edge) order.
+func Preds(f *Function) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range Succs(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// ReversePostorder returns the blocks of f reachable from entry, in
+// reverse postorder (a topological-ish order ideal for forward
+// dataflow).
+func ReversePostorder(f *Function) []*Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b] = true
+		for _, s := range Succs(b) {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the classic iterative algorithm (Cooper, Harvey, Kennedy). The
+// entry block's idom is itself.
+func Dominators(f *Function) map[*Block]*Block {
+	rpo := ReversePostorder(f)
+	if len(rpo) == 0 {
+		return nil
+	}
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	preds := Preds(f)
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := rpo[0]
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom tree.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		parent, ok := idom[b]
+		if !ok || parent == b {
+			return a == b
+		}
+		b = parent
+	}
+}

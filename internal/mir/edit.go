@@ -1,0 +1,28 @@
+package mir
+
+import "fmt"
+
+// InsertCall inserts a call to callee with args at index idx of block
+// b, which must belong to f. Unlike the builder, insertion works on
+// finished blocks (including before the terminator) — the operation
+// instrumentation passes need. The new instruction receives a fresh
+// value id.
+func (f *Function) InsertCall(b *Block, idx int, callee *Function, args ...Value) (*Instr, error) {
+	if b.fn != f {
+		return nil, fmt.Errorf("mir: block %s not in function %s", b.Nam, f.Nam)
+	}
+	if idx < 0 || idx > len(b.Instrs) {
+		return nil, fmt.Errorf("mir: insert index %d out of range [0,%d]", idx, len(b.Instrs))
+	}
+	if term := b.Term(); term != nil && idx == len(b.Instrs) {
+		return nil, fmt.Errorf("mir: insert after terminator in %s", b.Nam)
+	}
+	in := &Instr{Op: OpCall, Typ: callee.Ret, Args: args, Callee: callee}
+	in.id = f.nextValueID
+	f.nextValueID++
+	in.block = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+	return in, nil
+}

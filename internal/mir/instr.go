@@ -1,0 +1,228 @@
+package mir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xartrek/internal/isa"
+)
+
+// Opcode enumerates IR operations.
+type Opcode int
+
+// IR operations.
+const (
+	OpAdd Opcode = iota + 1
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+	OpICmp
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmp
+	OpAlloca
+	OpLoad
+	OpStore
+	OpPtrAdd // pointer + byte offset (GEP equivalent)
+	OpCall
+	OpBr
+	OpCondBr
+	OpRet
+	OpPhi
+	OpSExt
+	OpTrunc
+	OpSIToFP
+	OpFPToSI
+	OpSelect
+)
+
+var opNames = map[Opcode]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpICmp: "icmp", OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul",
+	OpFDiv: "fdiv", OpFCmp: "fcmp",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpPtrAdd: "ptradd",
+	OpCall: "call", OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
+	OpPhi: "phi", OpSExt: "sext", OpTrunc: "trunc",
+	OpSIToFP: "sitofp", OpFPToSI: "fptosi", OpSelect: "select",
+}
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Opcode) IsTerminator() bool {
+	return o == OpBr || o == OpCondBr || o == OpRet
+}
+
+// Kind maps the opcode to the ISA-independent cost category.
+func (o Opcode) Kind() isa.OpKind {
+	switch o {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr, OpICmp,
+		OpSExt, OpTrunc, OpSelect, OpPtrAdd:
+		return isa.OpIntALU
+	case OpMul:
+		return isa.OpIntMul
+	case OpSDiv, OpSRem:
+		return isa.OpIntDiv
+	case OpFAdd, OpFSub, OpFCmp, OpSIToFP, OpFPToSI:
+		return isa.OpFloatALU
+	case OpFMul:
+		return isa.OpFloatMul
+	case OpFDiv:
+		return isa.OpFloatDiv
+	case OpLoad:
+		return isa.OpLoad
+	case OpStore, OpAlloca:
+		return isa.OpStore
+	case OpBr, OpCondBr:
+		return isa.OpBranch
+	case OpCall:
+		return isa.OpCall
+	case OpRet:
+		return isa.OpRet
+	case OpPhi:
+		return isa.OpMove
+	default:
+		return isa.OpMove
+	}
+}
+
+// CmpPred is a comparison predicate for icmp/fcmp.
+type CmpPred int
+
+// Comparison predicates (signed for integers, ordered for floats).
+const (
+	CmpEQ CmpPred = iota + 1
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String implements fmt.Stringer.
+func (p CmpPred) String() string {
+	switch p {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	default:
+		return fmt.Sprintf("CmpPred(%d)", int(p))
+	}
+}
+
+// Instr is one IR instruction. Instructions producing a value (Typ !=
+// Void) implement Value and can be used as operands.
+type Instr struct {
+	Op   Opcode
+	Typ  Type // result type; Void for store/br/ret
+	Args []Value
+	// Targets holds successor blocks for Br/CondBr and, for Phi, the
+	// incoming block of each argument (parallel to Args).
+	Targets []*Block
+	// Callee is the called function for OpCall.
+	Callee *Function
+	// Pred is the predicate for OpICmp/OpFCmp.
+	Pred CmpPred
+	// AllocBytes is the frame allocation size for OpAlloca.
+	AllocBytes int
+
+	id    int
+	block *Block
+}
+
+var _ Value = (*Instr)(nil)
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Typ }
+
+// Name implements Value.
+func (in *Instr) Name() string { return fmt.Sprintf("%%v%d", in.id) }
+
+// Block returns the containing basic block.
+func (in *Instr) Block() *Block { return in.block }
+
+// ID returns the function-unique value id.
+func (in *Instr) ID() int { return in.id }
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Typ != Void {
+		fmt.Fprintf(&sb, "%s = ", in.Name())
+	}
+	sb.WriteString(in.Op.String())
+	if in.Op == OpICmp || in.Op == OpFCmp {
+		sb.WriteByte(' ')
+		sb.WriteString(in.Pred.String())
+	}
+	if in.Callee != nil {
+		fmt.Fprintf(&sb, " @%s", in.Callee.Nam)
+	}
+	for i, a := range in.Args {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Name())
+		if in.Op == OpPhi && i < len(in.Targets) {
+			fmt.Fprintf(&sb, " [%s]", in.Targets[i].Nam)
+		}
+	}
+	if in.Op == OpBr || in.Op == OpCondBr {
+		for _, t := range in.Targets {
+			fmt.Fprintf(&sb, " ->%s", t.Nam)
+		}
+	}
+	if in.Op == OpAlloca {
+		fmt.Fprintf(&sb, " %d", in.AllocBytes)
+	}
+	return sb.String()
+}
+
+// fromF64Bits converts raw bits to a float64.
+func fromF64Bits(b uint64) float64 { return math.Float64frombits(b) }
+
+// f64Bits converts a float64 to raw bits.
+func f64Bits(f float64) uint64 { return math.Float64bits(f) }
+
+// ConstInt returns an integer constant of the given type.
+func ConstInt(t Type, v int64) *Const { return &Const{Typ: t, Bits: uint64(v)} }
+
+// ConstFloat returns an F64 constant.
+func ConstFloat(v float64) *Const { return &Const{Typ: F64, Bits: f64Bits(v)} }
+
+// ConstBool returns an I1 constant.
+func ConstBool(v bool) *Const {
+	if v {
+		return &Const{Typ: I1, Bits: 1}
+	}
+	return &Const{Typ: I1, Bits: 0}
+}

@@ -1,0 +1,168 @@
+package mir
+
+import "sort"
+
+// Liveness holds the result of the backward live-variable analysis
+// Popcorn's compiler runs to know which values must be materialised in
+// the destination ISA's state at a migration point.
+type Liveness struct {
+	liveIn  map[*Block]valueSet
+	liveOut map[*Block]valueSet
+}
+
+type valueSet map[Value]struct{}
+
+func (s valueSet) clone() valueSet {
+	c := make(valueSet, len(s))
+	for v := range s {
+		c[v] = struct{}{}
+	}
+	return c
+}
+
+func (s valueSet) equal(o valueSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for v := range s {
+		if _, ok := o[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// trackable reports whether liveness should track v: instruction
+// results and parameters (constants are rematerialised, not migrated).
+func trackable(v Value) bool {
+	switch v.(type) {
+	case *Instr, *Param:
+		return true
+	default:
+		return false
+	}
+}
+
+// ComputeLiveness runs the iterative backward dataflow analysis on f.
+func ComputeLiveness(f *Function) *Liveness {
+	lv := &Liveness{
+		liveIn:  make(map[*Block]valueSet, len(f.Blocks)),
+		liveOut: make(map[*Block]valueSet, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		lv.liveIn[b] = valueSet{}
+		lv.liveOut[b] = valueSet{}
+	}
+	// Iterate blocks in postorder (reverse of RPO) for fast
+	// convergence of the backward problem.
+	rpo := ReversePostorder(f)
+	post := make([]*Block, len(rpo))
+	for i, b := range rpo {
+		post[len(rpo)-1-i] = b
+	}
+	preds := Preds(f)
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range post {
+			// out[b] = union over successors s of
+			//   (in[s] minus s's phis' results) plus the values the
+			//   phis in s read along the b->s edge.
+			out := valueSet{}
+			for _, s := range Succs(b) {
+				for v := range lv.liveIn[s] {
+					out[v] = struct{}{}
+				}
+				for _, in := range s.Instrs {
+					if in.Op != OpPhi {
+						break
+					}
+					delete(out, in)
+					for ai, a := range in.Args {
+						if in.Targets[ai] == b && trackable(a) {
+							out[a] = struct{}{}
+						}
+					}
+				}
+			}
+			in := out.clone()
+			// Walk instructions backwards: kill defs, gen uses.
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				ins := b.Instrs[i]
+				if ins.Typ != Void {
+					delete(in, ins)
+				}
+				if ins.Op == OpPhi {
+					continue // phi uses belong to predecessors
+				}
+				for _, a := range ins.Args {
+					if trackable(a) {
+						in[a] = struct{}{}
+					}
+				}
+			}
+			if !in.equal(lv.liveIn[b]) || !out.equal(lv.liveOut[b]) {
+				lv.liveIn[b] = in
+				lv.liveOut[b] = out
+				changed = true
+			}
+			_ = preds
+		}
+	}
+	return lv
+}
+
+// LiveIn returns the values live on entry to b, sorted for determinism.
+func (lv *Liveness) LiveIn(b *Block) []Value { return sortValues(lv.liveIn[b]) }
+
+// LiveOut returns the values live on exit from b, sorted.
+func (lv *Liveness) LiveOut(b *Block) []Value { return sortValues(lv.liveOut[b]) }
+
+// LiveAcross returns the values live immediately after instruction
+// index idx in block b — i.e. the state that must survive a call at
+// that position. The result excludes the instruction's own value.
+func (lv *Liveness) LiveAcross(b *Block, idx int) []Value {
+	// Start from liveOut and walk backwards to just after idx.
+	cur := lv.liveOut[b].clone()
+	for i := len(b.Instrs) - 1; i > idx; i-- {
+		ins := b.Instrs[i]
+		if ins.Typ != Void {
+			delete(cur, ins)
+		}
+		if ins.Op == OpPhi {
+			continue
+		}
+		for _, a := range ins.Args {
+			if trackable(a) {
+				cur[a] = struct{}{}
+			}
+		}
+	}
+	delete(cur, b.Instrs[idx])
+	return sortValues(cur)
+}
+
+// sortValues orders a set deterministically: params by index first,
+// then instruction results by id.
+func sortValues(s valueSet) []Value {
+	out := make([]Value, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return valueOrder(out[i]) < valueOrder(out[j])
+	})
+	return out
+}
+
+// valueOrder assigns a deterministic sort key.
+func valueOrder(v Value) int {
+	switch t := v.(type) {
+	case *Param:
+		return t.Index
+	case *Instr:
+		return 1_000_000 + t.id
+	default:
+		return 1 << 30
+	}
+}

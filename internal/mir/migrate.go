@@ -1,0 +1,57 @@
+package mir
+
+// MigrationPoint marks a program location where execution may migrate
+// between ISAs: the program's memory state is equivalent across ISAs at
+// function boundaries (von Bank et al.'s pointwise equivalence), so
+// Popcorn — and therefore Xar-Trek — places migration points at
+// function entry and at call sites. Live carries the values that the
+// run-time state transformer must relocate into the destination ISA's
+// register/stack layout.
+type MigrationPoint struct {
+	Func  *Function
+	Block *Block
+	// Index is the instruction index within Block; -1 denotes the
+	// function-entry migration point.
+	Index int
+	// Call is the call instruction for call-site points, nil at entry.
+	Call *Instr
+	// Live lists the values live across the point, in deterministic
+	// order.
+	Live []Value
+}
+
+// InsertMigrationPoints computes the migration points of f: one at
+// function entry plus one per call site. The returned slice is ordered
+// by (block declaration order, instruction index).
+func InsertMigrationPoints(f *Function) []MigrationPoint {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	lv := ComputeLiveness(f)
+
+	entryLive := make([]Value, 0, len(f.Params))
+	for _, p := range f.Params {
+		entryLive = append(entryLive, p)
+	}
+	points := []MigrationPoint{{
+		Func:  f,
+		Block: f.Entry(),
+		Index: -1,
+		Live:  entryLive,
+	}}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op != OpCall {
+				continue
+			}
+			points = append(points, MigrationPoint{
+				Func:  f,
+				Block: b,
+				Index: i,
+				Call:  in,
+				Live:  lv.LiveAcross(b, i),
+			})
+		}
+	}
+	return points
+}

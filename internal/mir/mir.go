@@ -1,0 +1,238 @@
+// Package mir implements the mid-level intermediate representation that
+// stands in for the LLVM IR used by the Popcorn/Xar-Trek compiler.
+//
+// The Xar-Trek compiler pipeline needs an IR for four jobs:
+//
+//  1. the liveness pass that computes which values are live at each
+//     call site (the metadata driving cross-ISA state transformation),
+//  2. the migration-point insertion pass,
+//  3. per-ISA code generation (op-mix extraction feeding the cost and
+//     code-size models in internal/isa), and
+//  4. HLS resource/latency estimation (internal/hls).
+//
+// The package provides a typed, block-structured IR with a builder, a
+// verifier (CFG well-formedness, type checking, SSA dominance), classic
+// analyses (dominators, liveness) and a concrete interpreter used both
+// to execute kernels for real and to collect dynamic operation mixes.
+package mir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a value type. The IR is deliberately small: the subset of C
+// scalar types the paper's kernels use, plus pointers.
+type Type int
+
+// Value types.
+const (
+	Void Type = iota + 1
+	I1        // boolean
+	I32
+	I64
+	F64
+	Ptr
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// IsInt reports whether t is an integer type (including i1).
+func (t Type) IsInt() bool { return t == I1 || t == I32 || t == I64 }
+
+// SizeBytes reports the in-memory size of a value of type t.
+func (t Type) SizeBytes() int {
+	switch t {
+	case I1:
+		return 1
+	case I32:
+		return 4
+	case I64, F64, Ptr:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Value is anything an instruction can consume: constants, parameters,
+// or the results of other instructions.
+type Value interface {
+	Type() Type
+	Name() string
+}
+
+// Const is a literal. Bits holds the raw representation (two's
+// complement for integers, IEEE-754 for F64).
+type Const struct {
+	Typ  Type
+	Bits uint64
+}
+
+var _ Value = (*Const)(nil)
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Typ }
+
+// Name implements Value.
+func (c *Const) Name() string {
+	switch c.Typ {
+	case F64:
+		return fmt.Sprintf("%g", fromF64Bits(c.Bits))
+	case I1:
+		if c.Bits != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%d", int64(c.Bits))
+	}
+}
+
+// Param is a function parameter.
+type Param struct {
+	Nam   string
+	Typ   Type
+	Index int
+}
+
+var _ Value = (*Param)(nil)
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Typ }
+
+// Name implements Value.
+func (p *Param) Name() string { return "%" + p.Nam }
+
+// Module is a set of functions with a deterministic order.
+type Module struct {
+	Name  string
+	funcs []*Function
+	byNam map[string]*Function
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, byNam: make(map[string]*Function)}
+}
+
+// Funcs returns the functions in declaration order.
+func (m *Module) Funcs() []*Function { return m.funcs }
+
+// Func looks a function up by name, returning nil when absent.
+func (m *Module) Func(name string) *Function { return m.byNam[name] }
+
+// AddFunc declares a new function in the module.
+func (m *Module) AddFunc(name string, ret Type, params ...Type) (*Function, error) {
+	if _, dup := m.byNam[name]; dup {
+		return nil, fmt.Errorf("mir: duplicate function %q", name)
+	}
+	f := &Function{Nam: name, Ret: ret, module: m}
+	for i, pt := range params {
+		f.Params = append(f.Params, &Param{Nam: fmt.Sprintf("arg%d", i), Typ: pt, Index: i})
+	}
+	m.funcs = append(m.funcs, f)
+	m.byNam[name] = f
+	return f, nil
+}
+
+// Function is a CFG of basic blocks. The first block is the entry.
+type Function struct {
+	Nam    string
+	Ret    Type
+	Params []*Param
+	Blocks []*Block
+	module *Module
+
+	nextValueID int
+	nextBlockID int
+}
+
+// Name returns the function's symbol name.
+func (f *Function) Name() string { return f.Nam }
+
+// Module returns the owning module.
+func (f *Function) Module() *Module { return f.module }
+
+// Entry returns the entry block, or nil for a declaration.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new basic block named after hint.
+func (f *Function) NewBlock(hint string) *Block {
+	if hint == "" {
+		hint = "bb"
+	}
+	b := &Block{Nam: fmt.Sprintf("%s%d", hint, f.nextBlockID), fn: f}
+	f.nextBlockID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Block is a basic block: a straight-line instruction list ending in a
+// terminator.
+type Block struct {
+	Nam    string
+	Instrs []*Instr
+	fn     *Function
+}
+
+// Name returns the block label.
+func (b *Block) Name() string { return b.Nam }
+
+// Func returns the owning function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Term returns the block terminator, or nil if the block is unfinished.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// String renders the function in a readable textual form.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Nam)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", p.Name(), p.Typ)
+	}
+	fmt.Fprintf(&sb, ") %s {\n", f.Ret)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Nam)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

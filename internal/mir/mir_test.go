@@ -1,0 +1,549 @@
+package mir
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xartrek/internal/isa"
+)
+
+func TestModuleAddFuncDuplicate(t *testing.T) {
+	m := NewModule("m")
+	if _, err := m.AddFunc("f", Void); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddFunc("f", Void); err == nil {
+		t.Fatal("duplicate AddFunc succeeded")
+	}
+	if m.Func("f") == nil {
+		t.Fatal("Func lookup failed")
+	}
+	if m.Func("missing") != nil {
+		t.Fatal("Func returned a function for a missing name")
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	tests := []struct {
+		typ   Type
+		isInt bool
+		size  int
+		str   string
+	}{
+		{Void, false, 0, "void"},
+		{I1, true, 1, "i1"},
+		{I32, true, 4, "i32"},
+		{I64, true, 8, "i64"},
+		{F64, false, 8, "f64"},
+		{Ptr, false, 8, "ptr"},
+	}
+	for _, tt := range tests {
+		if tt.typ.IsInt() != tt.isInt {
+			t.Errorf("%v.IsInt() = %v", tt.typ, tt.typ.IsInt())
+		}
+		if tt.typ.SizeBytes() != tt.size {
+			t.Errorf("%v.SizeBytes() = %d, want %d", tt.typ, tt.typ.SizeBytes(), tt.size)
+		}
+		if tt.typ.String() != tt.str {
+			t.Errorf("%v.String() = %q, want %q", tt.typ, tt.typ.String(), tt.str)
+		}
+	}
+}
+
+func TestInterpFactorial(t *testing.T) {
+	m := NewModule("m")
+	f := buildFactorial(t, m)
+	ip := NewInterp(1 << 12)
+	want := int64(1)
+	for n := int64(0); n <= 20; n++ {
+		if n > 0 {
+			want *= n
+		}
+		got, err := ip.Run(f, uint64(n))
+		if err != nil {
+			t.Fatalf("fact(%d): %v", n, err)
+		}
+		if int64(got) != want {
+			t.Fatalf("fact(%d) = %d, want %d", n, int64(got), want)
+		}
+	}
+}
+
+func TestInterpSumArray(t *testing.T) {
+	m := NewModule("m")
+	f := buildSumArray(t, m)
+	ip := NewInterp(1 << 16)
+	const n = 100
+	addr, err := ip.Mem.Alloc(8 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for k := 0; k < n; k++ {
+		v := int64(k*k - 50)
+		want += v
+		if err := ip.Mem.Store(addr+uint64(8*k), 8, uint64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ip.Run(f, addr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got) != want {
+		t.Fatalf("sum = %d, want %d", int64(got), want)
+	}
+}
+
+func TestInterpFibRecursion(t *testing.T) {
+	m := NewModule("m")
+	f := buildFib(t, m)
+	ip := NewInterp(1 << 12)
+	fib := func(n int) int64 {
+		a, b := int64(0), int64(1)
+		for i := 0; i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	}
+	for n := 0; n <= 15; n++ {
+		got, err := ip.Run(f, uint64(n))
+		if err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
+		if int64(got) != fib(n) {
+			t.Fatalf("fib(%d) = %d, want %d", n, int64(got), fib(n))
+		}
+	}
+}
+
+func TestInterpDotProduct(t *testing.T) {
+	m := NewModule("m")
+	f := buildDot(t, m)
+	ip := NewInterp(1 << 16)
+	const n = 50
+	xa, err := ip.Mem.Alloc(8 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya, err := ip.Mem.Alloc(8 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for k := 0; k < n; k++ {
+		x := float64(k) * 0.5
+		y := float64(n-k) * 0.25
+		want += x * y
+		if err := ip.Mem.Store(xa+uint64(8*k), 8, math.Float64bits(x)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ip.Mem.Store(ya+uint64(8*k), 8, math.Float64bits(y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ip.Run(f, xa, ya, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := math.Float64frombits(got); math.Abs(g-want) > 1e-9 {
+		t.Fatalf("dot = %g, want %g", g, want)
+	}
+}
+
+func TestInterpDivByZero(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("div", I64, I64, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Ret(b.SDiv(f.Params[0], f.Params[1]))
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(1 << 10)
+	if _, err := ip.Run(f, 10, 0); !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("div by zero error = %v, want ErrDivByZero", err)
+	}
+	got, err := ip.Run(f, 10, 3)
+	if err != nil || int64(got) != 3 {
+		t.Fatalf("10/3 = %d, %v", int64(got), err)
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("spin", Void)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	b.SetBlock(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(1 << 10)
+	ip.MaxSteps = 1000
+	if _, err := ip.Run(f); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("infinite loop error = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestInterpBadAddress(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("deref", I64, Ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Ret(b.Load(I64, f.Params[0]))
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(1 << 10)
+	if _, err := ip.Run(f, 0); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("null deref error = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestInterpCollectsOpMix(t *testing.T) {
+	m := NewModule("m")
+	f := buildFactorial(t, m)
+	ip := NewInterp(1 << 10)
+	if _, err := ip.Run(f, 10); err != nil {
+		t.Fatal(err)
+	}
+	stats := ip.Stats()
+	if stats.Ops[isa.OpIntMul] != 10 {
+		t.Errorf("multiplies = %v, want 10", stats.Ops[isa.OpIntMul])
+	}
+	if stats.Ops[isa.OpBranch] == 0 {
+		t.Error("no branches recorded")
+	}
+	ip.ResetStats()
+	if ip.Stats().Steps != 0 {
+		t.Error("ResetStats did not clear steps")
+	}
+}
+
+func TestInterpI32Wraparound(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("addi32", I32, I32, I32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Ret(b.Add(f.Params[0], f.Params[1]))
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(1 << 10)
+	check := func(x, y int32) bool {
+		got, err := ip.Run(f, uint64(int64(x)), uint64(int64(y)))
+		if err != nil {
+			return false
+		}
+		return int32(got) == x+y && int64(got) == int64(x+y)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("f", I64, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Add(f.Params[0], f.Params[0])
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify accepted block without terminator")
+	}
+}
+
+func TestVerifyRejectsTypeMismatch(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("f", I64, I64, I32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	bad := &Instr{Op: OpAdd, Typ: I64, Args: []Value{f.Params[0], f.Params[1]}}
+	b.emit(bad)
+	b.Ret(bad)
+	err = Verify(f)
+	if err == nil {
+		t.Fatal("Verify accepted i64+i32")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error type %T, want *VerifyError", err)
+	}
+}
+
+func TestVerifyRejectsUndominatedUse(t *testing.T) {
+	// Use a value defined in the 'then' branch from the join block.
+	m := NewModule("m")
+	f, err := m.AddFunc("f", I64, I1, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	join := f.NewBlock("join")
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	b.CondBr(f.Params[0], then, join)
+	b.SetBlock(then)
+	v := b.Add(f.Params[1], f.Params[1])
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret(v) // not dominated: entry->join bypasses then
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify accepted undominated use")
+	}
+}
+
+func TestVerifyRejectsPhiMismatch(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("f", I64, I1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	join := f.NewBlock("join")
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	b.CondBr(f.Params[0], a, join)
+	b.SetBlock(a)
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(I64)
+	AddIncoming(phi, ConstInt(I64, 1), entry)
+	// Missing incoming from block a.
+	b.Ret(phi)
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify accepted phi with missing incoming edge")
+	}
+}
+
+func TestVerifyNoBlocks(t *testing.T) {
+	m := NewModule("m")
+	f, err := m.AddFunc("decl", Void)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); !errors.Is(err, ErrNoBlocks) {
+		t.Fatalf("Verify(decl) = %v, want ErrNoBlocks", err)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	// Diamond: entry -> {a, b} -> join.
+	m := NewModule("m")
+	f, err := m.AddFunc("f", Void, I1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	bb := f.NewBlock("b")
+	join := f.NewBlock("join")
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	b.CondBr(f.Params[0], a, bb)
+	b.SetBlock(a)
+	b.Br(join)
+	b.SetBlock(bb)
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret(nil)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+
+	idom := Dominators(f)
+	if idom[join] != entry {
+		t.Errorf("idom(join) = %v, want entry", idom[join].Nam)
+	}
+	if idom[a] != entry || idom[bb] != entry {
+		t.Error("branch blocks not dominated by entry")
+	}
+	if !Dominates(idom, entry, join) {
+		t.Error("entry should dominate join")
+	}
+	if Dominates(idom, a, join) {
+		t.Error("a should not dominate join")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	m := NewModule("m")
+	f := buildSumArray(t, m)
+	lv := ComputeLiveness(f)
+	loop := f.Blocks[1]
+	liveIn := lv.LiveIn(loop)
+	// Both parameters are live around the loop; the phis are defined
+	// in the header so they appear in live-out, not live-in.
+	names := make(map[string]bool, len(liveIn))
+	for _, v := range liveIn {
+		names[v.Name()] = true
+	}
+	if !names["%arg0"] || !names["%arg1"] {
+		t.Errorf("params not live at loop header: %v", names)
+	}
+	liveOut := lv.LiveOut(loop)
+	phis := 0
+	for _, v := range liveOut {
+		if in, ok := v.(*Instr); ok && in.Op == OpPhi {
+			phis++
+		}
+	}
+	if phis != 2 {
+		t.Errorf("phis live out of loop header = %d, want 2", phis)
+	}
+}
+
+func TestMigrationPoints(t *testing.T) {
+	m := NewModule("m")
+	f := buildFib(t, m)
+	pts := InsertMigrationPoints(f)
+	// Entry point + two call sites.
+	if len(pts) != 3 {
+		t.Fatalf("migration points = %d, want 3", len(pts))
+	}
+	if pts[0].Index != -1 || pts[0].Call != nil {
+		t.Error("first point is not the entry point")
+	}
+	if len(pts[0].Live) != len(f.Params) {
+		t.Errorf("entry live = %d, want %d params", len(pts[0].Live), len(f.Params))
+	}
+	// At the first call site fib(n-1), the value n-2 or n must be
+	// live (needed for the second call), plus nothing dead.
+	first := pts[1]
+	if first.Call == nil || first.Call.Op != OpCall {
+		t.Fatal("second point is not a call site")
+	}
+	if len(first.Live) == 0 {
+		t.Error("no live values across first recursive call")
+	}
+	// The result of the first call must be live across the second.
+	second := pts[2]
+	foundF1 := false
+	for _, v := range second.Live {
+		if v == Value(first.Call) {
+			foundF1 = true
+		}
+	}
+	if !foundF1 {
+		t.Error("first call's result not live across second call")
+	}
+}
+
+func TestMigrationPointsDeterministic(t *testing.T) {
+	build := func() []string {
+		m := NewModule("m")
+		f := buildFib(t, m)
+		pts := InsertMigrationPoints(f)
+		var out []string
+		for _, p := range pts {
+			for _, v := range p.Live {
+				out = append(out, v.Name())
+			}
+			out = append(out, "|")
+		}
+		return out
+	}
+	a, b := build(), build()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("migration metadata not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestFunctionString(t *testing.T) {
+	m := NewModule("m")
+	f := buildFactorial(t, m)
+	s := f.String()
+	for _, want := range []string{"func fact", "phi", "mul", "condbr", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReversePostorderEntryFirst(t *testing.T) {
+	m := NewModule("m")
+	f := buildSumArray(t, m)
+	rpo := ReversePostorder(f)
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("rpo len = %d, want %d", len(rpo), len(f.Blocks))
+	}
+	if rpo[0] != f.Entry() {
+		t.Fatal("rpo does not start at entry")
+	}
+}
+
+func TestOpcodeKindTotal(t *testing.T) {
+	// Every opcode maps to some cost category.
+	for op := OpAdd; op <= OpSelect; op++ {
+		if op.Kind() == 0 {
+			t.Errorf("opcode %v has no kind", op)
+		}
+	}
+}
+
+func TestConstHelpers(t *testing.T) {
+	if ConstBool(true).Bits != 1 || ConstBool(false).Bits != 0 {
+		t.Error("ConstBool bits")
+	}
+	c := ConstFloat(2.5)
+	if math.Float64frombits(c.Bits) != 2.5 {
+		t.Error("ConstFloat bits")
+	}
+	if ConstInt(I32, -1).Name() != "-1" {
+		t.Errorf("ConstInt name = %q", ConstInt(I32, -1).Name())
+	}
+	if ConstBool(true).Name() != "true" {
+		t.Errorf("ConstBool name = %q", ConstBool(true).Name())
+	}
+}
+
+func TestMemoryAllocRelease(t *testing.T) {
+	mem := NewMemory(64)
+	mark := mem.Mark()
+	a, err := mem.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < memBase {
+		t.Fatal("address below base")
+	}
+	if _, err := mem.Alloc(1 << 20); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized alloc error = %v", err)
+	}
+	mem.Release(mark)
+	b, err := mem.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatal("Release did not rewind allocator")
+	}
+}

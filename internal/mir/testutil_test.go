@@ -1,0 +1,176 @@
+package mir
+
+import "testing"
+
+// buildFactorial constructs an iterative factorial over i64:
+//
+//	func fact(n i64) i64 {
+//	  acc = 1
+//	  for i = 1; i <= n; i++ { acc *= i }
+//	  return acc
+//	}
+func buildFactorial(t *testing.T, m *Module) *Function {
+	t.Helper()
+	f, err := m.AddFunc("fact", I64, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	one := ConstInt(I64, 1)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(I64)
+	acc := b.Phi(I64)
+	cond := b.ICmp(CmpLE, i, f.Params[0])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	acc2 := b.Mul(acc, i)
+	i2 := b.Add(i, one)
+	b.Br(loop)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+
+	AddIncoming(i, one, entry)
+	AddIncoming(i, i2, body)
+	AddIncoming(acc, one, entry)
+	AddIncoming(acc, acc2, body)
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("factorial does not verify: %v", err)
+	}
+	return f
+}
+
+// buildSumArray constructs:
+//
+//	func sum(ptr ptr, n i64) i64 { s=0; for k<n { s += ptr[k] }; return s }
+//
+// reading i64 elements.
+func buildSumArray(t *testing.T, m *Module) *Function {
+	t.Helper()
+	f, err := m.AddFunc("sum", I64, Ptr, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	zero := ConstInt(I64, 0)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	k := b.Phi(I64)
+	s := b.Phi(I64)
+	cond := b.ICmp(CmpLT, k, f.Params[1])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(k, ConstInt(I64, 8))
+	addr := b.PtrAdd(f.Params[0], off)
+	v := b.Load(I64, addr)
+	s2 := b.Add(s, v)
+	k2 := b.Add(k, ConstInt(I64, 1))
+	b.Br(loop)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+
+	AddIncoming(k, zero, entry)
+	AddIncoming(k, k2, body)
+	AddIncoming(s, zero, entry)
+	AddIncoming(s, s2, body)
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("sum does not verify: %v", err)
+	}
+	return f
+}
+
+// buildFib constructs naive recursive fibonacci, exercising calls.
+func buildFib(t *testing.T, m *Module) *Function {
+	t.Helper()
+	f, err := m.AddFunc("fib", I64, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	rec := f.NewBlock("rec")
+	base := f.NewBlock("base")
+
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	cond := b.ICmp(CmpLT, f.Params[0], ConstInt(I64, 2))
+	b.CondBr(cond, base, rec)
+
+	b.SetBlock(base)
+	b.Ret(f.Params[0])
+
+	b.SetBlock(rec)
+	n1 := b.Sub(f.Params[0], ConstInt(I64, 1))
+	n2 := b.Sub(f.Params[0], ConstInt(I64, 2))
+	f1 := b.Call(f, n1)
+	f2 := b.Call(f, n2)
+	b.Ret(b.Add(f1, f2))
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("fib does not verify: %v", err)
+	}
+	return f
+}
+
+// buildDot constructs a float dot product over two i64-indexed arrays.
+func buildDot(t *testing.T, m *Module) *Function {
+	t.Helper()
+	f, err := m.AddFunc("dot", F64, Ptr, Ptr, I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	k := b.Phi(I64)
+	s := b.Phi(F64)
+	cond := b.ICmp(CmpLT, k, f.Params[2])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(k, ConstInt(I64, 8))
+	xa := b.Load(F64, b.PtrAdd(f.Params[0], off))
+	ya := b.Load(F64, b.PtrAdd(f.Params[1], off))
+	s2 := b.FAdd(s, b.FMul(xa, ya))
+	k2 := b.Add(k, ConstInt(I64, 1))
+	b.Br(loop)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+
+	AddIncoming(k, ConstInt(I64, 0), entry)
+	AddIncoming(k, k2, body)
+	AddIncoming(s, ConstFloat(0), entry)
+	AddIncoming(s, s2, body)
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("dot does not verify: %v", err)
+	}
+	return f
+}

@@ -1,0 +1,314 @@
+package mir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoBlocks is reported for functions without a body.
+var ErrNoBlocks = errors.New("mir: function has no blocks")
+
+// VerifyError describes a single well-formedness violation.
+type VerifyError struct {
+	Func  string
+	Block string
+	Instr string
+	Msg   string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	if e.Instr != "" {
+		return fmt.Sprintf("mir: %s/%s: %q: %s", e.Func, e.Block, e.Instr, e.Msg)
+	}
+	if e.Block != "" {
+		return fmt.Sprintf("mir: %s/%s: %s", e.Func, e.Block, e.Msg)
+	}
+	return fmt.Sprintf("mir: %s: %s", e.Func, e.Msg)
+}
+
+// Verify checks structural well-formedness of f:
+//
+//   - every block ends in exactly one terminator, with none mid-block,
+//   - phis appear only as a block's leading instructions, with one
+//     incoming entry per predecessor,
+//   - operand and result types are consistent per opcode,
+//   - every use of an instruction result is dominated by its definition
+//     (the SSA dominance property).
+func Verify(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%w: %s", ErrNoBlocks, f.Nam)
+	}
+	fail := func(b *Block, in *Instr, msg string, args ...any) error {
+		e := &VerifyError{Func: f.Nam, Msg: fmt.Sprintf(msg, args...)}
+		if b != nil {
+			e.Block = b.Nam
+		}
+		if in != nil {
+			e.Instr = in.String()
+		}
+		return e
+	}
+
+	preds := Preds(f)
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fail(b, nil, "empty block")
+		}
+		sawNonPhi := false
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fail(b, in, "block does not end in a terminator")
+				}
+				return fail(b, in, "terminator in the middle of a block")
+			}
+			if in.Op == OpPhi {
+				if sawNonPhi {
+					return fail(b, in, "phi after non-phi instruction")
+				}
+			} else {
+				sawNonPhi = true
+			}
+			if err := checkTypes(f, b, in, fail); err != nil {
+				return err
+			}
+		}
+		// Phi incoming edges must match predecessors exactly.
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				break
+			}
+			if len(in.Args) != len(preds[b]) {
+				return fail(b, in, "phi has %d incoming values for %d predecessors",
+					len(in.Args), len(preds[b]))
+			}
+			want := make(map[*Block]bool, len(preds[b]))
+			for _, p := range preds[b] {
+				want[p] = true
+			}
+			for _, t := range in.Targets {
+				if !want[t] {
+					return fail(b, in, "phi incoming block %s is not a predecessor", t.Nam)
+				}
+			}
+		}
+	}
+	return verifyDominance(f, fail)
+}
+
+// checkTypes validates per-opcode typing rules.
+func checkTypes(f *Function, b *Block, in *Instr, fail func(*Block, *Instr, string, ...any) error) error {
+	argc := func(n int) error {
+		if len(in.Args) != n {
+			return fail(b, in, "%s expects %d operands, has %d", in.Op, n, len(in.Args))
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if !in.Typ.IsInt() {
+			return fail(b, in, "integer op with non-integer result %s", in.Typ)
+		}
+		for _, a := range in.Args {
+			if a.Type() != in.Typ {
+				return fail(b, in, "operand type %s != result type %s", a.Type(), in.Typ)
+			}
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if in.Typ != F64 {
+			return fail(b, in, "float op with result %s", in.Typ)
+		}
+		for _, a := range in.Args {
+			if a.Type() != F64 {
+				return fail(b, in, "float op with operand %s", a.Type())
+			}
+		}
+	case OpICmp:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if in.Typ != I1 {
+			return fail(b, in, "icmp result must be i1")
+		}
+		if in.Args[0].Type() != in.Args[1].Type() || (!in.Args[0].Type().IsInt() && in.Args[0].Type() != Ptr) {
+			return fail(b, in, "icmp operand types %s, %s", in.Args[0].Type(), in.Args[1].Type())
+		}
+	case OpFCmp:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if in.Typ != I1 || in.Args[0].Type() != F64 || in.Args[1].Type() != F64 {
+			return fail(b, in, "fcmp typing")
+		}
+	case OpSelect:
+		if err := argc(3); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != I1 || in.Args[1].Type() != in.Typ || in.Args[2].Type() != in.Typ {
+			return fail(b, in, "select typing")
+		}
+	case OpAlloca:
+		if in.Typ != Ptr || in.AllocBytes <= 0 {
+			return fail(b, in, "alloca must produce ptr with positive size")
+		}
+	case OpLoad:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != Ptr || in.Typ == Void {
+			return fail(b, in, "load typing")
+		}
+	case OpStore:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if in.Args[1].Type() != Ptr || in.Typ != Void {
+			return fail(b, in, "store typing")
+		}
+	case OpPtrAdd:
+		if err := argc(2); err != nil {
+			return err
+		}
+		if in.Typ != Ptr || in.Args[0].Type() != Ptr || !in.Args[1].Type().IsInt() {
+			return fail(b, in, "ptradd typing")
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fail(b, in, "call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fail(b, in, "call to %s with %d args, want %d",
+				in.Callee.Nam, len(in.Args), len(in.Callee.Params))
+		}
+		for i, a := range in.Args {
+			if a.Type() != in.Callee.Params[i].Typ {
+				return fail(b, in, "call arg %d type %s, want %s", i, a.Type(), in.Callee.Params[i].Typ)
+			}
+		}
+		if in.Typ != in.Callee.Ret {
+			return fail(b, in, "call result %s, callee returns %s", in.Typ, in.Callee.Ret)
+		}
+	case OpBr:
+		if len(in.Targets) != 1 {
+			return fail(b, in, "br needs one target")
+		}
+	case OpCondBr:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != I1 || len(in.Targets) != 2 {
+			return fail(b, in, "condbr typing")
+		}
+	case OpRet:
+		if f.Ret == Void {
+			if len(in.Args) != 0 {
+				return fail(b, in, "void function returns a value")
+			}
+		} else {
+			if len(in.Args) != 1 || in.Args[0].Type() != f.Ret {
+				return fail(b, in, "return type mismatch, want %s", f.Ret)
+			}
+		}
+	case OpPhi:
+		for _, a := range in.Args {
+			if a.Type() != in.Typ {
+				return fail(b, in, "phi incoming type %s != %s", a.Type(), in.Typ)
+			}
+		}
+	case OpSExt:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if !in.Typ.IsInt() || !in.Args[0].Type().IsInt() {
+			return fail(b, in, "sext typing")
+		}
+	case OpTrunc:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if !in.Typ.IsInt() || !in.Args[0].Type().IsInt() {
+			return fail(b, in, "trunc typing")
+		}
+	case OpSIToFP:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if in.Typ != F64 || !in.Args[0].Type().IsInt() {
+			return fail(b, in, "sitofp typing")
+		}
+	case OpFPToSI:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if !in.Typ.IsInt() || in.Args[0].Type() != F64 {
+			return fail(b, in, "fptosi typing")
+		}
+	default:
+		return fail(b, in, "unknown opcode")
+	}
+	return nil
+}
+
+// verifyDominance checks the SSA property: each non-phi use is
+// dominated by its definition; phi uses must be dominated at the end of
+// the incoming edge's block.
+func verifyDominance(f *Function, fail func(*Block, *Instr, string, ...any) error) error {
+	idom := Dominators(f)
+	pos := make(map[*Instr]int, 64) // instruction index within its block
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	dominatesUse := func(def *Instr, useBlock *Block, useIdx int) bool {
+		if def.block == useBlock {
+			return pos[def] < useIdx
+		}
+		return Dominates(idom, def.block, useBlock)
+	}
+	for _, b := range f.Blocks {
+		if _, reachable := idom[b]; !reachable {
+			continue
+		}
+		for i, in := range b.Instrs {
+			for ai, a := range in.Args {
+				def, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				if in.Op == OpPhi {
+					from := in.Targets[ai]
+					if !dominatesUse(def, from, len(from.Instrs)) {
+						return fail(b, in, "phi incoming %s not dominated via %s", def.Name(), from.Nam)
+					}
+					continue
+				}
+				if !dominatesUse(def, b, i) {
+					return fail(b, in, "use of %s not dominated by its definition", def.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function in m.
+func VerifyModule(m *Module) error {
+	for _, f := range m.Funcs() {
+		if len(f.Blocks) == 0 {
+			continue // declaration
+		}
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package popcorn reimplements, over the simulated platform, the parts
+// of Popcorn Linux that Xar-Trek builds on: multi-ISA binary generation
+// with symbols aligned at identical virtual addresses across ISAs,
+// per-call-site state-transformation metadata, the run-time program
+// state transformer, and a page-based distributed shared memory.
+package popcorn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/mir"
+)
+
+// Global is a data symbol shared by all ISAs.
+type Global struct {
+	Name string
+	Size int
+}
+
+// Program couples an IR module with its global data, the unit the
+// multi-ISA compiler consumes.
+type Program struct {
+	Name    string
+	Module  *mir.Module
+	Globals []Global
+}
+
+// symbolAlign is the address alignment of every symbol; identical
+// across ISAs so that pointers mean the same thing everywhere.
+const symbolAlign = 16
+
+// textBase is the virtual address of the first text symbol.
+const textBase = 0x400000
+
+// PlacedSymbol is a symbol with its common cross-ISA virtual address.
+type PlacedSymbol struct {
+	Name string
+	VA   uint64
+	// Size is the reserved extent: the maximum of the per-ISA sizes,
+	// rounded to the alignment.
+	Size int
+	// PerArch records the symbol's native size on each ISA.
+	PerArch map[isa.Arch]int
+}
+
+// Layout is the aligned symbol table of a multi-ISA binary.
+type Layout struct {
+	Symbols []PlacedSymbol
+	byName  map[string]int
+}
+
+// Lookup finds a placed symbol by name.
+func (l *Layout) Lookup(name string) (PlacedSymbol, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return PlacedSymbol{}, false
+	}
+	return l.Symbols[i], true
+}
+
+// StaticMix counts the static instructions of f per cost category;
+// this drives the per-ISA code-size model.
+func StaticMix(f *mir.Function) isa.OpMix {
+	mix := isa.OpMix{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			mix[in.Op.Kind()]++
+		}
+	}
+	return mix
+}
+
+// funcSizes computes per-ISA code sizes for every function, including
+// a fixed prologue/epilogue overhead.
+func funcSizes(m *mir.Module, archs []isa.Arch) (map[string]map[isa.Arch]int, error) {
+	const prologueBytes = 24
+	out := make(map[string]map[isa.Arch]int, len(m.Funcs()))
+	for _, f := range m.Funcs() {
+		mix := StaticMix(f)
+		sizes := make(map[isa.Arch]int, len(archs))
+		for _, a := range archs {
+			cm, err := isa.CostModelFor(a)
+			if err != nil {
+				return nil, err
+			}
+			sizes[a] = cm.CodeBytes(mix) + prologueBytes
+		}
+		out[f.Nam] = sizes
+	}
+	return out, nil
+}
+
+// AlignSymbols lays out every function and global of p at a virtual
+// address shared by all target ISAs (the Popcorn aligned-layout step).
+func AlignSymbols(p *Program, archs []isa.Arch) (*Layout, error) {
+	sizes, err := funcSizes(p.Module, archs)
+	if err != nil {
+		return nil, err
+	}
+	lay := &Layout{byName: make(map[string]int)}
+	va := uint64(textBase)
+	place := func(name string, perArch map[isa.Arch]int) error {
+		if _, dup := lay.byName[name]; dup {
+			return fmt.Errorf("popcorn: duplicate symbol %q", name)
+		}
+		maxSize := 0
+		for _, s := range perArch {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		reserved := (maxSize + symbolAlign - 1) &^ (symbolAlign - 1)
+		lay.byName[name] = len(lay.Symbols)
+		lay.Symbols = append(lay.Symbols, PlacedSymbol{
+			Name:    name,
+			VA:      va,
+			Size:    reserved,
+			PerArch: perArch,
+		})
+		va += uint64(reserved)
+		return nil
+	}
+	// Functions in module order, then globals: deterministic layout.
+	for _, f := range p.Module.Funcs() {
+		if err := place(f.Nam, sizes[f.Nam]); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range p.Globals {
+		perArch := make(map[isa.Arch]int, len(archs))
+		for _, a := range archs {
+			perArch[a] = g.Size
+		}
+		if err := place(g.Name, perArch); err != nil {
+			return nil, err
+		}
+	}
+	return lay, nil
+}
+
+// Section is one ISA's text image.
+type Section struct {
+	Arch isa.Arch
+	Size int
+}
+
+// Binary is a multi-ISA executable: one text section per ISA over a
+// shared aligned layout, plus state-transformation metadata.
+type Binary struct {
+	Name     string
+	Archs    []isa.Arch
+	Layout   *Layout
+	Sections map[isa.Arch]Section
+	Metadata []PointMeta
+}
+
+// headerBytes is the fixed container overhead of the on-disk format.
+const headerBytes = 64
+
+// Build compiles p for every arch, producing the multi-ISA binary.
+func Build(p *Program, archs ...isa.Arch) (*Binary, error) {
+	if p.Module == nil {
+		return nil, fmt.Errorf("popcorn: program %q has no module", p.Name)
+	}
+	if len(archs) == 0 {
+		archs = isa.All()
+	}
+	if err := mir.VerifyModule(p.Module); err != nil {
+		return nil, fmt.Errorf("popcorn: build %s: %w", p.Name, err)
+	}
+	lay, err := AlignSymbols(p, archs)
+	if err != nil {
+		return nil, err
+	}
+	b := &Binary{
+		Name:     p.Name,
+		Archs:    archs,
+		Layout:   lay,
+		Sections: make(map[isa.Arch]Section, len(archs)),
+	}
+	for _, a := range archs {
+		// Each ISA's section spans the whole aligned layout: gaps
+		// are padded so that addresses line up (this is why
+		// multi-ISA binaries are bigger; Section 4.5).
+		total := 0
+		for _, s := range lay.Symbols {
+			total += s.Size
+		}
+		b.Sections[a] = Section{Arch: a, Size: total}
+	}
+	if len(archs) > 1 {
+		meta, err := BuildMetadata(p.Module, archs)
+		if err != nil {
+			return nil, err
+		}
+		b.Metadata = meta
+	}
+	return b, nil
+}
+
+// runtimeSectionBytes is the statically linked per-ISA baggage every
+// Popcorn executable carries: musl libc, the Popcorn migration
+// run-time, and the Xar-Trek scheduler client. It dominates the file
+// size of the paper's 300-900 LOC benchmarks, which is why Figure 10's
+// multi-ISA binaries sit in the megabyte range.
+const runtimeSectionBytes = 900 << 10
+
+// TotalSize reports the container size in bytes: header + per-ISA
+// sections (each with its statically linked runtime) + serialized
+// metadata.
+func (b *Binary) TotalSize() int {
+	total := headerBytes
+	for _, s := range b.Sections {
+		total += s.Size + runtimeSectionBytes
+	}
+	total += len(b.EncodeMetadata())
+	return total
+}
+
+// EncodeMetadata serializes the state-transformation metadata into the
+// binary's .popcorn section format.
+func (b *Binary) EncodeMetadata() []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	writeStr := func(s string) {
+		writeU32(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	writeU32(uint32(len(b.Metadata)))
+	for _, pm := range b.Metadata {
+		writeStr(pm.Func)
+		writeU32(uint32(pm.PointID))
+		writeU32(uint32(len(pm.Vars)))
+		archs := make([]isa.Arch, 0, len(pm.FrameSize))
+		for a := range pm.FrameSize {
+			archs = append(archs, a)
+		}
+		sort.Slice(archs, func(i, j int) bool { return archs[i] < archs[j] })
+		for _, v := range pm.Vars {
+			writeStr(v.ValueName)
+			writeU32(uint32(v.Typ))
+			for _, a := range archs {
+				loc := v.Loc[a]
+				writeU32(uint32(a))
+				writeU32(uint32(loc.Kind))
+				writeStr(loc.Reg)
+				writeU32(uint32(loc.Offset))
+			}
+		}
+		for _, a := range archs {
+			writeU32(uint32(a))
+			writeU32(uint32(pm.FrameSize[a]))
+		}
+	}
+	return buf.Bytes()
+}

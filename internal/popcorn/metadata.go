@@ -1,0 +1,126 @@
+package popcorn
+
+import (
+	"fmt"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/mir"
+)
+
+// LocKind distinguishes register from stack locations.
+type LocKind int
+
+// Location kinds.
+const (
+	LocReg LocKind = iota + 1
+	LocStack
+)
+
+// Location is where a live value sits at a migration point on one ISA.
+type Location struct {
+	Kind LocKind
+	// Reg is the register name for LocReg.
+	Reg string
+	// Offset is the byte offset from the frame base for LocStack.
+	Offset int
+}
+
+// VarMeta maps one live value to its per-ISA locations.
+type VarMeta struct {
+	ValueName string
+	Typ       mir.Type
+	Loc       map[isa.Arch]Location
+}
+
+// PointMeta is the transformation metadata for one migration point:
+// everything the run-time needs to rebuild the frame in another ISA's
+// layout.
+type PointMeta struct {
+	Func    string
+	PointID int
+	Vars    []VarMeta
+	// FrameSize is the stack-frame byte size on each ISA.
+	FrameSize map[isa.Arch]int
+}
+
+// assignLocations places live values into an ISA's callee-saved
+// registers first (they survive the call at the migration point) and
+// spills the rest to stack slots. Float values always go to the stack:
+// neither SysV AMD64 nor AAPCS64 preserves vector registers across
+// calls.
+func assignLocations(live []mir.Value, abi *isa.ABI) (map[string]Location, int) {
+	locs := make(map[string]Location, len(live))
+	regIdx := 0
+	stackOff := 0
+	for _, v := range live {
+		if v.Type() != mir.F64 && regIdx < len(abi.CalleeSaved) {
+			locs[v.Name()] = Location{Kind: LocReg, Reg: abi.CalleeSaved[regIdx].Name}
+			regIdx++
+			continue
+		}
+		locs[v.Name()] = Location{Kind: LocStack, Offset: stackOff}
+		stackOff += abi.SlotSize
+	}
+	frame := stackOff
+	if rem := frame % abi.StackAlign; rem != 0 {
+		frame += abi.StackAlign - rem
+	}
+	return locs, frame
+}
+
+// BuildMetadata runs the liveness/migration-point passes over every
+// function in m and performs per-ISA location assignment, yielding the
+// .popcorn metadata section contents.
+func BuildMetadata(m *mir.Module, archs []isa.Arch) ([]PointMeta, error) {
+	var out []PointMeta
+	abis := make(map[isa.Arch]*isa.ABI, len(archs))
+	for _, a := range archs {
+		abi, err := isa.ABIFor(a)
+		if err != nil {
+			return nil, err
+		}
+		abis[a] = abi
+	}
+	for _, f := range m.Funcs() {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		points := mir.InsertMigrationPoints(f)
+		for pid, pt := range points {
+			pm := PointMeta{
+				Func:      f.Nam,
+				PointID:   pid,
+				FrameSize: make(map[isa.Arch]int, len(archs)),
+			}
+			perArch := make(map[isa.Arch]map[string]Location, len(archs))
+			for _, a := range archs {
+				locs, frame := assignLocations(pt.Live, abis[a])
+				perArch[a] = locs
+				pm.FrameSize[a] = frame
+			}
+			for _, v := range pt.Live {
+				vm := VarMeta{
+					ValueName: v.Name(),
+					Typ:       v.Type(),
+					Loc:       make(map[isa.Arch]Location, len(archs)),
+				}
+				for _, a := range archs {
+					vm.Loc[a] = perArch[a][v.Name()]
+				}
+				pm.Vars = append(pm.Vars, vm)
+			}
+			out = append(out, pm)
+		}
+	}
+	return out, nil
+}
+
+// FindPoint locates the metadata for (function, point id).
+func FindPoint(meta []PointMeta, fn string, pointID int) (PointMeta, error) {
+	for _, pm := range meta {
+		if pm.Func == fn && pm.PointID == pointID {
+			return pm, nil
+		}
+	}
+	return PointMeta{}, fmt.Errorf("popcorn: no metadata for %s point %d", fn, pointID)
+}

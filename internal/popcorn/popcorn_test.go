@@ -1,0 +1,487 @@
+package popcorn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/mir"
+)
+
+// buildTestProgram creates a module with a compute kernel (loop with a
+// call) so that migration points and metadata are non-trivial.
+func buildTestProgram(t *testing.T) *Program {
+	t.Helper()
+	m := mir.NewModule("app")
+
+	// helper(x i64) i64 { return x*x }
+	helper, err := m.AddFunc("helper", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := mir.NewBuilder(helper)
+	hb.SetBlock(helper.NewBlock("entry"))
+	hb.Ret(hb.Mul(helper.Params[0], helper.Params[0]))
+
+	// kernel(n i64) i64 { s=0; for i<n { s += helper(i) }; return s }
+	kernel, err := m.AddFunc("kernel", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := kernel.NewBlock("entry")
+	loop := kernel.NewBlock("loop")
+	body := kernel.NewBlock("body")
+	exit := kernel.NewBlock("exit")
+	b := mir.NewBuilder(kernel)
+	b.SetBlock(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(mir.I64)
+	s := b.Phi(mir.I64)
+	b.CondBr(b.ICmp(mir.CmpLT, i, kernel.Params[0]), body, exit)
+	b.SetBlock(body)
+	c := b.Call(helper, i)
+	s2 := b.Add(s, c)
+	i2 := b.Add(i, mir.ConstInt(mir.I64, 1))
+	b.Br(loop)
+	b.SetBlock(exit)
+	b.Ret(s)
+	mir.AddIncoming(i, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(i, i2, body)
+	mir.AddIncoming(s, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(s, s2, body)
+
+	if err := mir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return &Program{
+		Name:    "app",
+		Module:  m,
+		Globals: []Global{{Name: "table", Size: 4096}},
+	}
+}
+
+func TestAlignSymbolsSameVAAcrossISAs(t *testing.T) {
+	p := buildTestProgram(t)
+	lay, err := AlignSymbols(p, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lay.Symbols) != 3 { // helper, kernel, table
+		t.Fatalf("symbols = %d, want 3", len(lay.Symbols))
+	}
+	var prevEnd uint64 = textBase
+	for _, s := range lay.Symbols {
+		if s.VA%symbolAlign != 0 {
+			t.Errorf("symbol %s at unaligned VA %#x", s.Name, s.VA)
+		}
+		if s.VA < prevEnd {
+			t.Errorf("symbol %s overlaps previous (VA %#x < %#x)", s.Name, s.VA, prevEnd)
+		}
+		prevEnd = s.VA + uint64(s.Size)
+		// The reserved extent covers every ISA's native size.
+		for a, sz := range s.PerArch {
+			if sz > s.Size {
+				t.Errorf("symbol %s: %v size %d exceeds reserved %d", s.Name, a, sz, s.Size)
+			}
+		}
+	}
+	if _, ok := lay.Lookup("kernel"); !ok {
+		t.Fatal("Lookup(kernel) failed")
+	}
+	if _, ok := lay.Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+}
+
+func TestBuildMultiISABinaryLargerThanSingle(t *testing.T) {
+	// Fig. 10's premise: multi-ISA binaries subsume the single-ISA
+	// ones, so they are strictly larger.
+	p := buildTestProgram(t)
+	multi, err := Build(p, isa.All()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Build(p, isa.X86_64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TotalSize() <= single.TotalSize() {
+		t.Fatalf("multi-ISA size %d <= single-ISA size %d", multi.TotalSize(), single.TotalSize())
+	}
+	if len(multi.Metadata) == 0 {
+		t.Fatal("multi-ISA binary has no migration metadata")
+	}
+	if len(single.Metadata) != 0 {
+		t.Fatal("single-ISA binary has migration metadata")
+	}
+}
+
+func TestBuildRejectsBrokenModule(t *testing.T) {
+	m := mir.NewModule("bad")
+	f, err := m.AddFunc("f", mir.I64, mir.I64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	b.Add(f.Params[0], f.Params[0]) // no terminator
+	if _, err := Build(&Program{Name: "bad", Module: m}); err == nil {
+		t.Fatal("Build accepted unverifiable module")
+	}
+}
+
+func TestMetadataEveryVarHasBothLocations(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta) == 0 {
+		t.Fatal("no metadata produced")
+	}
+	sawCallSite := false
+	for _, pm := range meta {
+		if pm.PointID > 0 {
+			sawCallSite = true
+		}
+		for _, vm := range pm.Vars {
+			for _, a := range isa.All() {
+				loc, ok := vm.Loc[a]
+				if !ok {
+					t.Fatalf("%s point %d var %s: missing %v location", pm.Func, pm.PointID, vm.ValueName, a)
+				}
+				if loc.Kind == LocStack && loc.Offset+8 > pm.FrameSize[a] && pm.FrameSize[a] != 0 {
+					t.Errorf("stack slot %d beyond frame %d", loc.Offset, pm.FrameSize[a])
+				}
+			}
+		}
+	}
+	if !sawCallSite {
+		t.Fatal("no call-site migration points in metadata")
+	}
+}
+
+func TestMetadataRegisterAssignmentsDisjoint(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pm := range meta {
+		for _, a := range isa.All() {
+			seen := make(map[string]string)
+			for _, vm := range pm.Vars {
+				loc := vm.Loc[a]
+				if loc.Kind != LocReg {
+					continue
+				}
+				if prev, dup := seen[loc.Reg]; dup {
+					t.Fatalf("%s point %d on %v: register %s assigned to both %s and %s",
+						pm.Func, pm.PointID, a, loc.Reg, prev, vm.ValueName)
+				}
+				seen[loc.Reg] = vm.ValueName
+			}
+		}
+	}
+}
+
+func TestFindPoint(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindPoint(meta, "kernel", 0); err != nil {
+		t.Fatalf("FindPoint(kernel, 0): %v", err)
+	}
+	if _, err := FindPoint(meta, "kernel", 999); err == nil {
+		t.Fatal("FindPoint with bad id succeeded")
+	}
+}
+
+func TestStateTransformRoundTrip(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransformer(meta)
+
+	// Pick the call-site point inside kernel and populate its live
+	// values with random bits.
+	pm, err := FindPoint(meta, "kernel", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Vars) == 0 {
+		t.Fatal("call-site point has no live values")
+	}
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make(map[string]uint64, len(pm.Vars))
+		for _, vm := range pm.Vars {
+			vals[vm.ValueName] = rng.Uint64()
+		}
+		frame, err := SnapshotAt(pm, isa.X86_64, vals)
+		if err != nil {
+			t.Logf("snapshot: %v", err)
+			return false
+		}
+		st := ProgramState{Arch: isa.X86_64, Frames: []Frame{frame}}
+		armSt, err := tr.Transform(st, isa.ARM64)
+		if err != nil {
+			t.Logf("to arm: %v", err)
+			return false
+		}
+		if armSt.Arch != isa.ARM64 {
+			return false
+		}
+		backSt, err := tr.Transform(armSt, isa.X86_64)
+		if err != nil {
+			t.Logf("back: %v", err)
+			return false
+		}
+		got, err := ReadBack(pm, backSt.Frames[0], isa.X86_64)
+		if err != nil {
+			t.Logf("readback: %v", err)
+			return false
+		}
+		for k, v := range vals {
+			if got[k] != v {
+				t.Logf("value %s: got %#x want %#x", k, got[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformSameArchIsIdentity(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransformer(meta)
+	st := ProgramState{Arch: isa.X86_64}
+	out, err := tr.Transform(st, isa.X86_64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Arch != isa.X86_64 {
+		t.Fatal("identity transform changed arch")
+	}
+}
+
+func TestTransformUnknownPoint(t *testing.T) {
+	tr := NewTransformer(nil)
+	st := ProgramState{Arch: isa.X86_64, Frames: []Frame{{Func: "ghost", PointID: 0}}}
+	if _, err := tr.Transform(st, isa.ARM64); !errors.Is(err, ErrUnknownPoint) {
+		t.Fatalf("transform of unknown frame = %v, want ErrUnknownPoint", err)
+	}
+}
+
+func TestTransformCostGrowsWithState(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransformer(meta)
+	pm, err := FindPoint(meta, "kernel", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]uint64)
+	for _, vm := range pm.Vars {
+		vals[vm.ValueName] = 1
+	}
+	frame, err := SnapshotAt(pm, isa.X86_64, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := ProgramState{Arch: isa.X86_64, Frames: []Frame{frame}}
+	three := ProgramState{Arch: isa.X86_64, Frames: []Frame{frame, frame, frame}}
+	if tr.TransformCost(three) <= tr.TransformCost(one) {
+		t.Fatal("TransformCost not increasing with stack depth")
+	}
+}
+
+func TestEncodeMetadataDeterministic(t *testing.T) {
+	p := buildTestProgram(t)
+	b1, err := Build(p, isa.All()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Build(buildTestProgram(t), isa.All()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := b1.EncodeMetadata(), b2.EncodeMetadata()
+	if len(m1) == 0 {
+		t.Fatal("empty metadata encoding")
+	}
+	if string(m1) != string(m2) {
+		t.Fatal("metadata encoding not deterministic")
+	}
+}
+
+func TestDSMBasicReadWrite(t *testing.T) {
+	d := NewDSM(2)
+	if err := d.Write8(0, 0x1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read8(1, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("remote read = %d, want 42", v)
+	}
+	st := d.Stats()
+	if st.PagesMoved == 0 {
+		t.Fatal("no page traffic recorded for remote read")
+	}
+}
+
+func TestDSMWriteInvalidatesSharers(t *testing.T) {
+	d := NewDSM(3)
+	if err := d.Write8(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read8(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read8(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if err := d.Write8(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Invalidations == 0 {
+		t.Fatal("write did not invalidate sharers")
+	}
+	// All nodes must now observe the new value.
+	for n := 0; n < 3; n++ {
+		v, err := d.Read8(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 2 {
+			t.Fatalf("node %d sees %d, want 2", n, v)
+		}
+	}
+}
+
+func TestDSMLocalHitsAreFree(t *testing.T) {
+	d := NewDSM(2)
+	if err := d.Write8(0, 64, 7); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	for i := 0; i < 100; i++ {
+		if _, err := d.Read8(0, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write8(0, 64, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.ReadFaults != 0 || st.WriteFaults != 0 {
+		t.Fatalf("local hits caused faults: %+v", st)
+	}
+}
+
+func TestDSMBadNode(t *testing.T) {
+	d := NewDSM(2)
+	if _, err := d.Read8(5, 0); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("bad node error = %v, want ErrBadNode", err)
+	}
+}
+
+// TestDSMSequentialConsistency interleaves operations from several
+// nodes (in a single serial order, as our simulation does) and checks
+// every read returns the most recent write — the coherence invariant.
+func TestDSMSequentialConsistency(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDSM(3)
+		ref := make(map[uint64]uint64)
+		for i := 0; i < 300; i++ {
+			node := rng.Intn(3)
+			addr := uint64(rng.Intn(16)) * 8 * 700 % (8 * PageSize) // span multiple pages
+			addr -= addr % 8
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				if err := d.Write8(node, addr, v); err != nil {
+					return false
+				}
+				ref[addr] = v
+			} else {
+				v, err := d.Read8(node, addr)
+				if err != nil {
+					return false
+				}
+				if v != ref[addr] {
+					t.Logf("node %d read %#x = %d, want %d", node, addr, v, ref[addr])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetModelTransferTime(t *testing.T) {
+	nm := EthernetGbps1()
+	small := nm.TransferTime(64)
+	large := nm.TransferTime(125_000_000) // 1 second of payload at 1 Gbps
+	if small < nm.LatencyRTT {
+		t.Fatal("transfer faster than link latency")
+	}
+	if large < 900*1e6 { // at least ~0.9s in nanoseconds
+		t.Fatalf("1Gb transfer = %v, want about 1s", large)
+	}
+	if nm.TransferTime(-5) != nm.LatencyRTT {
+		t.Fatal("negative sizes should cost latency only")
+	}
+}
+
+func TestMigrationEngineTime(t *testing.T) {
+	p := buildTestProgram(t)
+	meta, err := BuildMetadata(p.Module, isa.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &MigrationEngine{Transformer: NewTransformer(meta), Net: EthernetGbps1()}
+	pm, err := FindPoint(meta, "kernel", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]uint64)
+	for _, vm := range pm.Vars {
+		vals[vm.ValueName] = 1
+	}
+	frame, err := SnapshotAt(pm, isa.X86_64, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ProgramState{Arch: isa.X86_64, Frames: []Frame{frame}}
+	small := e.MigrationTime(st, 4096)
+	big := e.MigrationTime(st, 64<<20)
+	if big <= small {
+		t.Fatal("migration time not increasing with working set")
+	}
+}

@@ -1,0 +1,202 @@
+package popcorn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"xartrek/internal/isa"
+)
+
+// Transformation errors.
+var (
+	ErrUnknownPoint = errors.New("popcorn: frame references unknown migration point")
+	ErrBadLocation  = errors.New("popcorn: value location outside frame")
+)
+
+// RegFile maps register names to raw 64-bit contents.
+type RegFile map[string]uint64
+
+// Frame is one activation record in ISA-specific layout: the live
+// values of its migration point, materialised in callee-saved
+// registers and frame stack slots.
+type Frame struct {
+	Func    string
+	PointID int
+	Regs    RegFile
+	Stack   []byte
+}
+
+// ProgramState is the ISA-specific dynamic state of a migrating
+// thread: its call stack, innermost frame last.
+type ProgramState struct {
+	Arch   isa.Arch
+	Frames []Frame
+}
+
+// Transformer rewrites program state between ISA formats using the
+// migration metadata embedded in a multi-ISA binary.
+type Transformer struct {
+	meta map[string]map[int]PointMeta
+}
+
+// NewTransformer indexes the metadata of a binary.
+func NewTransformer(meta []PointMeta) *Transformer {
+	idx := make(map[string]map[int]PointMeta)
+	for _, pm := range meta {
+		byID, ok := idx[pm.Func]
+		if !ok {
+			byID = make(map[int]PointMeta)
+			idx[pm.Func] = byID
+		}
+		byID[pm.PointID] = pm
+	}
+	return &Transformer{meta: idx}
+}
+
+// point returns the metadata for a frame.
+func (t *Transformer) point(f Frame) (PointMeta, error) {
+	byID, ok := t.meta[f.Func]
+	if !ok {
+		return PointMeta{}, fmt.Errorf("%w: %s", ErrUnknownPoint, f.Func)
+	}
+	pm, ok := byID[f.PointID]
+	if !ok {
+		return PointMeta{}, fmt.Errorf("%w: %s point %d", ErrUnknownPoint, f.Func, f.PointID)
+	}
+	return pm, nil
+}
+
+// readLoc fetches a value from its location in an ISA-specific frame.
+func readLoc(f Frame, loc Location) (uint64, error) {
+	switch loc.Kind {
+	case LocReg:
+		return f.Regs[loc.Reg], nil
+	case LocStack:
+		if loc.Offset+8 > len(f.Stack) {
+			return 0, fmt.Errorf("%w: offset %d in %d-byte frame", ErrBadLocation, loc.Offset, len(f.Stack))
+		}
+		return binary.LittleEndian.Uint64(f.Stack[loc.Offset:]), nil
+	default:
+		return 0, fmt.Errorf("%w: kind %d", ErrBadLocation, loc.Kind)
+	}
+}
+
+// writeLoc stores a value at its location in an ISA-specific frame.
+func writeLoc(f *Frame, loc Location, v uint64) error {
+	switch loc.Kind {
+	case LocReg:
+		f.Regs[loc.Reg] = v
+		return nil
+	case LocStack:
+		if loc.Offset+8 > len(f.Stack) {
+			return fmt.Errorf("%w: offset %d in %d-byte frame", ErrBadLocation, loc.Offset, len(f.Stack))
+		}
+		binary.LittleEndian.PutUint64(f.Stack[loc.Offset:], v)
+		return nil
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadLocation, loc.Kind)
+	}
+}
+
+// Transform rewrites st into dst's ISA format: every frame's live
+// values move from their source locations to the destination ISA's
+// register/stack assignment. Globals and heap data need no rewriting —
+// symbol alignment gives addresses uniform meaning across ISAs, and
+// the DSM migrates pages on demand.
+func (t *Transformer) Transform(st ProgramState, dst isa.Arch) (ProgramState, error) {
+	if st.Arch == dst {
+		return st, nil
+	}
+	out := ProgramState{Arch: dst, Frames: make([]Frame, len(st.Frames))}
+	for i, f := range st.Frames {
+		pm, err := t.point(f)
+		if err != nil {
+			return ProgramState{}, err
+		}
+		nf := Frame{
+			Func:    f.Func,
+			PointID: f.PointID,
+			Regs:    make(RegFile),
+			Stack:   make([]byte, pm.FrameSize[dst]),
+		}
+		for _, vm := range pm.Vars {
+			src, ok := vm.Loc[st.Arch]
+			if !ok {
+				return ProgramState{}, fmt.Errorf("%w: %s has no %v location", ErrBadLocation, vm.ValueName, st.Arch)
+			}
+			dstLoc, ok := vm.Loc[dst]
+			if !ok {
+				return ProgramState{}, fmt.Errorf("%w: %s has no %v location", ErrBadLocation, vm.ValueName, dst)
+			}
+			v, err := readLoc(f, src)
+			if err != nil {
+				return ProgramState{}, fmt.Errorf("read %s: %w", vm.ValueName, err)
+			}
+			if err := writeLoc(&nf, dstLoc, v); err != nil {
+				return ProgramState{}, fmt.Errorf("write %s: %w", vm.ValueName, err)
+			}
+		}
+		out.Frames[i] = nf
+	}
+	return out, nil
+}
+
+// TransformCost models the CPU time of the state transformation: a
+// fixed per-migration cost plus per-frame and per-variable terms.
+// Popcorn reports state transformation in the hundreds of microseconds
+// for small stacks.
+func (t *Transformer) TransformCost(st ProgramState) time.Duration {
+	const (
+		base     = 150 * time.Microsecond
+		perFrame = 40 * time.Microsecond
+		perVar   = 2 * time.Microsecond
+	)
+	total := base
+	for _, f := range st.Frames {
+		total += perFrame
+		pm, err := t.point(f)
+		if err != nil {
+			continue
+		}
+		total += time.Duration(len(pm.Vars)) * perVar
+	}
+	return total
+}
+
+// SnapshotAt builds the ISA-specific frame for a migration point from
+// a map of live-value names to raw bits — the bridge between the
+// interpreter's view of execution and the run-time's view of state.
+func SnapshotAt(pm PointMeta, arch isa.Arch, values map[string]uint64) (Frame, error) {
+	f := Frame{
+		Func:    pm.Func,
+		PointID: pm.PointID,
+		Regs:    make(RegFile),
+		Stack:   make([]byte, pm.FrameSize[arch]),
+	}
+	for _, vm := range pm.Vars {
+		v, ok := values[vm.ValueName]
+		if !ok {
+			return Frame{}, fmt.Errorf("popcorn: snapshot missing live value %s", vm.ValueName)
+		}
+		if err := writeLoc(&f, vm.Loc[arch], v); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// ReadBack extracts the live values of an arch-format frame into a
+// name->bits map.
+func ReadBack(pm PointMeta, f Frame, arch isa.Arch) (map[string]uint64, error) {
+	out := make(map[string]uint64, len(pm.Vars))
+	for _, vm := range pm.Vars {
+		v, err := readLoc(f, vm.Loc[arch])
+		if err != nil {
+			return nil, err
+		}
+		out[vm.ValueName] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package power implements the energy models the paper defers to
+// future work (Section 5): per-target power draw, run energy,
+// performance-per-watt and energy-delay-product (EDP) metrics, and an
+// EDP-guided target choice that a power-aware scheduling policy can
+// use in place of Algorithm 2's pure-performance heuristic.
+//
+// The paper notes its ThunderX is server-grade and "not
+// power-efficient"; the default model reflects the evaluation
+// hardware's nameplate numbers so that energy comparisons carry the
+// same caveat.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+// Model is the platform power model: per-core active power for the
+// CPUs, active/idle power for the FPGA, and the NIC cost of keeping
+// migration traffic on the wire.
+type Model struct {
+	// X86CoreW is one Xeon core's active power.
+	X86CoreW float64
+	// ARMCoreW is one ThunderX core's active power.
+	ARMCoreW float64
+	// FPGAActiveW is the Alveo card under kernel execution.
+	FPGAActiveW float64
+	// FPGAIdleW is the configured-but-idle card.
+	FPGAIdleW float64
+	// NICW is the Ethernet interface under load (migration + DSM).
+	NICW float64
+}
+
+// Default returns the evaluation platform's nameplate-derived model:
+// Xeon Bronze 3104 (85 W TDP / 6 cores), Cavium ThunderX (~120 W / 96
+// cores), Alveo U50 (75 W max, ~20 W idle), 1 GbE NIC (~4 W).
+func Default() Model {
+	return Model{
+		X86CoreW:    85.0 / 6,
+		ARMCoreW:    120.0 / 96,
+		FPGAActiveW: 75,
+		FPGAIdleW:   20,
+		NICW:        4,
+	}
+}
+
+// Validate rejects non-positive draws.
+func (m Model) Validate() error {
+	if m.X86CoreW <= 0 || m.ARMCoreW <= 0 || m.FPGAActiveW <= 0 {
+		return errors.New("power: non-positive active power")
+	}
+	if m.FPGAIdleW < 0 || m.NICW < 0 {
+		return errors.New("power: negative idle/NIC power")
+	}
+	return nil
+}
+
+// Segment is one accounted interval of a run: the resource it occupied
+// and for how long.
+type Segment struct {
+	Target threshold.Target
+	// Link marks Ethernet occupancy (migration transfer, DSM
+	// traffic) rather than compute.
+	Link     bool
+	Duration time.Duration
+}
+
+// Energy integrates the segments against the model, in joules.
+func (m Model) Energy(segs []Segment) float64 {
+	var joules float64
+	for _, s := range segs {
+		sec := s.Duration.Seconds()
+		if sec < 0 {
+			continue
+		}
+		switch {
+		case s.Link:
+			joules += m.NICW * sec
+		case s.Target == threshold.TargetX86:
+			joules += m.X86CoreW * sec
+		case s.Target == threshold.TargetARM:
+			joules += m.ARMCoreW * sec
+		case s.Target == threshold.TargetFPGA:
+			joules += m.FPGAActiveW * sec
+		}
+	}
+	return joules
+}
+
+// EDP is the energy-delay product in joule-seconds: the metric the
+// paper cites (Brooks et al.) for balancing power and performance.
+func EDP(energyJ float64, elapsed time.Duration) float64 {
+	return energyJ * elapsed.Seconds()
+}
+
+// PerfPerWatt is throughput (operations per second) per watt, the
+// Green500-style metric (Feng) the paper cites.
+func PerfPerWatt(ops float64, elapsed time.Duration, energyJ float64) float64 {
+	if energyJ == 0 || elapsed <= 0 {
+		return 0
+	}
+	watts := energyJ / elapsed.Seconds()
+	return ops / elapsed.Seconds() / watts
+}
+
+// Estimate is a per-target prediction: how long the selected function
+// would take there and what it would cost.
+type Estimate struct {
+	Target  threshold.Target
+	Elapsed time.Duration
+	EnergyJ float64
+}
+
+// EDP returns the estimate's energy-delay product.
+func (e Estimate) EDP() float64 { return EDP(e.EnergyJ, e.Elapsed) }
+
+// PickMinEDP chooses the estimate with the lowest EDP — the
+// power-aware policy core the paper sketches as future work. Ties
+// break toward the earlier entry, so callers list targets in
+// preference order.
+func PickMinEDP(ests []Estimate) (Estimate, error) {
+	if len(ests) == 0 {
+		return Estimate{}, errors.New("power: no estimates")
+	}
+	best := ests[0]
+	for _, e := range ests[1:] {
+		if e.EDP() < best.EDP() {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// EstimateFromRecord derives the three per-target estimates from a
+// threshold record's execution times under the model, scaling the x86
+// time by the observed load (processor sharing: n processes on c cores
+// run each at c/n speed).
+func EstimateFromRecord(m Model, rec threshold.Record, x86Load, x86Cores int) []Estimate {
+	x86 := rec.X86Exec
+	if x86Load > x86Cores && x86Cores > 0 {
+		x86 = time.Duration(float64(x86) * float64(x86Load) / float64(x86Cores))
+	}
+	return []Estimate{
+		{
+			Target:  threshold.TargetX86,
+			Elapsed: x86,
+			EnergyJ: m.Energy([]Segment{{Target: threshold.TargetX86, Duration: x86}}),
+		},
+		{
+			Target:  threshold.TargetARM,
+			Elapsed: rec.ARMExec,
+			EnergyJ: m.Energy([]Segment{{Target: threshold.TargetARM, Duration: rec.ARMExec}}),
+		},
+		{
+			Target:  threshold.TargetFPGA,
+			Elapsed: rec.FPGAExec,
+			EnergyJ: m.Energy([]Segment{{Target: threshold.TargetFPGA, Duration: rec.FPGAExec}}),
+		},
+	}
+}
+
+// String renders an estimate for reports.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s: %v, %.1f J, EDP %.1f Js", e.Target, e.Elapsed.Round(time.Millisecond), e.EnergyJ, e.EDP())
+}

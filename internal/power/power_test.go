@@ -1,0 +1,145 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{},
+		{X86CoreW: 1, ARMCoreW: 1, FPGAActiveW: 1, NICW: -1},
+		{X86CoreW: -1, ARMCoreW: 1, FPGAActiveW: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := Model{X86CoreW: 10, ARMCoreW: 2, FPGAActiveW: 50, FPGAIdleW: 5, NICW: 4}
+	segs := []Segment{
+		{Target: threshold.TargetX86, Duration: 2 * time.Second},  // 20 J
+		{Target: threshold.TargetARM, Duration: 3 * time.Second},  // 6 J
+		{Target: threshold.TargetFPGA, Duration: time.Second},     // 50 J
+		{Link: true, Duration: 500 * time.Millisecond},            // 2 J
+		{Target: threshold.TargetX86, Duration: -1 * time.Second}, // ignored
+	}
+	if got := m.Energy(segs); got != 78 {
+		t.Fatalf("energy = %v J, want 78", got)
+	}
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	m := Default()
+	f := func(durs []int32) bool {
+		segs := make([]Segment, len(durs))
+		for i, d := range durs {
+			segs[i] = Segment{
+				Target:   threshold.Target(i % 3),
+				Link:     i%5 == 0,
+				Duration: time.Duration(d) * time.Millisecond,
+			}
+		}
+		return m.Energy(segs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDPAndPerfPerWatt(t *testing.T) {
+	if got := EDP(10, 2*time.Second); got != 20 {
+		t.Fatalf("EDP = %v, want 20", got)
+	}
+	// 100 ops in 2 s using 40 J => 50 ops/s at 20 W => 2.5 ops/s/W.
+	if got := PerfPerWatt(100, 2*time.Second, 40); got != 2.5 {
+		t.Fatalf("perf/W = %v, want 2.5", got)
+	}
+	if PerfPerWatt(1, 0, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestPickMinEDP(t *testing.T) {
+	ests := []Estimate{
+		{Target: threshold.TargetX86, Elapsed: 2 * time.Second, EnergyJ: 30}, // EDP 60
+		{Target: threshold.TargetARM, Elapsed: 4 * time.Second, EnergyJ: 5},  // EDP 20
+		{Target: threshold.TargetFPGA, Elapsed: time.Second, EnergyJ: 75},    // EDP 75
+	}
+	best, err := PickMinEDP(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Target != threshold.TargetARM {
+		t.Fatalf("best = %v, want arm (lowest EDP)", best.Target)
+	}
+	if _, err := PickMinEDP(nil); err == nil {
+		t.Fatal("empty estimates accepted")
+	}
+}
+
+func TestEstimateFromRecordScalesX86WithLoad(t *testing.T) {
+	m := Default()
+	rec := threshold.Record{
+		App:      "FaceDet320",
+		X86Exec:  175 * time.Millisecond,
+		ARMExec:  642 * time.Millisecond,
+		FPGAExec: 332 * time.Millisecond,
+	}
+	idle := EstimateFromRecord(m, rec, 1, 6)
+	if idle[0].Elapsed != rec.X86Exec {
+		t.Fatalf("idle x86 estimate %v, want %v", idle[0].Elapsed, rec.X86Exec)
+	}
+	loaded := EstimateFromRecord(m, rec, 60, 6)
+	if loaded[0].Elapsed != 10*rec.X86Exec {
+		t.Fatalf("loaded x86 estimate %v, want 10x", loaded[0].Elapsed)
+	}
+	// ARM/FPGA estimates are load-independent (uncontended targets).
+	if loaded[1].Elapsed != rec.ARMExec || loaded[2].Elapsed != rec.FPGAExec {
+		t.Fatal("migration estimates should not scale with x86 load")
+	}
+}
+
+func TestEDPPolicyShiftsWithLoad(t *testing.T) {
+	// The future-work scenario the paper sketches: at low load the
+	// x86 wins EDP for FaceDet320; under heavy load the power-aware
+	// policy migrates — and the power-efficient-per-core ThunderX can
+	// win EDP where Algorithm 2's performance heuristic picks the
+	// FPGA.
+	m := Default()
+	rec := threshold.Record{
+		App:      "FaceDet320",
+		X86Exec:  175 * time.Millisecond,
+		ARMExec:  642 * time.Millisecond,
+		FPGAExec: 332 * time.Millisecond,
+	}
+	low, err := PickMinEDP(EstimateFromRecord(m, rec, 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Target != threshold.TargetX86 {
+		t.Fatalf("low-load EDP pick = %v, want x86", low.Target)
+	}
+	high, err := PickMinEDP(EstimateFromRecord(m, rec, 100, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Target == threshold.TargetX86 {
+		t.Fatal("high-load EDP pick stayed on x86")
+	}
+	if high.Target != threshold.TargetARM {
+		t.Fatalf("high-load EDP pick = %v; the 1.25 W ThunderX core should win EDP", high.Target)
+	}
+}

@@ -1,0 +1,165 @@
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// psEpsilon is the residual work (in seconds) below which a job is
+// considered complete. Completion events are scheduled from float
+// arithmetic, so sub-nanosecond residues are expected.
+const psEpsilon = 1e-10
+
+// PSServer is a processor-sharing service center: capacity C units of
+// service rate shared equally among the active jobs. With n active jobs
+// each job progresses at rate min(1, C/n).
+//
+// It models both multi-core CPUs running compute-bound processes
+// (capacity = core count; a job's work is its exclusive single-core
+// runtime) and shared interconnects (capacity 1; a job's work is
+// bytes/bandwidth). This matches how the paper measures load: the x86
+// CPU load is simply the number of resident compute processes.
+type PSServer struct {
+	sim      *Simulator
+	capacity float64
+	jobs     map[*PSJob]struct{}
+	lastAt   time.Duration
+	next     *Event
+	nextSeq  uint64
+}
+
+// PSJob is one unit of work inside a PSServer.
+type PSJob struct {
+	server    *PSServer
+	seq       uint64
+	remaining float64 // seconds of exclusive-rate work left at lastAt
+	done      func()
+	finished  bool
+}
+
+// NewPSServer returns a processor-sharing server with the given
+// capacity (number of rate units, e.g. CPU cores).
+func NewPSServer(sim *Simulator, capacity float64) *PSServer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive PSServer capacity %v", capacity))
+	}
+	return &PSServer{
+		sim:      sim,
+		capacity: capacity,
+		jobs:     make(map[*PSJob]struct{}),
+		lastAt:   sim.Now(),
+	}
+}
+
+// Active reports the number of jobs currently in service.
+func (p *PSServer) Active() int { return len(p.jobs) }
+
+// Capacity reports the configured service capacity.
+func (p *PSServer) Capacity() float64 { return p.capacity }
+
+// rate is the per-job progress rate with n active jobs.
+func (p *PSServer) rate() float64 {
+	n := float64(len(p.jobs))
+	if n == 0 {
+		return 0
+	}
+	if n <= p.capacity {
+		return 1
+	}
+	return p.capacity / n
+}
+
+// Submit adds a job with the given exclusive-rate work; done fires when
+// the job completes. It returns the job handle, usable for Cancel.
+func (p *PSServer) Submit(work time.Duration, done func()) *PSJob {
+	if work < 0 {
+		work = 0
+	}
+	p.advance()
+	j := &PSJob{server: p, seq: p.nextSeq, remaining: work.Seconds(), done: done}
+	p.nextSeq++
+	p.jobs[j] = struct{}{}
+	p.reschedule()
+	return j
+}
+
+// Cancel removes the job without running its completion callback.
+func (j *PSJob) Cancel() {
+	if j.finished {
+		return
+	}
+	p := j.server
+	p.advance()
+	j.finished = true
+	delete(p.jobs, j)
+	p.reschedule()
+}
+
+// Remaining reports the exclusive-rate work left for the job.
+func (j *PSJob) Remaining() time.Duration {
+	j.server.advance()
+	return time.Duration(j.remaining * float64(time.Second))
+}
+
+// advance accrues progress for all jobs since the last event.
+func (p *PSServer) advance() {
+	now := p.sim.Now()
+	elapsed := (now - p.lastAt).Seconds()
+	p.lastAt = now
+	if elapsed <= 0 || len(p.jobs) == 0 {
+		return
+	}
+	progress := elapsed * p.rate()
+	for j := range p.jobs {
+		j.remaining -= progress
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+	}
+}
+
+// reschedule computes the next completion and schedules it.
+func (p *PSServer) reschedule() {
+	if p.next != nil {
+		p.next.Cancel()
+		p.next = nil
+	}
+	if len(p.jobs) == 0 {
+		return
+	}
+	var soonest float64 = math.MaxFloat64
+	for j := range p.jobs {
+		if j.remaining < soonest {
+			soonest = j.remaining
+		}
+	}
+	waitSec := soonest / p.rate()
+	wait := time.Duration(math.Ceil(waitSec * float64(time.Second)))
+	p.next = p.sim.After(wait, p.completeDue)
+}
+
+// completeDue finishes every job whose work has drained, then
+// reschedules. Multiple jobs may complete at the same instant.
+func (p *PSServer) completeDue() {
+	p.next = nil
+	p.advance()
+	var finished []*PSJob
+	for j := range p.jobs {
+		if j.remaining <= psEpsilon {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+	for _, j := range finished {
+		j.finished = true
+		delete(p.jobs, j)
+	}
+	p.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package simtime provides a deterministic discrete-event simulator.
+//
+// All Xar-Trek evaluation experiments run on a virtual clock so that
+// results are bit-identical across runs and independent of host speed.
+// The simulator is a classic event-heap design: callbacks are scheduled
+// at absolute virtual times and executed in (time, sequence) order.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	when     time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// When reports the virtual time at which the event fires.
+func (e *Event) When() time.Duration { return e.when }
+
+// Cancel prevents the event's callback from running. Cancelling an
+// already-fired event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	nextSeq uint64
+	running bool
+}
+
+// New returns a simulator with the clock at zero and no pending events.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is an error the simulator surfaces by panicking, because it is
+// always a programming bug in a deterministic simulation.
+func (s *Simulator) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the single earliest pending event. It reports false when
+// the queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with firing time <= t, then advances the
+// clock to t.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.when > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending reports the number of not-yet-cancelled scheduled events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (when, seq) so ties break deterministically
+// in scheduling order.
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,249 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimulatorOrdersEventsByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimulatorTieBreaksBySchedulingOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestSimulatorCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSimulatorAfterRelativeToNow(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(5*time.Second, func() {
+		s.After(2*time.Second, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7*time.Second {
+		t.Fatalf("nested After fired at %v, want 7s", at)
+	}
+}
+
+func TestSimulatorRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(time.Second, func() { ran = true })
+	s.At(time.Minute, func() { t.Error("future event ran") })
+	s.RunUntil(10 * time.Second)
+	if !ran {
+		t.Fatal("due event did not run")
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", s.Now())
+	}
+}
+
+func TestSimulatorSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestPSServerSingleJobRunsAtFullRate(t *testing.T) {
+	s := New()
+	p := NewPSServer(s, 6)
+	var end time.Duration
+	p.Submit(3*time.Second, func() { end = s.Now() })
+	s.Run()
+	if end != 3*time.Second {
+		t.Fatalf("single job finished at %v, want 3s", end)
+	}
+}
+
+func TestPSServerUnderCapacityNoSlowdown(t *testing.T) {
+	s := New()
+	p := NewPSServer(s, 6)
+	ends := make([]time.Duration, 6)
+	for i := 0; i < 6; i++ {
+		i := i
+		p.Submit(2*time.Second, func() { ends[i] = s.Now() })
+	}
+	s.Run()
+	for i, e := range ends {
+		if e != 2*time.Second {
+			t.Fatalf("job %d finished at %v, want 2s (under capacity)", i, e)
+		}
+	}
+}
+
+func TestPSServerOverCapacitySharing(t *testing.T) {
+	// 12 jobs of 1s work on 6 cores: rate 1/2 each, all done at 2s.
+	s := New()
+	p := NewPSServer(s, 6)
+	var ends []time.Duration
+	for i := 0; i < 12; i++ {
+		p.Submit(time.Second, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run()
+	if len(ends) != 12 {
+		t.Fatalf("finished %d jobs, want 12", len(ends))
+	}
+	for _, e := range ends {
+		if d := e - 2*time.Second; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("job finished at %v, want ~2s", e)
+		}
+	}
+}
+
+func TestPSServerLateArrivalSlowsEarlyJob(t *testing.T) {
+	// Capacity 1. Job A (2s) starts at 0; job B (1s) arrives at 1s.
+	// From t=1 both share: A needs 1s more work at rate 1/2 -> but B
+	// finishes first: B has 1s work at 1/2 rate -> B done at t=3, and
+	// A progressed 1s more by then -> A done at t=3 too.
+	s := New()
+	p := NewPSServer(s, 1)
+	var endA, endB time.Duration
+	p.Submit(2*time.Second, func() { endA = s.Now() })
+	s.At(time.Second, func() {
+		p.Submit(time.Second, func() { endB = s.Now() })
+	})
+	s.Run()
+	if d := endA - 3*time.Second; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("A finished at %v, want ~3s", endA)
+	}
+	if d := endB - 3*time.Second; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("B finished at %v, want ~3s", endB)
+	}
+}
+
+func TestPSServerCancel(t *testing.T) {
+	s := New()
+	p := NewPSServer(s, 1)
+	var endA time.Duration
+	p.Submit(2*time.Second, func() { endA = s.Now() })
+	j := p.Submit(2*time.Second, func() { t.Error("cancelled job completed") })
+	s.At(time.Second, j.Cancel)
+	s.Run()
+	// A ran at 1/2 rate for 1s (0.5s progress), then alone: total 2.5s.
+	if d := endA - 2500*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("A finished at %v, want ~2.5s", endA)
+	}
+}
+
+func TestPSServerZeroWorkCompletes(t *testing.T) {
+	s := New()
+	p := NewPSServer(s, 1)
+	done := false
+	p.Submit(0, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("zero-work job never completed")
+	}
+}
+
+// TestPSServerConservation property: total service delivered never
+// exceeds capacity*elapsed, and every job eventually completes.
+func TestPSServerConservation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		cap := float64(1 + rng.Intn(8))
+		p := NewPSServer(s, cap)
+		n := 1 + rng.Intn(20)
+		var totalWork time.Duration
+		completed := 0
+		var last time.Duration
+		for i := 0; i < n; i++ {
+			w := time.Duration(1+rng.Intn(5000)) * time.Millisecond
+			at := time.Duration(rng.Intn(3000)) * time.Millisecond
+			totalWork += w
+			s.At(at, func() {
+				p.Submit(w, func() {
+					completed++
+					last = s.Now()
+				})
+			})
+		}
+		s.Run()
+		if completed != n {
+			return false
+		}
+		// Makespan lower bound: total work / capacity.
+		minSpan := time.Duration(float64(totalWork) / cap)
+		// Allow 1ms slack for rounding.
+		return last+time.Millisecond >= minSpan
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSServerDeterminism: identical schedules produce identical
+// completion sequences.
+func TestPSServerDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New()
+		p := NewPSServer(s, 3)
+		rng := rand.New(rand.NewSource(42))
+		var ends []time.Duration
+		for i := 0; i < 50; i++ {
+			w := time.Duration(1+rng.Intn(900)) * time.Millisecond
+			at := time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.At(at, func() {
+				p.Submit(w, func() { ends = append(ends, s.Now()) })
+			})
+		}
+		s.Run()
+		return ends
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different completion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DenseGraph is an adjacency-matrix graph — the representation whose
+// O(n^2) frontier scans match the Section 4.4 BFS study (the Alveo U50
+// port could not hold graphs beyond 5,000 nodes, consistent with an
+// adjacency-matrix layout).
+type DenseGraph struct {
+	N   int
+	adj []bool
+}
+
+// NewDenseGraph allocates an empty graph on n nodes.
+func NewDenseGraph(n int) *DenseGraph {
+	return &DenseGraph{N: n, adj: make([]bool, n*n)}
+}
+
+// AddEdge inserts an undirected edge.
+func (g *DenseGraph) AddEdge(u, v int) {
+	g.adj[u*g.N+v] = true
+	g.adj[v*g.N+u] = true
+}
+
+// HasEdge reports whether u-v is an edge.
+func (g *DenseGraph) HasEdge(u, v int) bool { return g.adj[u*g.N+v] }
+
+// GenerateGraph builds a connected random graph: a Hamiltonian path
+// for connectivity plus random extra edges at density p.
+func GenerateGraph(rng *rand.Rand, n int, p float64) *DenseGraph {
+	g := NewDenseGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i)
+	}
+	extra := int(p * float64(n) * float64(n) / 2)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BFS computes hop distances from src, scanning each frontier node's
+// full adjacency row (the kernel the FPGA port implements).
+func (g *DenseGraph) BFS(src int) ([]int, error) {
+	if src < 0 || src >= g.N {
+		return nil, fmt.Errorf("workloads: BFS source %d out of range [0,%d)", src, g.N)
+	}
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for level := 1; len(frontier) > 0; level++ {
+		var next []int
+		for _, u := range frontier {
+			row := g.adj[u*g.N : (u+1)*g.N]
+			for v, edge := range row {
+				if edge && dist[v] < 0 {
+					dist[v] = level
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, nil
+}
+
+// CSRGraph is the sparse counterpart used by the reference check.
+type CSRGraph struct {
+	N      int
+	RowPtr []int
+	Adj    []int
+}
+
+// ToCSR converts the dense graph.
+func (g *DenseGraph) ToCSR() *CSRGraph {
+	c := &CSRGraph{N: g.N, RowPtr: make([]int, g.N+1)}
+	for u := 0; u < g.N; u++ {
+		for v := 0; v < g.N; v++ {
+			if g.HasEdge(u, v) {
+				c.Adj = append(c.Adj, v)
+			}
+		}
+		c.RowPtr[u+1] = len(c.Adj)
+	}
+	return c
+}
+
+// BFS on the CSR form, used as the independent reference.
+func (c *CSRGraph) BFS(src int) ([]int, error) {
+	if src < 0 || src >= c.N {
+		return nil, fmt.Errorf("workloads: BFS source %d out of range [0,%d)", src, c.N)
+	}
+	dist := make([]int, c.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for k := c.RowPtr[u]; k < c.RowPtr[u+1]; k++ {
+			v := c.Adj[k]
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrCGDiverged is reported when conjugate gradient fails to reduce
+// the residual.
+var ErrCGDiverged = errors.New("workloads: conjugate gradient diverged")
+
+// SparseMatrix is a square matrix in compressed sparse row form, the
+// data structure behind the NPB CG benchmark's sparse
+// matrix-vector products.
+type SparseMatrix struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+	Values []float64
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *SparseMatrix) NNZ() int { return len(m.Values) }
+
+// GenerateSPDMatrix builds a random symmetric positive-definite sparse
+// matrix in the style of NPB CG's makea: random off-diagonal pattern
+// with a dominant diagonal.
+func GenerateSPDMatrix(rng *rand.Rand, n, nonzerosPerRow int) *SparseMatrix {
+	if nonzerosPerRow < 1 {
+		nonzerosPerRow = 1
+	}
+	// Build a symmetric pattern: collect (i, j, v) above the
+	// diagonal, mirror it, then add the dominant diagonal.
+	type entry struct {
+		col int
+		val float64
+	}
+	rows := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nonzerosPerRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			rows[i] = append(rows[i], entry{j, v})
+			rows[j] = append(rows[j], entry{i, v})
+		}
+	}
+	m := &SparseMatrix{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		// Diagonal dominance guarantees positive definiteness.
+		var offSum float64
+		for _, e := range rows[i] {
+			offSum += math.Abs(e.val)
+		}
+		m.ColIdx = append(m.ColIdx, i)
+		m.Values = append(m.Values, offSum+1)
+		for _, e := range rows[i] {
+			m.ColIdx = append(m.ColIdx, e.col)
+			m.Values = append(m.Values, e.val)
+		}
+		m.RowPtr[i+1] = len(m.Values)
+	}
+	return m
+}
+
+// SpMV computes y = A*x. The x[col] gather is the irregular,
+// pointer-chasing access pattern that makes CG slow on PCIe-attached
+// FPGAs (Section 4.4).
+func (m *SparseMatrix) SpMV(x, y []float64) error {
+	if len(x) != m.N || len(y) != m.N {
+		return fmt.Errorf("workloads: SpMV dimension mismatch: n=%d len(x)=%d len(y)=%d", m.N, len(x), len(y))
+	}
+	for i := 0; i < m.N; i++ {
+		var sum float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Values[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+	return nil
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	Iterations   int
+	ResidualNorm float64
+	InitialNorm  float64
+}
+
+// ConjugateGradient solves A*x = b, overwriting x, with at most
+// maxIter iterations — the computational core of NPB CG.
+func ConjugateGradient(a *SparseMatrix, b, x []float64, maxIter int, tol float64) (CGResult, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return CGResult{}, fmt.Errorf("workloads: CG dimension mismatch")
+	}
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	if err := a.SpMV(x, ap); err != nil {
+		return CGResult{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - ap[i]
+		p[i] = r[i]
+	}
+	dot := func(u, v []float64) float64 {
+		var s float64
+		for i := range u {
+			s += u[i] * v[i]
+		}
+		return s
+	}
+	rr := dot(r, r)
+	res := CGResult{InitialNorm: math.Sqrt(rr)}
+	for it := 0; it < maxIter && math.Sqrt(rr) > tol; it++ {
+		if err := a.SpMV(p, ap); err != nil {
+			return res, err
+		}
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("%w: non-positive curvature %g", ErrCGDiverged, pap)
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rr2 := dot(r, r)
+		beta := rr2 / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rr2
+		res.Iterations++
+	}
+	res.ResidualNorm = math.Sqrt(rr)
+	if res.ResidualNorm > res.InitialNorm {
+		return res, fmt.Errorf("%w: residual grew from %g to %g", ErrCGDiverged, res.InitialNorm, res.ResidualNorm)
+	}
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// Digit is a 7x7 binarised glyph packed into 49 bits, exactly the
+// representation the Rosetta digit-recognition benchmark uses.
+type Digit uint64
+
+// digitBits is the glyph size in bits.
+const digitBits = 49
+
+// LabeledDigit pairs a glyph with its class.
+type LabeledDigit struct {
+	Glyph Digit
+	Label int
+}
+
+// digitGlyphs are 7x7 prototypes of the ten digits ('#' = ink).
+var digitGlyphs = [10][7]string{
+	{" ##### ", "##   ##", "##   ##", "##   ##", "##   ##", "##   ##", " ##### "},
+	{"   ##  ", "  ###  ", "   ##  ", "   ##  ", "   ##  ", "   ##  ", " ######"},
+	{" ##### ", "##   ##", "     ##", "   ### ", "  ##   ", " ##    ", "#######"},
+	{" ##### ", "##   ##", "     ##", "  #### ", "     ##", "##   ##", " ##### "},
+	{"##  ## ", "##  ## ", "##  ## ", "#######", "    ## ", "    ## ", "    ## "},
+	{"#######", "##     ", "###### ", "     ##", "     ##", "##   ##", " ##### "},
+	{" ##### ", "##     ", "##     ", "###### ", "##   ##", "##   ##", " ##### "},
+	{"#######", "    ## ", "   ##  ", "  ##   ", "  ##   ", "  ##   ", "  ##   "},
+	{" ##### ", "##   ##", "##   ##", " ##### ", "##   ##", "##   ##", " ##### "},
+	{" ##### ", "##   ##", "##   ##", " ######", "     ##", "     ##", " ##### "},
+}
+
+// PrototypeDigit returns the clean glyph of a digit class.
+func PrototypeDigit(label int) Digit {
+	var g Digit
+	rows := digitGlyphs[label%10]
+	bit := 0
+	for _, row := range rows {
+		for _, c := range row {
+			if c == '#' {
+				g |= 1 << bit
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+// NoisyDigit flips nFlips random bits of the prototype, producing a
+// synthetic handwritten sample (MNIST-like variation).
+func NoisyDigit(rng *rand.Rand, label, nFlips int) Digit {
+	g := PrototypeDigit(label)
+	for i := 0; i < nFlips; i++ {
+		g ^= 1 << rng.Intn(digitBits)
+	}
+	return g
+}
+
+// GenerateDigitSet builds a labeled sample set with noise.
+func GenerateDigitSet(rng *rand.Rand, n, maxFlips int) []LabeledDigit {
+	out := make([]LabeledDigit, n)
+	for i := range out {
+		label := rng.Intn(10)
+		out[i] = LabeledDigit{Glyph: NoisyDigit(rng, label, rng.Intn(maxFlips+1)), Label: label}
+	}
+	return out
+}
+
+// HammingDistance counts differing bits between two glyphs — the
+// KNN distance metric, and the operation the hardware kernel
+// (KNL_HW_DR*) pipelines.
+func HammingDistance(a, b Digit) int {
+	return bits.OnesCount64(uint64(a^b) & ((1 << digitBits) - 1))
+}
+
+// KNNClassifier is the digit-recognition model: k-nearest neighbours
+// under Hamming distance over a training set.
+type KNNClassifier struct {
+	K        int
+	Training []LabeledDigit
+}
+
+// NewKNNClassifier builds a classifier with a synthetic training set
+// of n samples per class.
+func NewKNNClassifier(rng *rand.Rand, k, perClass, maxFlips int) *KNNClassifier {
+	c := &KNNClassifier{K: k}
+	for label := 0; label < 10; label++ {
+		c.Training = append(c.Training, LabeledDigit{Glyph: PrototypeDigit(label), Label: label})
+		for i := 1; i < perClass; i++ {
+			c.Training = append(c.Training, LabeledDigit{
+				Glyph: NoisyDigit(rng, label, rng.Intn(maxFlips+1)),
+				Label: label,
+			})
+		}
+	}
+	return c
+}
+
+// Classify returns the majority label of the k nearest training
+// samples (ties break toward the smaller distance sum).
+func (c *KNNClassifier) Classify(g Digit) int {
+	k := c.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(c.Training) {
+		k = len(c.Training)
+	}
+	// Selection of the k smallest distances without sorting the set:
+	// the training sets are small enough that a simple insertion
+	// buffer matches the Rosetta implementation's structure.
+	type cand struct {
+		dist  int
+		label int
+	}
+	best := make([]cand, 0, k)
+	for _, s := range c.Training {
+		d := HammingDistance(g, s.Glyph)
+		if len(best) < k {
+			best = append(best, cand{d, s.Label})
+			for i := len(best) - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+			continue
+		}
+		if d >= best[k-1].dist {
+			continue
+		}
+		best[k-1] = cand{d, s.Label}
+		for i := k - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+	}
+	votes := [10]int{}
+	for _, b := range best {
+		votes[b.label]++
+	}
+	top, topVotes := 0, -1
+	for label, v := range votes {
+		if v > topVotes {
+			top, topVotes = label, v
+		}
+	}
+	return top
+}
+
+// Accuracy classifies every test sample and reports the hit fraction.
+func (c *KNNClassifier) Accuracy(tests []LabeledDigit) float64 {
+	if len(tests) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, tc := range tests {
+		if c.Classify(tc.Glyph) == tc.Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(tests))
+}

@@ -1,0 +1,225 @@
+package workloads
+
+import "math/rand"
+
+// Rect is a detection window.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// IntegralImage holds summed-area tables for O(1) rectangle sums —
+// the core data structure of Viola-Jones face detection (the Rosetta
+// face-detection benchmark's algorithm).
+type IntegralImage struct {
+	W, H int
+	sum  []int64
+}
+
+// NewIntegralImage computes the summed-area table of im.
+func NewIntegralImage(im *Image) *IntegralImage {
+	ii := &IntegralImage{W: im.W, H: im.H, sum: make([]int64, (im.W+1)*(im.H+1))}
+	stride := im.W + 1
+	for y := 1; y <= im.H; y++ {
+		var row int64
+		for x := 1; x <= im.W; x++ {
+			row += int64(im.Pix[(y-1)*im.W+x-1])
+			ii.sum[y*stride+x] = ii.sum[(y-1)*stride+x] + row
+		}
+	}
+	return ii
+}
+
+// RectSum returns the pixel sum inside r (clipped rectangles are the
+// caller's responsibility; out-of-range panics are avoided by clamping).
+func (ii *IntegralImage) RectSum(r Rect) int64 {
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0 := clamp(r.X, ii.W)
+	y0 := clamp(r.Y, ii.H)
+	x1 := clamp(r.X+r.W, ii.W)
+	y1 := clamp(r.Y+r.H, ii.H)
+	s := ii.W + 1
+	return ii.sum[y1*s+x1] - ii.sum[y0*s+x1] - ii.sum[y1*s+x0] + ii.sum[y0*s+x0]
+}
+
+// haarFeature is a two-rectangle Haar-like feature relative to a unit
+// window: bright region minus dark region must exceed a threshold.
+type haarFeature struct {
+	// Coordinates in 1/24ths of the window (Viola-Jones base window).
+	brightX, brightY, brightW, brightH int
+	darkX, darkY, darkW, darkH         int
+	// threshold on mean-intensity difference (bright - dark).
+	threshold float64
+}
+
+// faceCascade is a compact cascade tuned for the synthetic faces
+// GenerateFaceImage plants: a bright face disk with a darker eye band
+// and a darker mouth region.
+var faceCascade = []haarFeature{
+	// Cheeks brighter than eye band.
+	{brightX: 4, brightY: 12, brightW: 16, brightH: 6, darkX: 4, darkY: 6, darkW: 16, darkH: 5, threshold: 18},
+	// Forehead brighter than eye band.
+	{brightX: 6, brightY: 1, brightW: 12, brightH: 4, darkX: 4, darkY: 6, darkW: 16, darkH: 5, threshold: 14},
+	// Nose column brighter than the two eye boxes' row.
+	{brightX: 10, brightY: 7, brightW: 4, brightH: 4, darkX: 3, darkY: 7, darkW: 6, darkH: 4, threshold: 10},
+	// Face interior brighter than surrounding border.
+	{brightX: 6, brightY: 6, brightW: 12, brightH: 12, darkX: 0, darkY: 0, darkW: 24, darkH: 3, threshold: 22},
+}
+
+// baseWindow is the cascade's native window size.
+const baseWindow = 24
+
+// evalWindow runs the cascade on one window; every stage must pass.
+func evalWindow(ii *IntegralImage, x, y, w int) bool {
+	scale := float64(w) / baseWindow
+	for _, f := range faceCascade {
+		br := Rect{
+			X: x + int(float64(f.brightX)*scale),
+			Y: y + int(float64(f.brightY)*scale),
+			W: maxInt(1, int(float64(f.brightW)*scale)),
+			H: maxInt(1, int(float64(f.brightH)*scale)),
+		}
+		dk := Rect{
+			X: x + int(float64(f.darkX)*scale),
+			Y: y + int(float64(f.darkY)*scale),
+			W: maxInt(1, int(float64(f.darkW)*scale)),
+			H: maxInt(1, int(float64(f.darkH)*scale)),
+		}
+		brMean := float64(ii.RectSum(br)) / float64(br.W*br.H)
+		dkMean := float64(ii.RectSum(dk)) / float64(dk.W*dk.H)
+		if brMean-dkMean < f.threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectFaces scans the image with a sliding window across scales and
+// returns the detections after overlap suppression.
+func DetectFaces(im *Image) []Rect {
+	ii := NewIntegralImage(im)
+	var raw []Rect
+	for w := baseWindow; w <= minInt(im.W, im.H); w = w * 5 / 4 {
+		step := maxInt(2, w/12)
+		for y := 0; y+w <= im.H; y += step {
+			for x := 0; x+w <= im.W; x += step {
+				if evalWindow(ii, x, y, w) {
+					raw = append(raw, Rect{X: x, Y: y, W: w, H: w})
+				}
+			}
+		}
+	}
+	return suppressOverlaps(raw)
+}
+
+// suppressOverlaps merges detections that overlap by more than half.
+func suppressOverlaps(raw []Rect) []Rect {
+	var out []Rect
+	for _, r := range raw {
+		merged := false
+		for i, o := range out {
+			if overlapFrac(r, o) > 0.5 {
+				// Keep the earlier (typically smaller-scale) box.
+				_ = i
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// overlapFrac is intersection-over-smaller-area.
+func overlapFrac(a, b Rect) float64 {
+	x0 := maxInt(a.X, b.X)
+	y0 := maxInt(a.Y, b.Y)
+	x1 := minInt(a.X+a.W, b.X+b.W)
+	y1 := minInt(a.Y+a.H, b.Y+b.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	inter := float64((x1 - x0) * (y1 - y0))
+	small := float64(minInt(a.W*a.H, b.W*b.H))
+	return inter / small
+}
+
+// GenerateFaceImage produces a synthetic scene with nFaces planted
+// face patterns (our stand-in for the WIDER dataset) and returns the
+// image plus the ground-truth rectangles.
+func GenerateFaceImage(rng *rand.Rand, w, h, nFaces int) (*Image, []Rect) {
+	im := NewImage(w, h)
+	// Mid-gray noisy background.
+	for i := range im.Pix {
+		im.Pix[i] = byte(90 + rng.Intn(25))
+	}
+	var truth []Rect
+	for f := 0; f < nFaces; f++ {
+		size := baseWindow + rng.Intn(maxInt(1, minInt(w, h)/3-baseWindow))
+		var x, y int
+		for attempt := 0; attempt < 50; attempt++ {
+			x = rng.Intn(maxInt(1, w-size))
+			y = rng.Intn(maxInt(1, h-size))
+			ok := true
+			for _, t := range truth {
+				if overlapFrac(Rect{x, y, size, size}, t) > 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		drawFace(im, x, y, size, rng)
+		truth = append(truth, Rect{X: x, Y: y, W: size, H: size})
+	}
+	return im, truth
+}
+
+// drawFace paints the pattern the cascade detects: bright face with a
+// dark eye band and dark border.
+func drawFace(im *Image, x, y, size int, rng *rand.Rand) {
+	scale := float64(size) / baseWindow
+	px := func(u, v int) (int, int) {
+		return x + int(float64(u)*scale), y + int(float64(v)*scale)
+	}
+	fill := func(u0, v0, u1, v1 int, base byte) {
+		x0, y0 := px(u0, v0)
+		x1, y1 := px(u1, v1)
+		for yy := y0; yy < y1; yy++ {
+			for xx := x0; xx < x1; xx++ {
+				im.Set(xx, yy, base+byte(rng.Intn(8)))
+			}
+		}
+	}
+	fill(0, 0, 24, 24, 80)   // border/hair, dark
+	fill(2, 3, 22, 23, 185)  // skin, bright
+	fill(4, 6, 20, 11, 110)  // eye band, dark
+	fill(10, 7, 14, 11, 190) // nose bridge, bright
+	fill(8, 17, 16, 20, 120) // mouth, darker
+	fill(4, 12, 20, 17, 195) // cheeks, bright
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+
+	"xartrek/internal/mir"
+)
+
+// kernelBody emits one loop iteration's computation. It receives the
+// induction variable i and the running accumulator and returns the new
+// accumulator value.
+type kernelBody func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value
+
+// buildLoopKernel constructs the canonical selected-function shape the
+// Xar-Trek profiling step identifies: a compute loop over n iterations
+// reading from two input arrays, accumulating a result.
+//
+//	func name(in0 ptr, in1 ptr, n i64) accType
+func buildLoopKernel(m *mir.Module, name string, accType mir.Type, body kernelBody) (*mir.Function, error) {
+	f, err := m.AddFunc(name, accType, mir.Ptr, mir.Ptr, mir.I64)
+	if err != nil {
+		return nil, err
+	}
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	bodyB := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := mir.NewBuilder(f)
+	b.SetBlock(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(mir.I64)
+	acc := b.Phi(accType)
+	cond := b.ICmp(mir.CmpLT, i, f.Params[2])
+	b.CondBr(cond, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	acc2 := body(b, f, i, acc)
+	i2 := b.Add(i, mir.ConstInt(mir.I64, 1))
+	b.Br(loop)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+
+	mir.AddIncoming(i, mir.ConstInt(mir.I64, 0), entry)
+	mir.AddIncoming(i, i2, bodyB)
+	var zero mir.Value = mir.ConstInt(accType, 0)
+	if accType == mir.F64 {
+		zero = mir.ConstFloat(0)
+	}
+	mir.AddIncoming(acc, zero, entry)
+	mir.AddIncoming(acc, acc2, bodyB)
+
+	if err := mir.Verify(f); err != nil {
+		return nil, fmt.Errorf("workloads: kernel %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// kernelArenaMask bounds in-arena offsets so kernels can run in the
+// interpreter against a fixed-size buffer (1024 eight-byte slots).
+const kernelArenaMask = 1023
+
+// maskedOffset emits o = (i & mask) * 8.
+func maskedOffset(b *mir.Builder, i mir.Value) mir.Value {
+	j := b.And(i, mir.ConstInt(mir.I64, kernelArenaMask))
+	return b.Shl(j, mir.ConstInt(mir.I64, 3))
+}
+
+// buildFaceDetectKernel emits the Viola-Jones window-evaluation loop:
+// eight integral-image corner loads, two rectangle sums, a scaled
+// threshold compare, and a detection count.
+func buildFaceDetectKernel(m *mir.Module, name string) (*mir.Function, error) {
+	return buildLoopKernel(m, name, mir.I64, func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value {
+		o := maskedOffset(b, i)
+		base0 := b.PtrAdd(f.Params[0], o)
+		base1 := b.PtrAdd(f.Params[1], o)
+		var corners [8]mir.Value
+		for k := 0; k < 4; k++ {
+			p := b.PtrAdd(base0, mir.ConstInt(mir.I64, int64(8*k)))
+			corners[k] = b.Load(mir.F64, p)
+		}
+		for k := 0; k < 4; k++ {
+			p := b.PtrAdd(base1, mir.ConstInt(mir.I64, int64(8*k)))
+			corners[4+k] = b.Load(mir.F64, p)
+		}
+		// Two rectangle sums via the summed-area identity.
+		r0 := b.FAdd(b.FSub(b.FSub(corners[3], corners[1]), corners[2]), corners[0])
+		r1 := b.FAdd(b.FSub(b.FSub(corners[7], corners[5]), corners[6]), corners[4])
+		diff := b.FSub(r0, r1)
+		scaled := b.FMul(diff, mir.ConstFloat(0.729))
+		hit := b.FCmp(mir.CmpGT, scaled, mir.ConstFloat(18))
+		inc := b.Select(hit, mir.ConstInt(mir.I64, 1), mir.ConstInt(mir.I64, 0))
+		return b.Add(acc, inc)
+	})
+}
+
+// buildDigitRecKernel emits the KNN inner loop: two glyph loads, XOR,
+// and a branch-free population count (the Hamming distance), summed.
+func buildDigitRecKernel(m *mir.Module, name string) (*mir.Function, error) {
+	return buildLoopKernel(m, name, mir.I64, func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value {
+		o := maskedOffset(b, i)
+		a := b.Load(mir.I64, b.PtrAdd(f.Params[0], o))
+		t := b.Load(mir.I64, b.PtrAdd(f.Params[1], o))
+		v := b.Xor(a, t)
+		// Hacker's-Delight popcount without multiplies.
+		m1 := mir.ConstInt(mir.I64, 0x5555555555555555)
+		m2 := mir.ConstInt(mir.I64, 0x3333333333333333)
+		m4 := mir.ConstInt(mir.I64, 0x0f0f0f0f0f0f0f0f)
+		v = b.Sub(v, b.And(b.LShr(v, mir.ConstInt(mir.I64, 1)), m1))
+		v = b.Add(b.And(v, m2), b.And(b.LShr(v, mir.ConstInt(mir.I64, 2)), m2))
+		v = b.And(b.Add(v, b.LShr(v, mir.ConstInt(mir.I64, 4))), m4)
+		v = b.Add(v, b.LShr(v, mir.ConstInt(mir.I64, 8)))
+		v = b.Add(v, b.LShr(v, mir.ConstInt(mir.I64, 16)))
+		v = b.Add(v, b.LShr(v, mir.ConstInt(mir.I64, 32)))
+		v = b.And(v, mir.ConstInt(mir.I64, 0x7f))
+		return b.Add(acc, v)
+	})
+}
+
+// buildCGKernel emits the sparse matrix-vector inner loop: value load,
+// column-index load, irregular x[col] gather, multiply-accumulate.
+func buildCGKernel(m *mir.Module, name string) (*mir.Function, error) {
+	return buildLoopKernel(m, name, mir.F64, func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value {
+		o := maskedOffset(b, i)
+		val := b.Load(mir.F64, b.PtrAdd(f.Params[0], o))
+		col := b.Load(mir.I64, b.PtrAdd(f.Params[1], o))
+		colOff := b.Shl(b.And(col, mir.ConstInt(mir.I64, kernelArenaMask)), mir.ConstInt(mir.I64, 3))
+		x := b.Load(mir.F64, b.PtrAdd(f.Params[0], colOff))
+		return b.FAdd(acc, b.FMul(val, x))
+	})
+}
+
+// buildBFSKernel emits the adjacency-row scan: frontier-distance load,
+// adjacency load, visited check, distance update count.
+func buildBFSKernel(m *mir.Module, name string) (*mir.Function, error) {
+	return buildLoopKernel(m, name, mir.I64, func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value {
+		o := maskedOffset(b, i)
+		adj := b.Load(mir.I64, b.PtrAdd(f.Params[0], o))
+		dist := b.Load(mir.I64, b.PtrAdd(f.Params[1], o))
+		// Third, dependent access: the neighbour's distance.
+		nOff := b.Shl(b.And(adj, mir.ConstInt(mir.I64, kernelArenaMask)), mir.ConstInt(mir.I64, 3))
+		ndist := b.Load(mir.I64, b.PtrAdd(f.Params[1], nOff))
+		unvisited := b.ICmp(mir.CmpLT, ndist, dist)
+		inc := b.Select(unvisited, mir.ConstInt(mir.I64, 1), mir.ConstInt(mir.I64, 0))
+		return b.Add(acc, inc)
+	})
+}
+
+// buildMGKernel emits the 7-point stencil sweep used by the MG load
+// generator.
+func buildMGKernel(m *mir.Module, name string) (*mir.Function, error) {
+	return buildLoopKernel(m, name, mir.F64, func(b *mir.Builder, f *mir.Function, i, acc mir.Value) mir.Value {
+		o := maskedOffset(b, i)
+		base := b.PtrAdd(f.Params[0], o)
+		var nb [7]mir.Value
+		for k := 0; k < 7; k++ {
+			p := b.PtrAdd(base, mir.ConstInt(mir.I64, int64(8*k)))
+			nb[k] = b.Load(mir.F64, p)
+		}
+		sum := nb[0]
+		for k := 1; k < 6; k++ {
+			sum = b.FAdd(sum, nb[k])
+		}
+		center := b.FMul(nb[6], mir.ConstFloat(6))
+		lap := b.FSub(sum, center)
+		scaled := b.FMul(lap, mir.ConstFloat(0.166666))
+		return b.FAdd(acc, scaled)
+	})
+}
+
+// buildMain emits the instrumentable application main: it calls the
+// selected function once (the Table 1 benchmarks call the kernel once
+// per run).
+func buildMain(m *mir.Module, kernel *mir.Function) (*mir.Function, error) {
+	f, err := m.AddFunc("main", mir.I64)
+	if err != nil {
+		return nil, err
+	}
+	b := mir.NewBuilder(f)
+	b.SetBlock(f.NewBlock("entry"))
+	buf := b.Alloca((kernelArenaMask + 1 + 8) * 8)
+	r := b.Call(kernel, buf, buf, mir.ConstInt(mir.I64, 64))
+	if kernel.Ret == mir.F64 {
+		ri := b.FPToSI(mir.I64, r)
+		b.Ret(ri)
+	} else {
+		b.Ret(r)
+	}
+	if err := mir.Verify(f); err != nil {
+		return nil, fmt.Errorf("workloads: main: %w", err)
+	}
+	return f, nil
+}

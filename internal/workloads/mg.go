@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid3D is a cubic scalar field with (n+1)^3 points, the data
+// structure of the NPB MG multigrid benchmark (the paper's background
+// load generator, MG class B).
+type Grid3D struct {
+	N   int // cells per side; points per side = N+1
+	Val []float64
+}
+
+// NewGrid3D allocates an (n+1)^3 grid of zeros.
+func NewGrid3D(n int) *Grid3D {
+	side := n + 1
+	return &Grid3D{N: n, Val: make([]float64, side*side*side)}
+}
+
+// idx maps 3D coordinates to storage.
+func (g *Grid3D) idx(x, y, z int) int {
+	side := g.N + 1
+	return (z*side+y)*side + x
+}
+
+// At reads a grid point.
+func (g *Grid3D) At(x, y, z int) float64 { return g.Val[g.idx(x, y, z)] }
+
+// Set writes a grid point.
+func (g *Grid3D) Set(x, y, z int, v float64) { g.Val[g.idx(x, y, z)] = v }
+
+// interior iterates interior points.
+func (g *Grid3D) interior(f func(x, y, z int)) {
+	for z := 1; z < g.N; z++ {
+		for y := 1; y < g.N; y++ {
+			for x := 1; x < g.N; x++ {
+				f(x, y, z)
+			}
+		}
+	}
+}
+
+// Residual computes r = f - A*u for the 7-point Poisson stencil.
+func Residual(u, f, r *Grid3D) error {
+	if u.N != f.N || u.N != r.N {
+		return fmt.Errorf("workloads: residual grid mismatch")
+	}
+	h2 := 1.0 / float64(u.N*u.N)
+	u.interior(func(x, y, z int) {
+		lap := (u.At(x-1, y, z) + u.At(x+1, y, z) +
+			u.At(x, y-1, z) + u.At(x, y+1, z) +
+			u.At(x, y, z-1) + u.At(x, y, z+1) - 6*u.At(x, y, z)) / h2
+		r.Set(x, y, z, f.At(x, y, z)+lap)
+	})
+	return nil
+}
+
+// Smooth applies weighted-Jacobi relaxation sweeps to A*u = f.
+func Smooth(u, f *Grid3D, sweeps int) error {
+	if u.N != f.N {
+		return fmt.Errorf("workloads: smooth grid mismatch")
+	}
+	h2 := 1.0 / float64(u.N*u.N)
+	const omega = 0.8
+	tmp := NewGrid3D(u.N)
+	for s := 0; s < sweeps; s++ {
+		u.interior(func(x, y, z int) {
+			nb := u.At(x-1, y, z) + u.At(x+1, y, z) +
+				u.At(x, y-1, z) + u.At(x, y+1, z) +
+				u.At(x, y, z-1) + u.At(x, y, z+1)
+			// Fixed point of the residual's A = -laplacian convention:
+			// (6u - nb)/h^2 = f  =>  u = (nb + h^2 f)/6.
+			jac := (nb + h2*f.At(x, y, z)) / 6
+			tmp.Set(x, y, z, (1-omega)*u.At(x, y, z)+omega*jac)
+		})
+		u.Val, tmp.Val = tmp.Val, u.Val
+	}
+	return nil
+}
+
+// Restrict coarsens r (fine, n) onto rc (coarse, n/2) by injection
+// with neighbour averaging.
+func Restrict(r, rc *Grid3D) error {
+	if r.N != rc.N*2 {
+		return fmt.Errorf("workloads: restrict expects fine N = 2*coarse N")
+	}
+	rc.interior(func(x, y, z int) {
+		fx, fy, fz := 2*x, 2*y, 2*z
+		center := r.At(fx, fy, fz)
+		sum := r.At(fx-1, fy, fz) + r.At(fx+1, fy, fz) +
+			r.At(fx, fy-1, fz) + r.At(fx, fy+1, fz) +
+			r.At(fx, fy, fz-1) + r.At(fx, fy, fz+1)
+		rc.Set(x, y, z, 0.5*center+sum/12)
+	})
+	return nil
+}
+
+// Prolong interpolates the coarse correction ec onto the fine grid e.
+func Prolong(ec, e *Grid3D) error {
+	if e.N != ec.N*2 {
+		return fmt.Errorf("workloads: prolong expects fine N = 2*coarse N")
+	}
+	e.interior(func(x, y, z int) {
+		// Trilinear interpolation from the enclosing coarse cell.
+		cx, cy, cz := x/2, y/2, z/2
+		fx, fy, fz := float64(x%2)/2, float64(y%2)/2, float64(z%2)/2
+		clampAdd := func(c, d, n int) int {
+			if c+d > n {
+				return n
+			}
+			return c + d
+		}
+		x1 := clampAdd(cx, 1, ec.N)
+		y1 := clampAdd(cy, 1, ec.N)
+		z1 := clampAdd(cz, 1, ec.N)
+		v := 0.0
+		for _, p := range [8][4]float64{
+			{0, 0, 0, (1 - fx) * (1 - fy) * (1 - fz)},
+			{1, 0, 0, fx * (1 - fy) * (1 - fz)},
+			{0, 1, 0, (1 - fx) * fy * (1 - fz)},
+			{1, 1, 0, fx * fy * (1 - fz)},
+			{0, 0, 1, (1 - fx) * (1 - fy) * fz},
+			{1, 0, 1, fx * (1 - fy) * fz},
+			{0, 1, 1, (1 - fx) * fy * fz},
+			{1, 1, 1, fx * fy * fz},
+		} {
+			xx, yy, zz := cx, cy, cz
+			if p[0] == 1 {
+				xx = x1
+			}
+			if p[1] == 1 {
+				yy = y1
+			}
+			if p[2] == 1 {
+				zz = z1
+			}
+			v += p[3] * ec.At(xx, yy, zz)
+		}
+		e.Set(x, y, z, e.At(x, y, z)+v)
+	})
+	return nil
+}
+
+// VCycle performs one multigrid V-cycle on A*u = f and returns the
+// final residual norm.
+func VCycle(u, f *Grid3D, preSweeps, postSweeps int) (float64, error) {
+	if u.N <= 4 || u.N%2 != 0 {
+		// Coarsest level: relax hard.
+		if err := Smooth(u, f, 30); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := Smooth(u, f, preSweeps); err != nil {
+			return 0, err
+		}
+		r := NewGrid3D(u.N)
+		if err := Residual(u, f, r); err != nil {
+			return 0, err
+		}
+		rc := NewGrid3D(u.N / 2)
+		if err := Restrict(r, rc); err != nil {
+			return 0, err
+		}
+		ec := NewGrid3D(u.N / 2)
+		if _, err := VCycle(ec, rc, preSweeps, postSweeps); err != nil {
+			return 0, err
+		}
+		if err := Prolong(ec, u); err != nil {
+			return 0, err
+		}
+		if err := Smooth(u, f, postSweeps); err != nil {
+			return 0, err
+		}
+	}
+	r := NewGrid3D(u.N)
+	if err := Residual(u, f, r); err != nil {
+		return 0, err
+	}
+	var norm float64
+	for _, v := range r.Val {
+		norm += v * v
+	}
+	return math.Sqrt(norm), nil
+}

@@ -1,0 +1,140 @@
+// Package workloads implements the paper's evaluation applications for
+// real: Rosetta-style face detection (Viola-Jones) and digit
+// recognition (KNN), NPB CG and MG, and breadth-first search, together
+// with synthetic input generators (the WIDER-dataset images of Section
+// 4.2 are proprietary-licensed, so we plant faces in generated PGM
+// images instead) and the calibrated per-target execution profiles used
+// by the simulation.
+package workloads
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PGM errors.
+var (
+	ErrBadPGM = errors.New("workloads: malformed PGM")
+)
+
+// Image is an 8-bit grayscale image.
+type Image struct {
+	W, H int
+	Pix  []byte // row-major, len = W*H
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return 0.
+func (im *Image) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are dropped.
+func (im *Image) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Bytes reports the raw image payload size.
+func (im *Image) Bytes() int64 { return int64(len(im.Pix)) }
+
+// WritePGM encodes the image in binary PGM (P5), the format the
+// paper's modified face-detection benchmark reads.
+func WritePGM(w io.Writer, im *Image) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("pgm header: %w", err)
+	}
+	if _, err := w.Write(im.Pix); err != nil {
+		return fmt.Errorf("pgm payload: %w", err)
+	}
+	return nil
+}
+
+// ReadPGM decodes a binary (P5) or ASCII (P2) PGM stream.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadPGM, magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%w: header field %q", ErrBadPGM, tok)
+		}
+		dims[i] = v
+	}
+	w, h, maxv := dims[0], dims[1], dims[2]
+	if maxv > 255 {
+		return nil, fmt.Errorf("%w: 16-bit samples unsupported (maxval %d)", ErrBadPGM, maxv)
+	}
+	im := NewImage(w, h)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, im.Pix); err != nil {
+			return nil, fmt.Errorf("%w: payload: %v", ErrBadPGM, err)
+		}
+		return im, nil
+	}
+	for i := range im.Pix {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sample %d: %v", ErrBadPGM, i, err)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > maxv {
+			return nil, fmt.Errorf("%w: sample %q", ErrBadPGM, tok)
+		}
+		im.Pix[i] = byte(v)
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping
+// #-comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrBadPGM, err)
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

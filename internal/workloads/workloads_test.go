@@ -1,0 +1,387 @@
+package workloads
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xartrek/internal/popcorn"
+	"xartrek/internal/xrt"
+)
+
+// Table 1 vanilla-x86 calibration targets.
+var table1X86 = map[string]time.Duration{
+	"CG-A":       2182 * time.Millisecond,
+	"FaceDet320": 175 * time.Millisecond,
+	"FaceDet640": 885 * time.Millisecond,
+	"Digit500":   883 * time.Millisecond,
+	"Digit2000":  3521 * time.Millisecond,
+}
+
+func TestRegistryCalibration(t *testing.T) {
+	apps, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 5 {
+		t.Fatalf("apps = %d, want 5", len(apps))
+	}
+	for _, app := range apps {
+		want := table1X86[app.Name]
+		got := app.X86Time()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.02*float64(want) {
+			t.Fatalf("%s x86 time = %v, want %v ±2%%", app.Name, got, want)
+		}
+	}
+}
+
+func TestTable1MigrationOrderings(t *testing.T) {
+	apps, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := popcorn.EthernetGbps1()
+	pcie := xrt.PCIeGen3x16()
+	byName := make(map[string]*App, len(apps))
+	for _, a := range apps {
+		byName[a.Name] = a
+	}
+
+	// CG-A: FPGA slowest, ARM in between (Table 1 row 1).
+	cg := byName["CG-A"]
+	cgFPGA, err := cg.FPGATime(pcie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cg.X86Time() < cg.ARMTime(net) && cg.ARMTime(net) < cgFPGA) {
+		t.Fatalf("CG-A ordering: x86=%v arm=%v fpga=%v", cg.X86Time(), cg.ARMTime(net), cgFPGA)
+	}
+
+	// FaceDet640 and both digit sizes beat x86 on the FPGA.
+	for _, name := range []string{"FaceDet640", "Digit500", "Digit2000"} {
+		a := byName[name]
+		fpga, err := a.FPGATime(pcie)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpga >= a.X86Time() {
+			t.Fatalf("%s: fpga %v not faster than x86 %v", name, fpga, a.X86Time())
+		}
+	}
+
+	// FaceDet320's small image does not amortise: x86 wins.
+	fd := byName["FaceDet320"]
+	fdFPGA, err := fd.FPGATime(pcie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdFPGA <= fd.X86Time() {
+		t.Fatalf("FaceDet320: fpga %v should be slower than x86 %v", fdFPGA, fd.X86Time())
+	}
+}
+
+func TestDSMLinkWorkBounds(t *testing.T) {
+	apps, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		dsm := a.DSMLinkWork()
+		if dsm < 0 {
+			t.Fatalf("%s: negative DSM work", a.Name)
+		}
+		// DSM traffic must not exceed kernel time, or isolated
+		// ARM measurements would drift from Table 1.
+		if dsm > a.ARMKernelTime() {
+			t.Fatalf("%s: DSM work %v exceeds kernel time %v", a.Name, dsm, a.ARMKernelTime())
+		}
+		if a.Irregular == 0 && dsm != 0 {
+			t.Fatalf("%s: regular app generates DSM traffic", a.Name)
+		}
+	}
+}
+
+func TestMGBNotMigratable(t *testing.T) {
+	mg, err := NewMGB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Migratable || mg.HWCapable {
+		t.Fatalf("MG-B flags = %+v, want background-only", mg)
+	}
+	if _, err := mg.XO(); err == nil {
+		t.Fatal("MG-B synthesized a hardware kernel")
+	}
+}
+
+func TestBFSScalesQuadratically(t *testing.T) {
+	small, err := NewBFS(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewBFS(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(large.X86Time()) / float64(small.X86Time())
+	// Adjacency-matrix BFS is O(n^2); doubling n roughly quadruples
+	// the work (the small graph also loses its cache residency, so
+	// allow a wide band above 4).
+	if ratio < 3.5 {
+		t.Fatalf("2000/1000 node time ratio = %.1f, want >= 3.5", ratio)
+	}
+}
+
+// --- Face detection ---
+
+func TestIntegralImageRectSum(t *testing.T) {
+	im := NewImage(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			im.Set(x, y, 1)
+		}
+	}
+	ii := NewIntegralImage(im)
+	if got := ii.RectSum(Rect{X: 0, Y: 0, W: 8, H: 8}); got != 64 {
+		t.Fatalf("full sum = %d, want 64", got)
+	}
+	if got := ii.RectSum(Rect{X: 2, Y: 3, W: 4, H: 2}); got != 8 {
+		t.Fatalf("inner sum = %d, want 8", got)
+	}
+}
+
+func TestIntegralImageMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := NewImage(16, 12)
+		for i := range im.Pix {
+			im.Pix[i] = byte(rng.Intn(256))
+		}
+		ii := NewIntegralImage(im)
+		r := Rect{X: rng.Intn(12), Y: rng.Intn(8), W: 1 + rng.Intn(4), H: 1 + rng.Intn(4)}
+		var want int64
+		for y := r.Y; y < r.Y+r.H; y++ {
+			for x := r.X; x < r.X+r.W; x++ {
+				want += int64(im.At(x, y))
+			}
+		}
+		return ii.RectSum(r) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectFacesFindsPlantedFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	im, planted := GenerateFaceImage(rng, 320, 240, 2)
+	found := DetectFaces(im)
+	if len(found) == 0 {
+		t.Fatal("detector found nothing on an image with planted faces")
+	}
+	// At least one planted face overlaps a detection.
+	matched := 0
+	for _, p := range planted {
+		for _, f := range found {
+			if overlapFrac(p, f) > 0.3 {
+				matched++
+				break
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatalf("no detection overlaps the %d planted faces (found %v)", len(planted), found)
+	}
+}
+
+func TestDetectFacesEmptyImage(t *testing.T) {
+	im := NewImage(320, 240) // uniform black: nothing face-like
+	if found := DetectFaces(im); len(found) != 0 {
+		t.Fatalf("detector hallucinated %d faces on a black image", len(found))
+	}
+}
+
+// --- PGM codec ---
+
+func TestPGMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	im, _ := GenerateFaceImage(rng, 64, 48, 1)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("dims %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+	}
+	if !bytes.Equal(back.Pix, im.Pix) {
+		t.Fatal("pixel data corrupted in round trip")
+	}
+}
+
+func TestPGMRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "P3\n2 2\n255\nxxxx", "P5\n-1 2\n255\n"} {
+		if _, err := ReadPGM(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("ReadPGM accepted %q", in)
+		}
+	}
+}
+
+// --- Digit recognition ---
+
+func TestKNNClassifierAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewKNNClassifier(rng, 3, 40, 6)
+	tests := GenerateDigitSet(rng, 500, 6)
+	acc := c.Accuracy(tests)
+	if acc < 0.85 {
+		t.Fatalf("accuracy = %.2f, want >= 0.85 on lightly noised digits", acc)
+	}
+}
+
+func TestHammingDistanceProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		da, db := Digit(a), Digit(b)
+		d := HammingDistance(da, db)
+		if d < 0 || d > 64 {
+			return false
+		}
+		if HammingDistance(db, da) != d {
+			return false // symmetry
+		}
+		return HammingDistance(da, da) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrototypeDigitsDistinct(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if PrototypeDigit(i) == PrototypeDigit(j) {
+				t.Fatalf("digits %d and %d share a prototype", i, j)
+			}
+		}
+	}
+}
+
+// --- BFS ---
+
+func TestBFSDistancesMatchBetweenRepresentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := GenerateGraph(rng, 64, 0.1)
+	dense, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := g.ToCSR().BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range dense {
+		if dense[v] != sparse[v] {
+			t.Fatalf("node %d: dense %d != csr %d", v, dense[v], sparse[v])
+		}
+	}
+}
+
+func TestBFSTriangleInequality(t *testing.T) {
+	// Property: along any edge (u,v), |dist(u)-dist(v)| <= 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GenerateGraph(rng, 32, 0.15)
+		dist, err := g.BFS(0)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N; u++ {
+			for v := 0; v < g.N; v++ {
+				if !g.HasEdge(u, v) || dist[u] < 0 || dist[v] < 0 {
+					continue
+				}
+				d := dist[u] - dist[v]
+				if d < -1 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- CG ---
+
+func TestConjugateGradientConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 64
+	a := GenerateSPDMatrix(rng, n, 6)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	x := make([]float64, n)
+	res, err := ConjugateGradient(a, b, x, 200, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidualNorm > 1e-6 {
+		t.Fatalf("residual = %g after %d iterations", res.ResidualNorm, res.Iterations)
+	}
+	// Verify Ax ≈ b directly.
+	ax := make([]float64, n)
+	if err := a.SpMV(x, ax); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if d := ax[i] - b[i]; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("residual component %d = %g", i, d)
+		}
+	}
+}
+
+// --- MG ---
+
+func TestMGVCycleReducesResidual(t *testing.T) {
+	n := 32 // even: exercises the full multilevel hierarchy
+	u := NewGrid3D(n)
+	f := NewGrid3D(n)
+	f.Set(n/2, n/2, n/2, 1)
+
+	r := NewGrid3D(n)
+	if err := Residual(u, f, r); err != nil {
+		t.Fatal(err)
+	}
+	before := gridNorm(r)
+
+	if _, err := VCycle(u, f, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Residual(u, f, r); err != nil {
+		t.Fatal(err)
+	}
+	after := gridNorm(r)
+	if after >= before {
+		t.Fatalf("V-cycle did not reduce residual: %g -> %g", before, after)
+	}
+}
+
+func gridNorm(g *Grid3D) float64 {
+	var s float64
+	for _, v := range g.Val {
+		s += v * v
+	}
+	return s
+}

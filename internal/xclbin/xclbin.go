@@ -1,0 +1,222 @@
+// Package xclbin implements steps E and F of the Xar-Trek compiler:
+// gathering FPGA resource utilisation from XO files, estimating how
+// many hardware kernels fit one configuration file, partitioning
+// kernels across XCLBINs (automatically, first-fit decreasing, or
+// manually via explicit assignment), and generating the XCLBIN images
+// that are downloaded to the FPGA.
+package xclbin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"xartrek/internal/hls"
+)
+
+// Partitioning errors.
+var (
+	ErrKernelTooLarge = errors.New("xclbin: kernel exceeds platform dynamic region")
+	ErrNoKernels      = errors.New("xclbin: no kernels to partition")
+	ErrUnknownKernel  = errors.New("xclbin: manual assignment names unknown kernel")
+)
+
+// Platform describes the static hardware platform inside the FPGA:
+// host interface, reconfiguration control, memory controllers, and the
+// dynamic region left for hardware kernels.
+type Platform struct {
+	Name string
+	// Dynamic is the resource budget of the reconfigurable region.
+	Dynamic hls.Resources
+	// StaticBytes models the platform (shell) portion of each
+	// XCLBIN image.
+	StaticBytes int
+	// ConfigBandwidthBps is the configuration download rate over
+	// PCIe, bytes/second.
+	ConfigBandwidthBps float64
+}
+
+// AlveoU50 returns the platform of the paper's Xilinx Alveo U50 card
+// (UltraScale+ XCU50: 872K LUT, 1743K FF, 1344 BRAM, 5952 DSP, 8 GB
+// HBM2). Roughly 20% of the fabric belongs to the static shell.
+func AlveoU50() Platform {
+	return Platform{
+		Name: "xilinx_u50_gen3x16_xdma",
+		Dynamic: hls.Resources{
+			LUT:  697_000,
+			FF:   1_394_000,
+			BRAM: 1075,
+			DSP:  4760,
+		},
+		// StaticBytes covers the shell metadata plus the compressed
+		// dynamic-region container every image ships.
+		StaticBytes:        1_200_000,
+		ConfigBandwidthBps: 20e6, // PCIe→XDMA→ICAP effective rate
+	}
+}
+
+// XCLBIN is one generated configuration image.
+type XCLBIN struct {
+	Name    string
+	Kernels []*hls.XO
+	// SizeBytes is the image size (shell + kernel regions).
+	SizeBytes int
+	// Used is the total dynamic-region utilisation.
+	Used hls.Resources
+}
+
+// HasKernel reports whether the image contains the named kernel.
+func (x *XCLBIN) HasKernel(name string) bool {
+	for _, k := range x.Kernels {
+		if k.KernelName == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReconfigTime is the FPGA reconfiguration latency for this image:
+// image transfer at the configuration bandwidth plus fixed driver
+// overhead (XRT image validation, clock scaling, memory-controller
+// bring-up). Alveo reconfigurations take high hundreds of
+// milliseconds to seconds — the latency Algorithm 2 hides by
+// continuing on a CPU.
+func (x *XCLBIN) ReconfigTime(p Platform) time.Duration {
+	const driverOverhead = 400 * time.Millisecond
+	sec := float64(x.SizeBytes) / p.ConfigBandwidthBps
+	return driverOverhead + time.Duration(sec*float64(time.Second))
+}
+
+// bitstreamExpansion converts an XO netlist size into the placed and
+// routed region-bitstream size inside the image.
+const bitstreamExpansion = 12
+
+// build assembles an XCLBIN from kernels. Replicated compute units
+// (space sharing) multiply both the dynamic-region utilisation and the
+// bitstream size.
+func build(p Platform, name string, kernels []*hls.XO) *XCLBIN {
+	x := &XCLBIN{Name: name, Kernels: kernels}
+	size := p.StaticBytes
+	for _, k := range kernels {
+		cus := k.CUCount()
+		x.Used = x.Used.Add(k.Res.Scale(cus))
+		size += k.SizeBytes * bitstreamExpansion * cus
+	}
+	x.SizeBytes = size
+	return x
+}
+
+// Partition groups XO kernels into as few XCLBINs as possible using
+// first-fit decreasing on the dominant resource fraction (step E's
+// automatic mode). Kernels that individually exceed the dynamic region
+// are rejected.
+func Partition(p Platform, xos []*hls.XO) ([]*XCLBIN, error) {
+	if len(xos) == 0 {
+		return nil, ErrNoKernels
+	}
+	for _, xo := range xos {
+		if !xo.Res.Scale(xo.CUCount()).FitsIn(p.Dynamic) {
+			return nil, fmt.Errorf("%w: %s needs %v x%d CUs", ErrKernelTooLarge, xo.KernelName, xo.Res, xo.CUCount())
+		}
+	}
+	// Sort by dominant resource share, decreasing; stable tie-break
+	// on name for determinism.
+	sorted := make([]*hls.XO, len(xos))
+	copy(sorted, xos)
+	frac := func(xo *hls.XO) float64 {
+		res := xo.Res.Scale(xo.CUCount())
+		f := float64(res.LUT) / float64(p.Dynamic.LUT)
+		if v := float64(res.FF) / float64(p.Dynamic.FF); v > f {
+			f = v
+		}
+		if v := float64(res.BRAM) / float64(p.Dynamic.BRAM); v > f {
+			f = v
+		}
+		if v := float64(res.DSP) / float64(p.Dynamic.DSP); v > f {
+			f = v
+		}
+		return f
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		fi, fj := frac(sorted[i]), frac(sorted[j])
+		if fi != fj {
+			return fi > fj
+		}
+		return sorted[i].KernelName < sorted[j].KernelName
+	})
+
+	var bins [][]*hls.XO
+	var binUsed []hls.Resources
+	for _, xo := range sorted {
+		res := xo.Res.Scale(xo.CUCount())
+		placed := false
+		for i := range bins {
+			if binUsed[i].Add(res).FitsIn(p.Dynamic) {
+				bins[i] = append(bins[i], xo)
+				binUsed[i] = binUsed[i].Add(res)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, []*hls.XO{xo})
+			binUsed = append(binUsed, res)
+		}
+	}
+	out := make([]*XCLBIN, len(bins))
+	for i, ks := range bins {
+		out[i] = build(p, fmt.Sprintf("xclbin%d", i), ks)
+	}
+	return out, nil
+}
+
+// PartitionManual implements step E's manual mode: the designer assigns
+// each kernel name to a specific XCLBIN index, e.g. to keep the highest
+// priority kernels in the same image.
+func PartitionManual(p Platform, xos []*hls.XO, assign map[string]int) ([]*XCLBIN, error) {
+	if len(xos) == 0 {
+		return nil, ErrNoKernels
+	}
+	byName := make(map[string]*hls.XO, len(xos))
+	for _, xo := range xos {
+		byName[xo.KernelName] = xo
+	}
+	maxIdx := 0
+	for name, idx := range assign {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownKernel, name)
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	bins := make([][]*hls.XO, maxIdx+1)
+	// Deterministic order: iterate xos, not the map.
+	for _, xo := range xos {
+		idx, ok := assign[xo.KernelName]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s has no assignment", ErrUnknownKernel, xo.KernelName)
+		}
+		bins[idx] = append(bins[idx], xo)
+	}
+	out := make([]*XCLBIN, 0, len(bins))
+	for i, ks := range bins {
+		x := build(p, fmt.Sprintf("xclbin%d", i), ks)
+		if !x.Used.FitsIn(p.Dynamic) {
+			return nil, fmt.Errorf("%w: xclbin%d uses %v", ErrKernelTooLarge, i, x.Used)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// FindKernel locates the XCLBIN holding the named kernel.
+func FindKernel(images []*XCLBIN, kernel string) (*XCLBIN, bool) {
+	for _, x := range images {
+		if x.HasKernel(kernel) {
+			return x, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,177 @@
+package xclbin
+
+import (
+	"errors"
+	"testing"
+
+	"xartrek/internal/hls"
+)
+
+func makeXO(name string, lut, dsp int) *hls.XO {
+	return &hls.XO{
+		KernelName: name,
+		FuncName:   name,
+		Res:        hls.Resources{LUT: lut, FF: lut, DSP: dsp},
+		II:         2,
+		Depth:      50,
+		ClockMHz:   hls.DefaultClockMHz,
+		TripCount:  1000,
+		SizeBytes:  100_000,
+	}
+}
+
+func TestPartitionAllFitOneImage(t *testing.T) {
+	p := AlveoU50()
+	xos := []*hls.XO{
+		makeXO("KNL_A", 50_000, 100),
+		makeXO("KNL_B", 60_000, 200),
+		makeXO("KNL_C", 40_000, 50),
+	}
+	images, err := Partition(p, xos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 1 {
+		t.Fatalf("images = %d, want 1", len(images))
+	}
+	for _, x := range xos {
+		if !images[0].HasKernel(x.KernelName) {
+			t.Errorf("kernel %s missing", x.KernelName)
+		}
+	}
+	if images[0].SizeBytes <= p.StaticBytes {
+		t.Error("image size does not include kernel payload")
+	}
+}
+
+func TestPartitionSplitsWhenFull(t *testing.T) {
+	p := AlveoU50()
+	// Each kernel takes ~60% of the dynamic LUT budget: two images.
+	big := p.Dynamic.LUT * 6 / 10
+	xos := []*hls.XO{
+		makeXO("KNL_A", big, 100),
+		makeXO("KNL_B", big, 100),
+	}
+	images, err := Partition(p, xos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 2 {
+		t.Fatalf("images = %d, want 2", len(images))
+	}
+	if _, ok := FindKernel(images, "KNL_A"); !ok {
+		t.Error("KNL_A not found")
+	}
+	if _, ok := FindKernel(images, "KNL_B"); !ok {
+		t.Error("KNL_B not found")
+	}
+	if _, ok := FindKernel(images, "KNL_X"); ok {
+		t.Error("found nonexistent kernel")
+	}
+}
+
+func TestPartitionRejectsOversizedKernel(t *testing.T) {
+	p := AlveoU50()
+	xos := []*hls.XO{makeXO("KNL_HUGE", p.Dynamic.LUT*2, 10)}
+	if _, err := Partition(p, xos); !errors.Is(err, ErrKernelTooLarge) {
+		t.Fatalf("error = %v, want ErrKernelTooLarge", err)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if _, err := Partition(AlveoU50(), nil); !errors.Is(err, ErrNoKernels) {
+		t.Fatal("empty partition did not error")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	p := AlveoU50()
+	build := func() []*XCLBIN {
+		xos := []*hls.XO{
+			makeXO("KNL_D", 300_000, 900),
+			makeXO("KNL_A", 500_000, 100),
+			makeXO("KNL_C", 300_000, 800),
+			makeXO("KNL_B", 200_000, 400),
+		}
+		images, err := Partition(p, xos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return images
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("image counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Kernels) != len(b[i].Kernels) {
+			t.Fatalf("image %d kernel counts differ", i)
+		}
+		for j := range a[i].Kernels {
+			if a[i].Kernels[j].KernelName != b[i].Kernels[j].KernelName {
+				t.Fatalf("image %d kernel %d differs: %s vs %s",
+					i, j, a[i].Kernels[j].KernelName, b[i].Kernels[j].KernelName)
+			}
+		}
+	}
+}
+
+func TestPartitionManual(t *testing.T) {
+	p := AlveoU50()
+	xos := []*hls.XO{
+		makeXO("KNL_A", 10_000, 10),
+		makeXO("KNL_B", 10_000, 10),
+		makeXO("KNL_C", 10_000, 10),
+	}
+	images, err := PartitionManual(p, xos, map[string]int{
+		"KNL_A": 0, "KNL_B": 1, "KNL_C": 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 2 {
+		t.Fatalf("images = %d, want 2", len(images))
+	}
+	if !images[0].HasKernel("KNL_A") || !images[0].HasKernel("KNL_C") {
+		t.Error("image 0 missing assigned kernels")
+	}
+	if !images[1].HasKernel("KNL_B") {
+		t.Error("image 1 missing KNL_B")
+	}
+}
+
+func TestPartitionManualErrors(t *testing.T) {
+	p := AlveoU50()
+	xos := []*hls.XO{makeXO("KNL_A", 10_000, 10)}
+	if _, err := PartitionManual(p, xos, map[string]int{"KNL_A": 0, "KNL_Z": 1}); !errors.Is(err, ErrUnknownKernel) {
+		t.Fatalf("unknown-kernel error = %v", err)
+	}
+	if _, err := PartitionManual(p, xos, map[string]int{}); !errors.Is(err, ErrUnknownKernel) {
+		t.Fatalf("missing-assignment error = %v", err)
+	}
+	big := []*hls.XO{
+		makeXO("KNL_A", p.Dynamic.LUT*6/10, 10),
+		makeXO("KNL_B", p.Dynamic.LUT*6/10, 10),
+	}
+	if _, err := PartitionManual(p, big, map[string]int{"KNL_A": 0, "KNL_B": 0}); !errors.Is(err, ErrKernelTooLarge) {
+		t.Fatalf("overflow error = %v", err)
+	}
+}
+
+func TestReconfigTimeScalesWithImage(t *testing.T) {
+	p := AlveoU50()
+	small := build(p, "s", []*hls.XO{makeXO("KNL_A", 10_000, 10)})
+	large := build(p, "l", []*hls.XO{
+		makeXO("KNL_A", 10_000, 10),
+		makeXO("KNL_B", 10_000, 10),
+		makeXO("KNL_C", 10_000, 10),
+	})
+	ts, tl := small.ReconfigTime(p), large.ReconfigTime(p)
+	if tl <= ts {
+		t.Fatalf("reconfig time %v not larger than %v", tl, ts)
+	}
+	// Full-image reconfiguration is on the order of 100ms-seconds.
+	if ts < 100*1e6 {
+		t.Fatalf("reconfig time %v implausibly small", ts)
+	}
+}

@@ -1,0 +1,195 @@
+// Package xrt models the Xilinx Runtime (XRT/OpenCL) host API that
+// Xar-Trek's hardware-migration path uses: device programming with
+// XCLBIN images, host/device buffer movement over PCIe, and hardware
+// kernel execution. All latencies unfold on the discrete-event
+// simulator, so the scheduler observes the same behaviours the paper
+// exploits (multi-second reconfiguration that can be hidden, per-kernel
+// serialised compute units, transfer costs proportional to data size).
+//
+// The host API is a thin veneer over the device model in package fpga,
+// mirroring the real split between the XRT library and the card.
+package xrt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xartrek/internal/fpga"
+	"xartrek/internal/simtime"
+	"xartrek/internal/xclbin"
+)
+
+// Runtime errors.
+var (
+	ErrNoKernel       = errors.New("xrt: kernel not present on device")
+	ErrReconfiguring  = errors.New("xrt: device is reconfiguring")
+	ErrOutOfDeviceMem = errors.New("xrt: device memory exhausted")
+	ErrNotProgrammed  = errors.New("xrt: device has no configuration loaded")
+)
+
+// PCIeModel is the host-device interconnect.
+type PCIeModel struct {
+	Latency time.Duration
+	// BandwidthBps is in bytes per second.
+	BandwidthBps float64
+}
+
+// PCIeGen3x16 matches the paper's 32 GB/s figure.
+func PCIeGen3x16() PCIeModel {
+	return PCIeModel{Latency: 10 * time.Microsecond, BandwidthBps: 32e9}
+}
+
+// TransferTime is the time to move n bytes across PCIe.
+func (p PCIeModel) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	sec := float64(n) / p.BandwidthBps
+	return p.Latency + time.Duration(sec*float64(time.Second))
+}
+
+// Stats counts runtime activity.
+type Stats struct {
+	Reconfigurations int
+	KernelLaunches   int
+	BytesToDevice    int64
+	BytesFromDevice  int64
+}
+
+// Device is an opened FPGA accelerator card.
+type Device struct {
+	sim  *simtime.Simulator
+	card *fpga.Card
+	pcie PCIeModel
+
+	nextBufID int
+	stats     Stats
+}
+
+// OpenDevice initialises a device handle for the given platform. The
+// Alveo U50 carries 8 GiB of HBM2.
+func OpenDevice(sim *simtime.Simulator, plat xclbin.Platform, pcie PCIeModel) *Device {
+	return &Device{
+		sim:  sim,
+		card: fpga.NewCard(sim, plat, fpga.U50Memory()),
+		pcie: pcie,
+	}
+}
+
+// Stats returns accumulated runtime statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Platform returns the device platform description.
+func (d *Device) Platform() xclbin.Platform { return d.card.Fabric.Platform() }
+
+// Card exposes the underlying device model for device-level inspection
+// (bank occupancy, CU queue depth).
+func (d *Device) Card() *fpga.Card { return d.card }
+
+// Loaded returns the active configuration, nil while reconfiguring or
+// before the first Program call.
+func (d *Device) Loaded() *xclbin.XCLBIN { return d.card.Fabric.Image() }
+
+// Reconfiguring reports whether a Program operation is in flight.
+func (d *Device) Reconfiguring() bool { return d.card.Fabric.Reconfiguring() }
+
+// HasKernel reports whether the named kernel is available right now
+// (Algorithm 2's "HW Kernel Available" predicate).
+func (d *Device) HasKernel(name string) bool {
+	return d.card.Fabric.HasKernel(name)
+}
+
+// AvailableKernels lists the kernels of the active configuration.
+func (d *Device) AvailableKernels() []string { return d.card.Fabric.Kernels() }
+
+// Program downloads image to the FPGA asynchronously; done fires when
+// reconfiguration completes. While reconfiguring, no kernel is
+// available — this is the latency Xar-Trek hides by keeping functions
+// on CPUs (Algorithm 2 lines 9-18) and by pre-configuring at
+// application start (Section 3.1).
+func (d *Device) Program(image *xclbin.XCLBIN, done func()) error {
+	if err := d.card.Fabric.Program(image, done); err != nil {
+		if errors.Is(err, fpga.ErrReconfiguring) {
+			return ErrReconfiguring
+		}
+		return err
+	}
+	d.stats.Reconfigurations++
+	return nil
+}
+
+// Buffer is a device-memory allocation.
+type Buffer struct {
+	ID    int
+	Size  int64
+	alloc *fpga.Allocation
+}
+
+// Alloc reserves device memory.
+func (d *Device) Alloc(size int64) (*Buffer, error) {
+	a, err := d.card.Mem.Alloc(size)
+	if err != nil {
+		if errors.Is(err, fpga.ErrBankFull) {
+			return nil, fmt.Errorf("%w: need %d, %d free",
+				ErrOutOfDeviceMem, size, d.card.Mem.FreeBytes())
+		}
+		return nil, err
+	}
+	d.nextBufID++
+	return &Buffer{ID: d.nextBufID, Size: size, alloc: a}, nil
+}
+
+// Free releases the buffer.
+func (b *Buffer) Free() { b.alloc.Release() }
+
+// SyncToDevice moves n bytes host→device; done fires on completion.
+func (d *Device) SyncToDevice(n int64, done func()) {
+	d.stats.BytesToDevice += n
+	d.sim.After(d.pcie.TransferTime(n), done)
+}
+
+// SyncFromDevice moves n bytes device→host; done fires on completion.
+func (d *Device) SyncFromDevice(n int64, done func()) {
+	d.stats.BytesFromDevice += n
+	d.sim.After(d.pcie.TransferTime(n), done)
+}
+
+// Run enqueues one invocation of the named kernel for trips pipeline
+// iterations. Each kernel has a single compute unit, so concurrent
+// invocations serialise FIFO. done receives nil on completion.
+func (d *Device) Run(kernel string, trips int64, done func(error)) {
+	cu, err := d.card.Fabric.CU(kernel)
+	if err != nil {
+		mapped := err
+		switch {
+		case errors.Is(err, fpga.ErrNotConfigured), errors.Is(err, fpga.ErrReconfiguring):
+			mapped = ErrNotProgrammed
+		case errors.Is(err, fpga.ErrNoCU):
+			mapped = fmt.Errorf("%w: %s", ErrNoKernel, kernel)
+		}
+		d.sim.After(0, func() { done(mapped) })
+		return
+	}
+	d.stats.KernelLaunches++
+	cu.Enqueue(d.sim, trips, func() { done(nil) })
+}
+
+// Invoke performs the full hardware-migration sequence the paper's
+// instrumented call site executes: transfer inputs to the device, run
+// the kernel, transfer results back. done receives the outcome.
+func (d *Device) Invoke(kernel string, trips, bytesIn, bytesOut int64, done func(error)) {
+	if !d.HasKernel(kernel) {
+		d.sim.After(0, func() { done(fmt.Errorf("%w: %s", ErrNoKernel, kernel)) })
+		return
+	}
+	d.SyncToDevice(bytesIn, func() {
+		d.Run(kernel, trips, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			d.SyncFromDevice(bytesOut, func() { done(nil) })
+		})
+	})
+}

@@ -1,0 +1,242 @@
+package xrt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xartrek/internal/hls"
+	"xartrek/internal/simtime"
+	"xartrek/internal/xclbin"
+)
+
+func testImage(names ...string) *xclbin.XCLBIN {
+	xos := make([]*hls.XO, len(names))
+	for i, n := range names {
+		xos[i] = &hls.XO{
+			KernelName: n,
+			FuncName:   n,
+			Res:        hls.Resources{LUT: 10_000, FF: 10_000, DSP: 20},
+			II:         2,
+			Depth:      100,
+			ClockMHz:   300,
+			TripCount:  300_000,
+			SizeBytes:  200_000,
+		}
+	}
+	images, err := xclbin.Partition(xclbin.AlveoU50(), xos)
+	if err != nil {
+		panic(err)
+	}
+	return images[0]
+}
+
+func newDevice(sim *simtime.Simulator) *Device {
+	return OpenDevice(sim, xclbin.AlveoU50(), PCIeGen3x16())
+}
+
+func TestProgramMakesKernelsAvailable(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	if d.HasKernel("KNL_A") {
+		t.Fatal("kernel available before programming")
+	}
+	img := testImage("KNL_A", "KNL_B")
+	programmed := false
+	if err := d.Program(img, func() { programmed = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reconfiguring() {
+		t.Fatal("device not reconfiguring after Program")
+	}
+	if d.HasKernel("KNL_A") {
+		t.Fatal("kernel available during reconfiguration")
+	}
+	sim.Run()
+	if !programmed {
+		t.Fatal("Program completion callback never fired")
+	}
+	if !d.HasKernel("KNL_A") || !d.HasKernel("KNL_B") {
+		t.Fatal("kernels unavailable after reconfiguration")
+	}
+	if got := d.AvailableKernels(); len(got) != 2 {
+		t.Fatalf("AvailableKernels = %v", got)
+	}
+	if d.Stats().Reconfigurations != 1 {
+		t.Fatal("reconfiguration not counted")
+	}
+}
+
+func TestProgramWhileReconfiguringFails(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	img := testImage("KNL_A")
+	if err := d.Program(img, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Program(img, nil); !errors.Is(err, ErrReconfiguring) {
+		t.Fatalf("second Program = %v, want ErrReconfiguring", err)
+	}
+}
+
+func TestReconfigurationTakesRealTime(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	var doneAt time.Duration
+	if err := d.Program(testImage("KNL_A"), func() { doneAt = sim.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if doneAt < 100*time.Millisecond {
+		t.Fatalf("reconfiguration completed in %v, implausibly fast", doneAt)
+	}
+}
+
+func TestRunWithoutProgramFails(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	var got error
+	d.Run("KNL_A", 100, func(err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrNotProgrammed) {
+		t.Fatalf("Run on unprogrammed device = %v", got)
+	}
+}
+
+func TestRunUnknownKernelFails(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	if err := d.Program(testImage("KNL_A"), nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	var got error
+	d.Run("KNL_MISSING", 100, func(err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrNoKernel) {
+		t.Fatalf("Run of missing kernel = %v", got)
+	}
+}
+
+func TestComputeUnitSerialisesInvocations(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	if err := d.Program(testImage("KNL_A"), nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	start := sim.Now()
+	var first, second time.Duration
+	d.Run("KNL_A", 300_000, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		first = sim.Now() - start
+	})
+	d.Run("KNL_A", 300_000, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		second = sim.Now() - start
+	})
+	sim.Run()
+	if first == 0 || second == 0 {
+		t.Fatal("kernel invocations did not complete")
+	}
+	// Second invocation waits for the first: ~2x latency.
+	ratio := float64(second) / float64(first)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("serialisation ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestTransfersCostTime(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	var smallAt, largeAt time.Duration
+	d.SyncToDevice(4096, func() { smallAt = sim.Now() })
+	sim.Run()
+	base := sim.Now()
+	d.SyncFromDevice(1<<30, func() { largeAt = sim.Now() - base })
+	sim.Run()
+	if smallAt <= 0 || largeAt <= 0 {
+		t.Fatal("transfers did not complete")
+	}
+	if largeAt <= smallAt {
+		t.Fatal("1GiB transfer not slower than 4KiB")
+	}
+	// 1 GiB at 32 GB/s is about 33ms.
+	if largeAt < 20*time.Millisecond || largeAt > 60*time.Millisecond {
+		t.Fatalf("1GiB PCIe transfer = %v, want ~33ms", largeAt)
+	}
+	st := d.Stats()
+	if st.BytesToDevice != 4096 || st.BytesFromDevice != 1<<30 {
+		t.Fatalf("transfer stats = %+v", st)
+	}
+}
+
+func TestAllocFreeDeviceMemory(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	b1, err := d.Alloc(6 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(4 << 30); !errors.Is(err, ErrOutOfDeviceMem) {
+		t.Fatalf("overcommit error = %v", err)
+	}
+	b1.Free()
+	b1.Free() // double free is a no-op
+	if _, err := d.Alloc(4 << 30); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestInvokeFullPath(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	if err := d.Program(testImage("KNL_A"), nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	start := sim.Now()
+	var took time.Duration
+	var gotErr error
+	d.Invoke("KNL_A", 300_000, 1<<20, 1<<18, func(err error) {
+		gotErr = err
+		took = sim.Now() - start
+	})
+	sim.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	// Kernel alone: (100 + 300000*2) cycles at 300MHz = ~2ms.
+	kernelOnly := 2 * time.Millisecond
+	if took < kernelOnly {
+		t.Fatalf("Invoke took %v, less than kernel latency", took)
+	}
+	if d.Stats().KernelLaunches != 1 {
+		t.Fatal("kernel launch not counted")
+	}
+}
+
+func TestInvokeMissingKernel(t *testing.T) {
+	sim := simtime.New()
+	d := newDevice(sim)
+	var got error
+	d.Invoke("KNL_NONE", 1, 1, 1, func(err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrNoKernel) {
+		t.Fatalf("Invoke of missing kernel = %v", got)
+	}
+}
+
+func TestPCIeTransferTimeMonotone(t *testing.T) {
+	p := PCIeGen3x16()
+	if p.TransferTime(-1) != p.Latency {
+		t.Fatal("negative size should cost latency only")
+	}
+	if p.TransferTime(1<<20) <= p.TransferTime(1<<10) {
+		t.Fatal("transfer time not monotone")
+	}
+}

@@ -1,0 +1,169 @@
+// Package xartrek is a faithful Go reproduction of "Xar-Trek: Run-time
+// Execution Migration among FPGAs and Heterogeneous-ISA CPUs"
+// (Middleware '21). It provides:
+//
+//   - the Xar-Trek compiler pipeline (profiling manifest,
+//     instrumentation, Popcorn multi-ISA binary generation, HLS
+//     synthesis, XCLBIN partitioning/generation, threshold
+//     estimation),
+//   - the run-time system (client/server scheduler implementing the
+//     paper's Algorithm 2 policy and Algorithm 1 dynamic threshold
+//     update, over direct calls or TCP), and
+//   - the evaluation platform (discrete-event models of the paper's
+//     x86/ARM/Alveo-U50 testbed) with runners that regenerate every
+//     table and figure of the evaluation section.
+//
+// The physical testbed is simulated — see DESIGN.md for the
+// substitution table — but the compiler passes, scheduling algorithms,
+// wire protocols and benchmark applications are real implementations.
+//
+// # Quickstart
+//
+//	apps, _ := xartrek.Benchmarks()
+//	arts, _ := xartrek.Build(apps)
+//	set := []*xartrek.App{apps[0], apps[3]}
+//	res, _ := xartrek.RunSet(arts, set, xartrek.ModeXarTrek, 60)
+//	fmt.Println(res.Average)
+package xartrek
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"xartrek/internal/core/profile"
+	"xartrek/internal/core/sched"
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/exper"
+	"xartrek/internal/power"
+	"xartrek/internal/workloads"
+)
+
+// Core re-exported types. Aliases keep one canonical definition in the
+// internal packages while giving library users a single import.
+type (
+	// App is one benchmark application with its program, hardware-
+	// kernel spec and calibrated execution profile.
+	App = workloads.App
+	// Artifacts is the compiler pipeline's output over an
+	// application set: binaries, XCLBIN images, threshold table.
+	Artifacts = exper.Artifacts
+	// Platform is one experiment's simulated testbed.
+	Platform = exper.Platform
+	// Mode selects Xar-Trek or a no-migration baseline.
+	Mode = exper.Mode
+	// Target identifies an execution target (x86/ARM/FPGA).
+	Target = threshold.Target
+	// ThresholdTable is the step G output consumed by the scheduler.
+	ThresholdTable = threshold.Table
+	// ThresholdRecord is one application's threshold state.
+	ThresholdRecord = threshold.Record
+	// Scheduler is the run-time scheduler server (Algorithm 2).
+	Scheduler = sched.Server
+	// SchedulerClient is the per-application scheduler client.
+	SchedulerClient = sched.Client
+	// Manifest is the step A profiling manifest.
+	Manifest = profile.Manifest
+	// RunResult records one application run.
+	RunResult = exper.RunResult
+	// SetResult is a fixed-workload measurement.
+	SetResult = exper.SetResult
+	// ThroughputResult is a Figure 6/8 measurement.
+	ThroughputResult = exper.ThroughputResult
+	// PowerModel is the platform power model of the energy-aware
+	// extension (the paper's Section 5 future work).
+	PowerModel = power.Model
+	// EnergySegment is one accounted interval for energy integration.
+	EnergySegment = power.Segment
+)
+
+// Execution modes.
+const (
+	ModeXarTrek     = exper.ModeXarTrek
+	ModeVanillaX86  = exper.ModeVanillaX86
+	ModeVanillaFPGA = exper.ModeVanillaFPGA
+	ModeVanillaARM  = exper.ModeVanillaARM
+)
+
+// Execution targets (the migration flag values of Figure 2).
+const (
+	TargetX86  = threshold.TargetX86
+	TargetARM  = threshold.TargetARM
+	TargetFPGA = threshold.TargetFPGA
+)
+
+// Benchmarks returns the paper's five Table 1 applications (CG-A,
+// FaceDet320, FaceDet640, Digit500, Digit2000), freshly constructed
+// and profiled.
+func Benchmarks() ([]*App, error) { return workloads.Registry() }
+
+// NewBFS builds the Section 4.4 BFS study application for an n-node
+// graph.
+func NewBFS(n int) (*App, error) { return workloads.NewBFS(n) }
+
+// NewMGB builds the NPB MG class-B background load generator.
+func NewMGB() (*App, error) { return workloads.NewMGB() }
+
+// Build runs the full Xar-Trek compiler pipeline (steps A-G) over the
+// application set: manifest assembly, instrumentation, multi-ISA
+// binary generation, HLS synthesis, XCLBIN partitioning and threshold
+// estimation.
+func Build(apps []*App) (*Artifacts, error) { return exper.BuildArtifacts(apps) }
+
+// NewPlatform instantiates a fresh simulated testbed over shared
+// artifacts: x86 and ARM servers, the Alveo U50, and a scheduler
+// server wired to the platform's load monitor and device.
+func NewPlatform(arts *Artifacts) *Platform { return exper.NewPlatform(arts) }
+
+// ParseManifest reads a step A profiling manifest.
+func ParseManifest(r io.Reader) (*Manifest, error) { return profile.Parse(r) }
+
+// ParseThresholdTable reads a step G threshold table.
+func ParseThresholdTable(r io.Reader) (*ThresholdTable, error) { return threshold.Parse(r) }
+
+// EstimateThresholds runs the step G estimation campaign in isolation.
+func EstimateThresholds(apps []*App) (*ThresholdTable, error) {
+	return threshold.NewEstimator().Estimate(apps)
+}
+
+// ListenAndServe exposes a scheduler server over TCP (the xarsched
+// daemon's core).
+func ListenAndServe(addr string, srv *Scheduler) (*sched.TCPServer, error) {
+	return sched.ListenAndServe(addr, srv)
+}
+
+// DialScheduler connects a client transport to a TCP scheduler.
+func DialScheduler(addr string) (*sched.TCPClient, error) { return sched.Dial(addr) }
+
+// RunSet launches an application set at time zero under the mode with
+// background load topped up to totalLoad processes, returning the
+// set's average execution time (Figures 3-5's measurement).
+func RunSet(arts *Artifacts, set []*App, mode Mode, totalLoad int) (SetResult, error) {
+	return exper.RunSet(arts, set, mode, totalLoad)
+}
+
+// RandomSet draws n applications uniformly from the pool.
+func RandomSet(rng *rand.Rand, pool []*App, n int) []*App {
+	return exper.RandomSet(rng, pool, n)
+}
+
+// RunThroughput measures multi-image face-detection throughput under a
+// fixed background load (Figure 6).
+func RunThroughput(arts *Artifacts, app *App, mode Mode, load int, duration time.Duration, maxImages int) (ThroughputResult, error) {
+	return exper.RunThroughput(arts, app, mode, load, duration, maxImages)
+}
+
+// RunWaves runs the periodic wave workload (Figure 7).
+func RunWaves(arts *Artifacts, mode Mode, waves, perWave int, interval time.Duration, seed int64) (exper.WaveResult, error) {
+	return exper.RunWaves(arts, mode, waves, perWave, interval, seed)
+}
+
+// DefaultPowerModel returns the evaluation platform's power model
+// (Xeon Bronze 3104, ThunderX, Alveo U50) used by the energy-aware
+// scheduling extension. Enable the extension on a platform with
+//
+//	p.Server.UseEnergyPolicy(xartrek.DefaultPowerModel(), p.Cluster.X86.Cores)
+func DefaultPowerModel() PowerModel { return power.Default() }
+
+// EDP computes the energy-delay product in joule-seconds.
+func EDP(energyJ float64, elapsed time.Duration) float64 { return power.EDP(energyJ, elapsed) }

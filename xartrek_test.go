@@ -1,0 +1,144 @@
+package xartrek
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	facadeOnce sync.Once
+	facadeArts *Artifacts
+	facadeErr  error
+)
+
+func facadeArtifacts(t *testing.T) *Artifacts {
+	t.Helper()
+	facadeOnce.Do(func() {
+		apps, err := Benchmarks()
+		if err != nil {
+			facadeErr = err
+			return
+		}
+		facadeArts, facadeErr = Build(apps)
+	})
+	if facadeErr != nil {
+		t.Fatalf("build: %v", facadeErr)
+	}
+	return facadeArts
+}
+
+func TestBenchmarksReturnFiveApps(t *testing.T) {
+	apps, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 5 {
+		t.Fatalf("apps = %d, want 5", len(apps))
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	arts := facadeArtifacts(t)
+	set := []*App{arts.Apps[0], arts.Apps[3]}
+	res, err := RunSet(arts, set, ModeXarTrek, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Average <= 0 || len(res.Runs) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestEstimateThresholdsViaFacade(t *testing.T) {
+	apps, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := EstimateThresholds(apps[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+	// The table serialises and parses back through the facade.
+	again, err := ParseThresholdTable(strings.NewReader(tab.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != tab.String() {
+		t.Fatal("threshold table round trip mismatch")
+	}
+}
+
+func TestParseManifestViaFacade(t *testing.T) {
+	m, err := ParseManifest(strings.NewReader(
+		"platform alveo-u50\napp a\n function f kernel=K\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Platform != "alveo-u50" {
+		t.Fatalf("platform = %q", m.Platform)
+	}
+}
+
+func TestSchedulerOverTCPViaFacade(t *testing.T) {
+	arts := facadeArtifacts(t)
+	p := NewPlatform(arts)
+	ts, err := ListenAndServe("127.0.0.1:0", p.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	c, err := DialScheduler(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	d, err := c.Decide("CG-A", "KNL_HW_CG_A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != TargetX86 {
+		t.Fatalf("idle-platform decision = %v, want x86", d.Target)
+	}
+}
+
+func TestRandomSetDeterministicForSeed(t *testing.T) {
+	arts := facadeArtifacts(t)
+	a := RandomSet(rand.New(rand.NewSource(3)), arts.Apps, 5)
+	b := RandomSet(rand.New(rand.NewSource(3)), arts.Apps, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed drew different sets")
+		}
+	}
+}
+
+func TestRunThroughputViaFacade(t *testing.T) {
+	arts := facadeArtifacts(t)
+	fd := arts.Apps[1] // FaceDet320
+	r, err := RunThroughput(arts, fd, ModeVanillaX86, 0, 10*time.Second, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Images <= 0 {
+		t.Fatalf("images = %d", r.Images)
+	}
+}
+
+func TestRunWavesViaFacade(t *testing.T) {
+	arts := facadeArtifacts(t)
+	r, err := RunWaves(arts, ModeXarTrek, 2, 5, 5*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs != 10 {
+		t.Fatalf("runs = %d, want 10", r.Runs)
+	}
+}
