@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"xartrek/internal/exper"
+	"xartrek/internal/mir"
 	"xartrek/internal/workloads"
 )
 
@@ -46,6 +47,49 @@ func benchArtifacts(b *testing.B) *exper.Artifacts {
 	}
 	return benchArts
 }
+
+// benchmarkInterp measures the MIR execution engines on one workload
+// kernel: each iteration is one selected-function invocation over
+// `trips` loop trips against a warm arena — the inner loop of the
+// profiling step and of every simulated kernel execution. The
+// interpreter is constructed once, so the compiled engine's ns/op is
+// the steady-state dispatch cost (the compile itself is amortised into
+// the first iteration, exactly as in the profiling loops).
+func benchmarkInterp(b *testing.B, newApp func() (*workloads.App, error), legacy bool) {
+	app, err := newApp()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := app.Spec.Fn
+	ip := mir.NewInterp(1 << 16)
+	ip.Legacy = legacy
+	ip.MaxSteps = 1 << 62 // benchmarks accumulate steps across b.N runs
+	base, err := ip.Mem.Alloc(8 * 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trips = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Run(fn, base, base, trips); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ip.Stats().Steps)/float64(b.N), "steps/op")
+}
+
+// BenchmarkInterp* track the compiled register-file engine on the
+// three kernel families the paper migrates (sparse FP gather, integer
+// cascade, bitwise popcount); the Legacy variants keep the tree-walker
+// measurable so the speedup stays visible in the BENCH trajectory.
+func BenchmarkInterpCG(b *testing.B)      { benchmarkInterp(b, workloads.NewCGA, false) }
+func BenchmarkInterpFaceDet(b *testing.B) { benchmarkInterp(b, workloads.NewFaceDet320, false) }
+func BenchmarkInterpDigit(b *testing.B)   { benchmarkInterp(b, workloads.NewDigit2000, false) }
+
+func BenchmarkInterpLegacyCG(b *testing.B)      { benchmarkInterp(b, workloads.NewCGA, true) }
+func BenchmarkInterpLegacyFaceDet(b *testing.B) { benchmarkInterp(b, workloads.NewFaceDet320, true) }
+func BenchmarkInterpLegacyDigit(b *testing.B)   { benchmarkInterp(b, workloads.NewDigit2000, true) }
 
 // BenchmarkTable1ExecutionTimes regenerates Table 1: per-benchmark
 // execution times on vanilla x86 and under x86→FPGA / x86→ARM

@@ -1,0 +1,3 @@
+module xartrek
+
+go 1.24

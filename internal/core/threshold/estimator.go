@@ -7,6 +7,7 @@ import (
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/hls"
+	"xartrek/internal/par"
 	"xartrek/internal/simtime"
 	"xartrek/internal/workloads"
 	"xartrek/internal/xclbin"
@@ -192,14 +193,25 @@ func (e *Estimator) EstimateApp(app *workloads.App) (Record, error) {
 }
 
 // Estimate runs the estimation campaign over an application set and
-// emits the threshold table.
+// emits the threshold table. Each application's campaign is a set of
+// isolated simulations (the sweep alone is up to MaxLoad of them), so
+// applications fan across the worker pool; records are added to the
+// table in the input order, keeping the output deterministic.
 func (e *Estimator) Estimate(apps []*workloads.App) (*Table, error) {
-	t := NewTable()
-	for _, app := range apps {
-		rec, err := e.EstimateApp(app)
+	recs := make([]Record, len(apps))
+	err := par.ForEach(len(apps), func(i int) error {
+		rec, err := e.EstimateApp(apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		recs[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable()
+	for _, rec := range recs {
 		if err := t.Add(rec); err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xartrek/internal/core/threshold"
+	"xartrek/internal/par"
 	"xartrek/internal/workloads"
 )
 
@@ -135,24 +136,48 @@ type FixedLoadPoint struct {
 // set size, draw `runs` random application sets and measure each
 // mode's average execution time at the given total load (0 = no
 // background, Figure 3's low-load regime).
+//
+// Every (set, mode) measurement is an isolated discrete-event
+// simulation, so the sweep fans them across a bounded worker pool.
+// The random sets are drawn up front with the per-size RNG — every
+// mode sees the same sets, so mode comparisons stay paired exactly as
+// in the paper — and results land in index-addressed slots, making the
+// output byte-identical for a fixed seed regardless of GOMAXPROCS.
 func RunFixedLoadSweep(arts *Artifacts, setSizes []int, modes []Mode, totalLoad, runs int, seed int64) ([]FixedLoadPoint, error) {
-	var out []FixedLoadPoint
-	for _, size := range setSizes {
+	sets := make([][][]*workloads.App, len(setSizes))
+	for si, size := range setSizes {
 		// One RNG per size: every mode sees the same random sets, so
 		// mode comparisons are paired exactly as in the paper.
-		sets := make([][]*workloads.App, runs)
 		rng := rand.New(rand.NewSource(seed + int64(size)))
-		for i := range sets {
-			sets[i] = RandomSet(rng, arts.Apps, size)
+		sets[si] = make([][]*workloads.App, runs)
+		for i := range sets[si] {
+			sets[si][i] = RandomSet(rng, arts.Apps, size)
 		}
-		for _, mode := range modes {
+	}
+
+	nm := len(modes)
+	averages := make([]time.Duration, len(setSizes)*nm*runs)
+	err := par.ForEach(len(averages), func(j int) error {
+		si := j / (nm * runs)
+		mi := (j / runs) % nm
+		ri := j % runs
+		r, err := RunSet(arts, sets[si][ri], modes[mi], totalLoad)
+		if err != nil {
+			return err
+		}
+		averages[j] = r.Average
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FixedLoadPoint, 0, len(setSizes)*nm)
+	for si, size := range setSizes {
+		for mi, mode := range modes {
 			var total time.Duration
-			for _, set := range sets {
-				r, err := RunSet(arts, set, mode, totalLoad)
-				if err != nil {
-					return nil, err
-				}
-				total += r.Average
+			for ri := 0; ri < runs; ri++ {
+				total += averages[(si*nm+mi)*runs+ri]
 			}
 			out = append(out, FixedLoadPoint{
 				SetSize: size,
@@ -356,6 +381,28 @@ func RunPeriodicThroughput(arts *Artifacts, app *workloads.App, mode Mode, minLo
 	return res, nil
 }
 
+// RunPeriodicThroughputModes runs the Figure 8 experiment once per
+// mode. One mode's load wave and its back-to-back runs share a single
+// simulation and stay strictly sequential, but the modes themselves
+// are independent testbeds, so they fan across the worker pool; the
+// result slice is ordered exactly like modes, independent of
+// GOMAXPROCS.
+func RunPeriodicThroughputModes(arts *Artifacts, app *workloads.App, modes []Mode, minLoad, maxLoad, runs int, runDur time.Duration) ([]PeriodicThroughputResult, error) {
+	out := make([]PeriodicThroughputResult, len(modes))
+	err := par.ForEach(len(modes), func(i int) error {
+		r, err := RunPeriodicThroughput(arts, app, modes[i], minLoad, maxLoad, runs, runDur)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // triangle maps run index i of n onto a rise-and-fall load profile.
 func triangle(i, n, lo, hi int) int {
 	if n <= 1 {
@@ -397,8 +444,8 @@ func RunProfitabilityStudy(arts *Artifacts, percents []int, modes []Mode, setSiz
 		return nil, err
 	}
 
-	var out []MixPoint
-	for _, pct := range percents {
+	sets := make([][]*workloads.App, len(percents))
+	for pi, pct := range percents {
 		nCGA := (pct*setSize + 50) / 100
 		set := make([]*workloads.App, 0, setSize)
 		for i := 0; i < setSize; i++ {
@@ -408,13 +455,24 @@ func RunProfitabilityStudy(arts *Artifacts, percents []int, modes []Mode, setSiz
 				set = append(set, d2000)
 			}
 		}
-		for _, mode := range modes {
-			r, err := RunSet(arts, set, mode, totalLoad)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, MixPoint{PercentCGA: pct, Mode: mode, Average: r.Average})
+		sets[pi] = set
+	}
+
+	// Each (mix, mode) cell is an isolated simulation; fan them across
+	// the worker pool with index-addressed results so the output order
+	// matches the sequential sweep.
+	out := make([]MixPoint, len(percents)*len(modes))
+	err = par.ForEach(len(out), func(j int) error {
+		pi, mi := j/len(modes), j%len(modes)
+		r, err := RunSet(arts, sets[pi], modes[mi], totalLoad)
+		if err != nil {
+			return err
 		}
+		out[j] = MixPoint{PercentCGA: percents[pi], Mode: modes[mi], Average: r.Average}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

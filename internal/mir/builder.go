@@ -33,6 +33,7 @@ func (bld *Builder) emit(in *Instr) *Instr {
 	bld.fn.nextValueID++
 	in.block = bld.cur
 	bld.cur.Instrs = append(bld.cur.Instrs, in)
+	bld.fn.invalidate()
 	return in
 }
 
@@ -162,6 +163,9 @@ func AddIncoming(phi *Instr, v Value, from *Block) {
 	}
 	phi.Args = append(phi.Args, v)
 	phi.Targets = append(phi.Targets, from)
+	if phi.block != nil {
+		phi.block.fn.invalidate()
+	}
 }
 
 // SExt sign-extends x to type t.

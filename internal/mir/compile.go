@@ -1,0 +1,338 @@
+package mir
+
+import (
+	"fmt"
+
+	"xartrek/internal/isa"
+)
+
+// This file implements the compile-once register-file execution engine.
+//
+// The tree-walking interpreter in interp.go pays, per activation, a
+// heap-allocated map[*Instr]uint64 for the value environment, a closure
+// dispatch per operand, and a Targets scan plus two slice allocations
+// per block transition to evaluate phis. The profiling and estimation
+// loops run the same five kernels thousands of times, so that constant
+// factor dominates experiment throughput.
+//
+// Compile lowers a Function once into a flat form the interpreter can
+// execute against a reusable []uint64 frame:
+//
+//   - every value (parameter, instruction result, distinct constant)
+//     is numbered into a dense frame slot; constants live in a frame
+//     prototype that one copy initialises per activation,
+//   - blocks are flattened into one linear cInstr array with operand
+//     slot indices and immediates (load/store widths, alloca sizes,
+//     shift masks) resolved at compile time,
+//   - every CFG edge carries its pre-computed phi move list, replacing
+//     the per-transition Targets scan with a pair of slot copies, and
+//   - the result is cached on the *Function (keyed by its mutation
+//     version), so repeated Interp.Run calls compile exactly once.
+//
+// Like the rest of the IR, compiled code is not safe for concurrent
+// use of one *Function from multiple goroutines.
+
+// cMove copies one phi input: frame[dst] = frame[src]. Sources are
+// read before any destination is written (phis are simultaneous).
+type cMove struct {
+	dst, src int32
+}
+
+// cEdge is one CFG edge: the target block's first non-phi pc and the
+// phi moves the transition performs.
+type cEdge struct {
+	target int32
+	moves  []cMove
+}
+
+// opTrap is the synthetic opcode terminating a block that has no
+// terminator: reaching it reports the same fall-through error the
+// tree-walker raises, and only then — compiling a function whose
+// malformed block is never executed must not fail. imm indexes
+// CompiledFunc.trapBlocks.
+const opTrap Opcode = 0
+
+// cInstr is one flattened instruction. dst is the result frame slot
+// (-1 when the instruction produces no value); a, b, c are operand
+// slots; imm carries the pre-resolved immediate (alloca size,
+// load/store width, lshr mask, or trap-block index); edge/edge2 index
+// CompiledFunc.edges for branches.
+type cInstr struct {
+	op    Opcode
+	typ   Type
+	kind  isa.OpKind
+	pred  CmpPred
+	dst   int32
+	a     int32
+	b     int32
+	c     int32
+	edge  int32
+	edge2 int32
+	imm   int64
+	// src is the original instruction; calls read src.Callee at run
+	// time so instrumentation passes may retarget calls without
+	// recompiling.
+	src  *Instr
+	args []int32
+}
+
+// CompiledFunc is a Function lowered to register-file form.
+type CompiledFunc struct {
+	fn      *Function
+	version uint64
+
+	code  []cInstr
+	edges []cEdge
+	// proto is the frame prototype: constants pre-normalised into
+	// their slots, zero elsewhere. nslots is the frame size; maxPhi
+	// scratch slots for simultaneous phi moves and maxCall scratch
+	// slots for outgoing call arguments are appended, keeping the
+	// dispatch loop allocation-free (a callee copies its arguments
+	// into its own frame before executing anything, so reusing the
+	// region across nested calls is safe).
+	proto   []uint64
+	nslots  int
+	maxPhi  int
+	maxCall int
+	// paramTypes drives argument normalisation; parameters occupy
+	// slots [0, len(paramTypes)).
+	paramTypes []Type
+	// trapBlocks names the terminator-less blocks behind opTrap.
+	trapBlocks []string
+	// entryPhis is set when the entry block has phis: an initial entry
+	// (no predecessor edge) must fail exactly like the tree-walker.
+	entryPhis bool
+}
+
+// Func returns the function this code was compiled from.
+func (cf *CompiledFunc) Func() *Function { return cf.fn }
+
+// NumSlots reports the frame size in value slots (parameters +
+// instruction results + pooled constants).
+func (cf *CompiledFunc) NumSlots() int { return cf.nslots }
+
+// NumInstrs reports the flattened instruction count.
+func (cf *CompiledFunc) NumInstrs() int { return len(cf.code) }
+
+// Compile lowers f to register-file form, returning the cached result
+// when f has not been mutated since the last call.
+func Compile(f *Function) (*CompiledFunc, error) {
+	if cf := f.compiled; cf != nil && cf.version == f.version {
+		return cf, nil
+	}
+	cf, err := compile(f)
+	if err != nil {
+		return nil, err
+	}
+	f.compiled = cf
+	return cf, nil
+}
+
+// constKey identifies a constant for slot pooling.
+type constKey struct {
+	typ  Type
+	bits uint64
+}
+
+// compiler carries the per-function lowering state.
+type compiler struct {
+	f         *Function
+	slots     map[*Instr]int32
+	consts    map[constKey]int32
+	constVals []uint64
+	next      int32
+	maxCall   int
+}
+
+// compile performs the actual lowering.
+func compile(f *Function) (*CompiledFunc, error) {
+	if len(f.Blocks) == 0 {
+		return nil, fmt.Errorf("mir: call to declaration %s", f.Nam)
+	}
+	c := &compiler{
+		f:      f,
+		slots:  make(map[*Instr]int32),
+		consts: make(map[constKey]int32),
+		next:   int32(len(f.Params)),
+	}
+
+	// Pass 1: number every value-producing instruction into a slot.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Typ != Void {
+				c.slots[in] = c.next
+				c.next++
+			}
+		}
+	}
+
+	// Pass 2: flatten block bodies, recording each block's body start
+	// and every instruction's flattened pc. Phis are skipped — they
+	// become edge moves in pass 3. A block without a terminator gets a
+	// trailing opTrap so that it fails only if executed, exactly like
+	// the tree-walker.
+	cf := &CompiledFunc{fn: f, version: f.version}
+	bodyPC := make(map[*Block]int32, len(f.Blocks))
+	pcOf := make(map[*Instr]int32)
+	phisOf := make(map[*Block][]*Instr, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nphi := 0
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				break
+			}
+			nphi++
+		}
+		phisOf[b] = b.Instrs[:nphi]
+		if nphi > cf.maxPhi {
+			cf.maxPhi = nphi
+		}
+		bodyPC[b] = int32(len(cf.code))
+		for _, in := range b.Instrs[nphi:] {
+			ci, err := c.lower(in)
+			if err != nil {
+				return nil, err
+			}
+			pcOf[in] = int32(len(cf.code))
+			cf.code = append(cf.code, ci)
+		}
+		if b.Term() == nil {
+			cf.code = append(cf.code, cInstr{op: opTrap, dst: -1, imm: int64(len(cf.trapBlocks))})
+			cf.trapBlocks = append(cf.trapBlocks, b.Nam)
+		}
+	}
+	cf.entryPhis = len(phisOf[f.Entry()]) > 0
+
+	// Pass 3: resolve branch targets into edges with phi move lists.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpBr && in.Op != OpCondBr {
+				continue
+			}
+			ci := &cf.code[pcOf[in]]
+			for ti, t := range in.Targets {
+				moves := make([]cMove, 0, len(phisOf[t]))
+				for _, phi := range phisOf[t] {
+					src, found := int32(-1), false
+					for ai, from := range phi.Targets {
+						if from == b {
+							src = c.slotOf(phi.Args[ai])
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("mir: phi in %s has no incoming edge from %s", t.Nam, b.Nam)
+					}
+					moves = append(moves, cMove{dst: c.slots[phi], src: src})
+				}
+				e := int32(len(cf.edges))
+				cf.edges = append(cf.edges, cEdge{target: bodyPC[t], moves: moves})
+				if ti == 0 {
+					ci.edge = e
+				} else {
+					ci.edge2 = e
+				}
+			}
+		}
+	}
+
+	cf.nslots = int(c.next)
+	cf.maxCall = c.maxCall
+	cf.proto = make([]uint64, cf.nslots)
+	for i, v := range c.constVals {
+		cf.proto[int(c.next)-len(c.constVals)+i] = v
+	}
+	cf.paramTypes = make([]Type, len(f.Params))
+	for i, p := range f.Params {
+		cf.paramTypes[i] = p.Typ
+	}
+	return cf, nil
+}
+
+// slotOf resolves a value to its frame slot, pooling constants at the
+// end of the frame.
+func (c *compiler) slotOf(v Value) int32 {
+	switch t := v.(type) {
+	case *Param:
+		return int32(t.Index)
+	case *Instr:
+		return c.slots[t]
+	case *Const:
+		k := constKey{typ: t.Typ, bits: t.Bits}
+		if s, ok := c.consts[k]; ok {
+			return s
+		}
+		s := c.next
+		c.next++
+		c.consts[k] = s
+		c.constVals = append(c.constVals, norm(t.Typ, t.Bits))
+		return s
+	default:
+		return -1
+	}
+}
+
+// lower translates one non-phi instruction.
+func (c *compiler) lower(in *Instr) (cInstr, error) {
+	ci := cInstr{
+		op:   in.Op,
+		typ:  in.Typ,
+		kind: in.Op.Kind(),
+		pred: in.Pred,
+		dst:  -1,
+		a:    -1, b: -1, c: -1,
+		src: in,
+	}
+	if in.Typ != Void {
+		ci.dst = c.slots[in]
+	}
+	operand := func(i int) int32 {
+		if i < len(in.Args) {
+			return c.slotOf(in.Args[i])
+		}
+		return -1
+	}
+	switch in.Op {
+	case OpRet:
+		if len(in.Args) == 1 {
+			ci.a = operand(0)
+		}
+	case OpBr:
+		// Edges resolved in pass 3.
+	case OpCondBr:
+		ci.a = operand(0)
+	case OpCall:
+		ci.args = make([]int32, len(in.Args))
+		for i := range in.Args {
+			ci.args[i] = operand(i)
+		}
+		if len(ci.args) > c.maxCall {
+			c.maxCall = len(ci.args)
+		}
+	case OpAlloca:
+		ci.imm = int64(in.AllocBytes)
+	case OpLoad:
+		ci.a = operand(0)
+		ci.imm = int64(in.Typ.SizeBytes())
+	case OpStore:
+		ci.a = operand(0)
+		ci.b = operand(1)
+		ci.imm = int64(in.Args[0].Type().SizeBytes())
+	case OpLShr:
+		ci.a = operand(0)
+		ci.b = operand(1)
+		ci.imm = int64(lshrMask(in.Typ))
+	case OpSelect:
+		ci.a = operand(0)
+		ci.b = operand(1)
+		ci.c = operand(2)
+	case OpPhi:
+		return ci, fmt.Errorf("mir: phi reached lowering in %s", c.f.Nam)
+	default:
+		// Remaining ops are unary/binary pure ops.
+		ci.a = operand(0)
+		ci.b = operand(1)
+	}
+	return ci, nil
+}

@@ -24,5 +24,6 @@ func (f *Function) InsertCall(b *Block, idx int, callee *Function, args ...Value
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+1:], b.Instrs[idx:])
 	b.Instrs[idx] = in
+	f.invalidate()
 	return in, nil
 }

@@ -103,39 +103,78 @@ type ExecStats struct {
 	Steps int64
 }
 
+// opKindSlots sizes the dense per-kind counters; isa.OpMove is the
+// highest OpKind any opcode maps to (see Opcode.Kind).
+const opKindSlots = int(isa.OpMove) + 1
+
+// defaultMaxSteps is the step budget when MaxSteps is unset.
+const defaultMaxSteps = 200_000_000
+
 // Interp executes MIR functions against a Memory.
+//
+// By default Run executes through the compiled register-file engine
+// (see compile.go). Set Legacy to force the original tree-walking
+// evaluator — the reference implementation the differential tests
+// compare against.
 type Interp struct {
 	Mem *Memory
 	// MaxSteps bounds execution; <=0 means the default of 200M.
 	MaxSteps int64
-	stats    ExecStats
+	// Legacy forces the tree-walking evaluator instead of the
+	// compiled engine.
+	Legacy bool
+
+	// ops/steps are the dense stat counters both engines share;
+	// Stats materialises them into an ExecStats.
+	ops   [opKindSlots]float64
+	steps int64
+	// limit is the step budget Run derives once per entry; both
+	// engines (and their phi phases) enforce it.
+	limit int64
+	// frames pools compiled-engine activation frames.
+	frames [][]uint64
 }
 
 // NewInterp returns an interpreter with an arena of memSize bytes.
 func NewInterp(memSize int) *Interp {
-	return &Interp{Mem: NewMemory(memSize), stats: ExecStats{Ops: isa.OpMix{}}}
+	return &Interp{Mem: NewMemory(memSize)}
 }
 
 // Stats returns the accumulated execution statistics.
-func (ip *Interp) Stats() ExecStats { return ip.stats }
+func (ip *Interp) Stats() ExecStats {
+	ops := isa.OpMix{}
+	for k, v := range ip.ops {
+		if v != 0 {
+			ops[isa.OpKind(k)] = v
+		}
+	}
+	return ExecStats{Ops: ops, Steps: ip.steps}
+}
 
 // ResetStats clears accumulated statistics.
-func (ip *Interp) ResetStats() { ip.stats = ExecStats{Ops: isa.OpMix{}} }
+func (ip *Interp) ResetStats() {
+	ip.ops = [opKindSlots]float64{}
+	ip.steps = 0
+}
 
 // Run executes f with raw-bit arguments, returning the raw-bit result.
 func (ip *Interp) Run(f *Function, args ...uint64) (uint64, error) {
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("mir: %s called with %d args, want %d", f.Nam, len(args), len(f.Params))
 	}
-	limit := ip.MaxSteps
-	if limit <= 0 {
-		limit = 200_000_000
+	// The step budget is derived exactly once per Run entry; the call
+	// chain (including phi phases) checks ip.steps against it.
+	ip.limit = ip.MaxSteps
+	if ip.limit <= 0 {
+		ip.limit = defaultMaxSteps
 	}
-	budget := limit - ip.stats.Steps
-	if budget <= 0 {
+	if ip.steps >= ip.limit {
 		return 0, ErrStepLimit
 	}
-	return ip.call(f, args)
+	if ip.Legacy {
+		return ip.call(f, args)
+	}
+	return ip.callCompiled(f, args)
 }
 
 // norm canonicalises raw bits for a type (sign-extended I32, masked I1).
@@ -150,7 +189,218 @@ func norm(t Type, bits uint64) uint64 {
 	}
 }
 
-// call runs one function activation.
+// callCompiled runs one activation on the compiled engine, compiling
+// (or fetching cached code for) f first.
+func (ip *Interp) callCompiled(f *Function, args []uint64) (uint64, error) {
+	cf, err := Compile(f)
+	if err != nil {
+		return 0, err
+	}
+	return ip.exec(cf, args)
+}
+
+// getFrame pops a pooled frame of at least n slots.
+func (ip *Interp) getFrame(n int) []uint64 {
+	if k := len(ip.frames); k > 0 {
+		fr := ip.frames[k-1]
+		ip.frames = ip.frames[:k-1]
+		if cap(fr) >= n {
+			return fr[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putFrame returns a frame to the pool.
+func (ip *Interp) putFrame(fr []uint64) { ip.frames = append(ip.frames, fr) }
+
+// exec is the compiled engine's dispatch loop: straight-line execution
+// over a dense []uint64 frame, with pre-resolved operand slots and
+// per-edge phi move lists. The steady-state loop allocates nothing.
+func (ip *Interp) exec(cf *CompiledFunc, args []uint64) (uint64, error) {
+	if cf.entryPhis {
+		return 0, fmt.Errorf("mir: phi in %s has no incoming edge from <entry>", cf.fn.Entry().Nam)
+	}
+	mark := ip.Mem.Mark()
+	defer ip.Mem.Release(mark)
+
+	frame := ip.getFrame(cf.nslots + cf.maxPhi + cf.maxCall)
+	defer ip.putFrame(frame)
+	copy(frame[:cf.nslots], cf.proto)
+	for i, t := range cf.paramTypes {
+		frame[i] = norm(t, args[i])
+	}
+	scratch := frame[cf.nslots : cf.nslots+cf.maxPhi]
+	callScratch := frame[cf.nslots+cf.maxPhi:]
+
+	code := cf.code
+	pc := int32(0)
+	for {
+		in := &code[pc]
+		if in.op == opTrap {
+			// Fall-through off a terminator-less block: not a step, to
+			// mirror the tree-walker's accounting.
+			return 0, fmt.Errorf("mir: block %s fell through without terminator", cf.trapBlocks[in.imm])
+		}
+		ip.steps++
+		if ip.steps > ip.limit {
+			return 0, ErrStepLimit
+		}
+		ip.ops[in.kind]++
+		switch in.op {
+		case OpRet:
+			if in.a >= 0 {
+				return frame[in.a], nil
+			}
+			return 0, nil
+		case OpBr:
+			e := &cf.edges[in.edge]
+			if err := ip.runEdge(e, frame, scratch); err != nil {
+				return 0, err
+			}
+			pc = e.target
+			continue
+		case OpCondBr:
+			e := &cf.edges[in.edge2]
+			if frame[in.a]&1 != 0 {
+				e = &cf.edges[in.edge]
+			}
+			if err := ip.runEdge(e, frame, scratch); err != nil {
+				return 0, err
+			}
+			pc = e.target
+			continue
+		case OpAdd:
+			frame[in.dst] = norm(in.typ, frame[in.a]+frame[in.b])
+		case OpSub:
+			frame[in.dst] = norm(in.typ, frame[in.a]-frame[in.b])
+		case OpMul:
+			frame[in.dst] = norm(in.typ, uint64(int64(frame[in.a])*int64(frame[in.b])))
+		case OpSDiv:
+			if frame[in.b] == 0 {
+				return 0, ErrDivByZero
+			}
+			frame[in.dst] = norm(in.typ, uint64(int64(frame[in.a])/int64(frame[in.b])))
+		case OpSRem:
+			if frame[in.b] == 0 {
+				return 0, ErrDivByZero
+			}
+			frame[in.dst] = norm(in.typ, uint64(int64(frame[in.a])%int64(frame[in.b])))
+		case OpAnd:
+			frame[in.dst] = norm(in.typ, frame[in.a]&frame[in.b])
+		case OpOr:
+			frame[in.dst] = norm(in.typ, frame[in.a]|frame[in.b])
+		case OpXor:
+			frame[in.dst] = norm(in.typ, frame[in.a]^frame[in.b])
+		case OpShl:
+			frame[in.dst] = norm(in.typ, uint64(int64(frame[in.a])<<(frame[in.b]&63)))
+		case OpLShr:
+			frame[in.dst] = norm(in.typ, (frame[in.a]&uint64(in.imm))>>(frame[in.b]&63))
+		case OpAShr:
+			frame[in.dst] = norm(in.typ, uint64(int64(frame[in.a])>>(frame[in.b]&63)))
+		case OpICmp:
+			frame[in.dst] = boolBits(cmpInt(in.pred, int64(frame[in.a]), int64(frame[in.b])))
+		case OpFCmp:
+			frame[in.dst] = boolBits(cmpFloat(in.pred, math.Float64frombits(frame[in.a]), math.Float64frombits(frame[in.b])))
+		case OpFAdd:
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) + math.Float64frombits(frame[in.b]))
+		case OpFSub:
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) - math.Float64frombits(frame[in.b]))
+		case OpFMul:
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) * math.Float64frombits(frame[in.b]))
+		case OpFDiv:
+			frame[in.dst] = math.Float64bits(math.Float64frombits(frame[in.a]) / math.Float64frombits(frame[in.b]))
+		case OpPtrAdd:
+			frame[in.dst] = frame[in.a] + uint64(int64(frame[in.b]))
+		case OpSelect:
+			if frame[in.a]&1 != 0 {
+				frame[in.dst] = norm(in.typ, frame[in.b])
+			} else {
+				frame[in.dst] = norm(in.typ, frame[in.c])
+			}
+		case OpSExt:
+			frame[in.dst] = norm(in.typ, frame[in.a]) // operands already sign-extended
+		case OpTrunc:
+			frame[in.dst] = norm(in.typ, frame[in.a])
+		case OpSIToFP:
+			frame[in.dst] = math.Float64bits(float64(int64(frame[in.a])))
+		case OpFPToSI:
+			frame[in.dst] = norm(in.typ, uint64(int64(math.Float64frombits(frame[in.a]))))
+		case OpAlloca:
+			addr, err := ip.Mem.Alloc(int(in.imm))
+			if err != nil {
+				return 0, err
+			}
+			frame[in.dst] = addr
+		case OpLoad:
+			v, err := ip.Mem.Load(frame[in.a], int(in.imm))
+			if err != nil {
+				return 0, err
+			}
+			frame[in.dst] = norm(in.typ, v)
+		case OpStore:
+			if err := ip.Mem.Store(frame[in.b], int(in.imm), frame[in.a]); err != nil {
+				return 0, err
+			}
+		case OpCall:
+			callArgs := callScratch[:len(in.args)]
+			for i, s := range in.args {
+				callArgs[i] = frame[s]
+			}
+			r, err := ip.callCompiled(in.src.Callee, callArgs)
+			if err != nil {
+				return 0, err
+			}
+			if in.dst >= 0 {
+				frame[in.dst] = norm(in.typ, r)
+			}
+		default:
+			return 0, fmt.Errorf("mir: compiled exec on %s", in.op)
+		}
+		pc++
+	}
+}
+
+// runEdge performs one CFG transition's phi moves. All sources are
+// read into scratch before any destination is written, preserving the
+// simultaneous-assignment semantics of phis; each move is accounted
+// and step-limited exactly like the tree-walker's phi phase.
+func (ip *Interp) runEdge(e *cEdge, frame, scratch []uint64) error {
+	moves := e.moves
+	for i, mv := range moves {
+		scratch[i] = frame[mv.src]
+	}
+	for i, mv := range moves {
+		ip.steps++
+		if ip.steps > ip.limit {
+			return ErrStepLimit
+		}
+		ip.ops[isa.OpMove]++
+		frame[mv.dst] = scratch[i]
+	}
+	return nil
+}
+
+// boolBits converts a predicate result to i1 bits.
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// lshrMask is the operand mask a logical right shift of type t applies
+// before shifting; both engines share it so their semantics cannot
+// drift apart.
+func lshrMask(t Type) uint64 {
+	width := uint(t.SizeBytes() * 8)
+	if width < 64 {
+		return (1 << width) - 1
+	}
+	return ^uint64(0)
+}
+
+// call runs one function activation on the tree-walking engine.
 func (ip *Interp) call(f *Function, args []uint64) (uint64, error) {
 	if len(f.Blocks) == 0 {
 		return 0, fmt.Errorf("mir: call to declaration %s", f.Nam)
@@ -170,11 +420,6 @@ func (ip *Interp) call(f *Function, args []uint64) (uint64, error) {
 		default:
 			return 0
 		}
-	}
-
-	limit := ip.MaxSteps
-	if limit <= 0 {
-		limit = 200_000_000
 	}
 
 	var prev *Block
@@ -201,19 +446,22 @@ func (ip *Interp) call(f *Function, args []uint64) (uint64, error) {
 			phis = append(phis, in)
 		}
 		for i, in := range phis {
+			ip.steps++
+			if ip.steps > ip.limit {
+				return 0, ErrStepLimit
+			}
+			ip.ops[isa.OpMove]++
 			vals[in] = norm(in.Typ, phiVals[i])
-			ip.stats.Ops[isa.OpMove]++
-			ip.stats.Steps++
 		}
 
 		// Phase 2: straight-line execution.
 		advance := false
 		for _, in := range cur.Instrs[len(phis):] {
-			ip.stats.Steps++
-			if ip.stats.Steps > limit {
+			ip.steps++
+			if ip.steps > ip.limit {
 				return 0, ErrStepLimit
 			}
-			ip.stats.Ops[in.Op.Kind()]++
+			ip.ops[in.Op.Kind()]++
 			switch in.Op {
 			case OpRet:
 				if len(in.Args) == 1 {
@@ -279,12 +527,6 @@ func evalPure(in *Instr, eval func(Value) uint64) (uint64, error) {
 	a := func(i int) uint64 { return eval(in.Args[i]) }
 	sa := func(i int) int64 { return int64(a(i)) }
 	fa := func(i int) float64 { return math.Float64frombits(a(i)) }
-	boolBits := func(b bool) uint64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
 	switch in.Op {
 	case OpAdd:
 		return norm(in.Typ, uint64(sa(0)+sa(1))), nil
@@ -311,12 +553,7 @@ func evalPure(in *Instr, eval func(Value) uint64) (uint64, error) {
 	case OpShl:
 		return norm(in.Typ, uint64(sa(0)<<(a(1)&63))), nil
 	case OpLShr:
-		width := uint(in.Typ.SizeBytes() * 8)
-		mask := ^uint64(0)
-		if width < 64 {
-			mask = (1 << width) - 1
-		}
-		return norm(in.Typ, (a(0)&mask)>>(a(1)&63)), nil
+		return norm(in.Typ, (a(0)&lshrMask(in.Typ))>>(a(1)&63)), nil
 	case OpAShr:
 		return norm(in.Typ, uint64(sa(0)>>(a(1)&63))), nil
 	case OpICmp:

@@ -163,7 +163,25 @@ type Function struct {
 
 	nextValueID int
 	nextBlockID int
+
+	// version counts structural mutations; the compiled-code cache is
+	// keyed on it so Compile recompiles after instrumentation edits.
+	version  uint64
+	compiled *CompiledFunc
 }
+
+// invalidate records a structural mutation, forcing recompilation on
+// the next Compile. Every package-internal mutation path (builder
+// emission, block creation, call insertion, phi incoming edges) calls
+// it automatically.
+func (f *Function) invalidate() { f.version++ }
+
+// Invalidate drops any cached compiled code for f. Code that mutates
+// the IR directly — rewriting Args or Instrs slices outside the
+// package's builder/edit APIs — must call it before the next
+// interpreter run. (Swapping a call's Callee is exempt: compiled code
+// resolves callees at call time.)
+func (f *Function) Invalidate() { f.invalidate() }
 
 // Name returns the function's symbol name.
 func (f *Function) Name() string { return f.Nam }
@@ -187,6 +205,7 @@ func (f *Function) NewBlock(hint string) *Block {
 	b := &Block{Nam: fmt.Sprintf("%s%d", hint, f.nextBlockID), fn: f}
 	f.nextBlockID++
 	f.Blocks = append(f.Blocks, b)
+	f.invalidate()
 	return b
 }
 

@@ -1,0 +1,77 @@
+// Package par provides the bounded worker pool the experiment engine,
+// the profiling step and the threshold estimator share to fan
+// independent measurements across CPU cores.
+//
+// Every job in this repository's fan-outs is a self-contained
+// discrete-event simulation (or an isolated interpreter run), so jobs
+// never share mutable state; the only requirements are a concurrency
+// bound and determinism. ForEach provides both: it runs at most
+// GOMAXPROCS jobs at a time and makes the caller-observed outcome a
+// pure function of the jobs themselves — results are written into
+// caller-indexed slots and the returned error is always the
+// lowest-index failure, regardless of how goroutines interleave.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs job(0..n-1) across a bounded worker pool and blocks
+// until all jobs finish. The pool width is min(n, GOMAXPROCS). When
+// several jobs fail, the error of the lowest index is returned — the
+// same error a sequential loop would have surfaced — so error handling
+// stays deterministic under parallelism.
+func ForEach(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	next := int64(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Once any job fails, stop claiming new ones; in-flight
+				// jobs drain. Claims are in index order, so the lowest
+				// failing index was always claimed before the abort it
+				// could trigger — the returned error stays the one a
+				// sequential loop would have surfaced.
+				if failed.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if errs[i] = job(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

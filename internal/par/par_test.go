@@ -1,0 +1,118 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	const n = 100
+	counts := make([]int32, n)
+	if err := ForEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := ForEach(0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("job ran for n <= 0")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	want := errors.New("job 3 failed")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(64, func(i int) error {
+			switch i {
+			case 3:
+				return want
+			case 40:
+				return fmt.Errorf("job 40 failed")
+			}
+			return nil
+		})
+		if err != want {
+			t.Fatalf("trial %d: err = %v, want lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterFailure(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs parallel path")
+	}
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(10_000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Workers stop claiming once the failure lands; only jobs already
+	// in flight drain, far fewer than the full range.
+	if ran == 10_000 {
+		t.Fatal("every job ran despite an early failure")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var active, peak int32
+	if err := ForEach(200, func(int) error {
+		cur := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&active, -1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if max := int32(runtime.GOMAXPROCS(0)); peak > max {
+		t.Fatalf("peak concurrency %d exceeds GOMAXPROCS %d", peak, max)
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	order := make([]int, 0, 10)
+	if err := ForEach(10, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential fallback order %v", order)
+		}
+	}
+}

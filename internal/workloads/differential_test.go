@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"xartrek/internal/mir"
+)
+
+// kernelBuilders names every workload kernel for the differential
+// test: the compiled register-file engine must be bit-for-bit
+// indistinguishable from the legacy tree-walking evaluator on each.
+func kernelBuilders() map[string]func(*mir.Module, string) (*mir.Function, error) {
+	return map[string]func(*mir.Module, string) (*mir.Function, error){
+		"facedetect": buildFaceDetectKernel,
+		"digitrec":   buildDigitRecKernel,
+		"cg":         buildCGKernel,
+		"bfs":        buildBFSKernel,
+		"mg":         buildMGKernel,
+	}
+}
+
+// seedArena fills the kernel's input region with a deterministic
+// pseudo-random pattern so loads see non-trivial data (the arena is
+// otherwise zero and every kernel would degenerate to constants).
+func seedArena(t *testing.T, ip *mir.Interp) uint64 {
+	t.Helper()
+	const words = kernelArenaMask + 1 + 8
+	base, err := ip.Mem.Alloc(words * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	for k := 0; k < words; k++ {
+		// xorshift64 keeps the pattern platform-independent.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if err := ip.Mem.Store(base+uint64(8*k), 8, state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return base
+}
+
+// runKernel executes one freshly built kernel for iters trips on the
+// selected engine and returns the raw result plus statistics.
+func runKernel(t *testing.T, build func(*mir.Module, string) (*mir.Function, error), legacy bool, iters int64) (uint64, mir.ExecStats) {
+	t.Helper()
+	m := mir.NewModule("diff")
+	fn, err := build(m, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := mir.NewInterp(1 << 16)
+	ip.Legacy = legacy
+	base := seedArena(t, ip)
+	got, err := ip.Run(fn, base, base, uint64(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, ip.Stats()
+}
+
+func TestCompiledEngineMatchesLegacyOnAllKernels(t *testing.T) {
+	for name, build := range kernelBuilders() {
+		t.Run(name, func(t *testing.T) {
+			for _, iters := range []int64{1, 64, 1500} {
+				legacyRes, legacyStats := runKernel(t, build, true, iters)
+				compiledRes, compiledStats := runKernel(t, build, false, iters)
+				if legacyRes != compiledRes {
+					t.Fatalf("iters=%d: result mismatch: legacy=%#x compiled=%#x",
+						iters, legacyRes, compiledRes)
+				}
+				if legacyStats.Steps != compiledStats.Steps {
+					t.Fatalf("iters=%d: steps mismatch: legacy=%d compiled=%d",
+						iters, legacyStats.Steps, compiledStats.Steps)
+				}
+				if !reflect.DeepEqual(legacyStats.Ops, compiledStats.Ops) {
+					t.Fatalf("iters=%d: op mix mismatch:\nlegacy:   %v\ncompiled: %v",
+						iters, legacyStats.Ops, compiledStats.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledEngineMatchesLegacyThroughMain drives the full
+// application shape — main's alloca and the call into the kernel —
+// through both engines.
+func TestCompiledEngineMatchesLegacyThroughMain(t *testing.T) {
+	for name, build := range kernelBuilders() {
+		t.Run(name, func(t *testing.T) {
+			run := func(legacy bool) (uint64, mir.ExecStats) {
+				m := mir.NewModule("diff")
+				fn, err := build(m, "kernel")
+				if err != nil {
+					t.Fatal(err)
+				}
+				mainFn, err := buildMain(m, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ip := mir.NewInterp(1 << 16)
+				ip.Legacy = legacy
+				got, err := ip.Run(mainFn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return got, ip.Stats()
+			}
+			legacyRes, legacyStats := run(true)
+			compiledRes, compiledStats := run(false)
+			if legacyRes != compiledRes {
+				t.Fatalf("main result mismatch: legacy=%#x compiled=%#x", legacyRes, compiledRes)
+			}
+			if legacyStats.Steps != compiledStats.Steps {
+				t.Fatalf("steps mismatch: legacy=%d compiled=%d", legacyStats.Steps, compiledStats.Steps)
+			}
+			if !reflect.DeepEqual(legacyStats.Ops, compiledStats.Ops) {
+				t.Fatalf("op mix mismatch:\nlegacy:   %v\ncompiled: %v", legacyStats.Ops, compiledStats.Ops)
+			}
+		})
+	}
+}
+
+// TestProfilingMixIdenticalOnBothEngines pins the mechanised profiling
+// step: the per-iteration operation mix that calibrates every cost
+// model must not depend on the execution engine.
+func TestProfilingMixIdenticalOnBothEngines(t *testing.T) {
+	for name, build := range kernelBuilders() {
+		t.Run(name, func(t *testing.T) {
+			mix := func(legacy bool) map[string]float64 {
+				m := mir.NewModule("diff")
+				fn, err := build(m, "kernel")
+				if err != nil {
+					t.Fatal(err)
+				}
+				ip := mir.NewInterp(1 << 16)
+				ip.Legacy = legacy
+				base, err := ip.Mem.Alloc((kernelArenaMask + 1 + 8) * 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const iters = 256
+				if _, err := ip.Run(fn, base, base, iters); err != nil {
+					t.Fatal(err)
+				}
+				out := map[string]float64{}
+				for k, v := range ip.Stats().Ops {
+					out[k.String()] = v / iters
+				}
+				return out
+			}
+			legacyMix, compiledMix := mix(true), mix(false)
+			if !reflect.DeepEqual(legacyMix, compiledMix) {
+				t.Fatalf("profiling mix mismatch:\nlegacy:   %v\ncompiled: %v", legacyMix, compiledMix)
+			}
+		})
+	}
+}
