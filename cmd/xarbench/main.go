@@ -1,11 +1,13 @@
 // Command xarbench regenerates every table and figure of the paper's
-// evaluation (Section 4) on the simulated testbed.
+// evaluation (Section 4) on the simulated testbed, and runs the
+// cluster-scale open-loop serving campaign on top of it.
 //
 // Usage:
 //
 //	xarbench -all
 //	xarbench -table 1        # Tables 1-4
 //	xarbench -figure 6       # Figures 3-10
+//	xarbench -serving        # open-loop serving campaign (3 topologies)
 //	xarbench -all -runs 3    # cheaper randomized experiments
 //
 // Absolute times come from this repository's calibrated models, not
@@ -20,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"xartrek/internal/cluster"
 	"xartrek/internal/exper"
 	"xartrek/internal/workloads"
 )
@@ -38,14 +41,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("xarbench", flag.ContinueOnError)
 	table := fs.Int("table", 0, "regenerate one table (1-4)")
 	figure := fs.Int("figure", 0, "regenerate one figure (3-10)")
+	serving := fs.Bool("serving", false, "run the open-loop serving campaign")
 	all := fs.Bool("all", false, "regenerate everything")
 	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && !*serving {
 		fs.Usage()
-		return fmt.Errorf("pick -all, -table N, or -figure N")
+		return fmt.Errorf("pick -all, -table N, -figure N, or -serving")
 	}
 
 	apps, err := workloads.Registry()
@@ -92,8 +96,66 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s %d: %w", e.kind, e.id, err)
 		}
 	}
+	if *all || *serving {
+		matched = true
+		fmt.Fprintf(out, "\n== serving ==\n")
+		if err := servingCampaign(out, arts); err != nil {
+			return fmt.Errorf("serving: %w", err)
+		}
+	}
 	if !matched {
 		return fmt.Errorf("no experiment matches the requested table/figure")
+	}
+	return nil
+}
+
+// servingCell pairs one campaign topology with the arrival rates
+// offered to it (scaled to its size).
+type servingCell struct {
+	topo  cluster.Topology
+	rates []float64
+}
+
+// servingCells are the campaign's cluster sizes: the paper testbed, a
+// ~8-node rack and a ~32-node rack with a device fleet.
+func servingCells() []servingCell {
+	return []servingCell{
+		{cluster.PaperTopology(), []float64{0.5, 1, 2}},
+		{cluster.ScaleOutTopology("rack8", 4, 4, 2), []float64{2, 4, 8}},
+		{cluster.ScaleOutTopology("rack32", 8, 24, 4), []float64{8, 16, 32}},
+	}
+}
+
+// servingCampaign drives open-loop Poisson arrivals against each
+// topology at rates scaled to its size and reports throughput and tail
+// latency per mode.
+func servingCampaign(out io.Writer, arts *exper.Artifacts) error {
+	modes := []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}
+	var cfgs []exper.ServingConfig
+	for _, cell := range servingCells() {
+		topo := cell.topo
+		for _, rate := range cell.rates {
+			for _, mode := range modes {
+				cfgs = append(cfgs, exper.ServingConfig{
+					Topo:       topo,
+					Mode:       mode,
+					RatePerSec: rate,
+					Duration:   60 * time.Second,
+					Seed:       seed,
+				})
+			}
+		}
+	}
+	results, err := exper.RunServingSweep(arts, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-8s %-14s %7s %8s %8s %8s %9s %9s %9s %9s\n",
+		"topo", "mode", "req/s", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)", "hostload")
+	for _, r := range results {
+		fmt.Fprintf(out, "%-8s %-14s %7.1f %8d %8d %8.2f %9d %9d %9d %9.1f\n",
+			r.Name, r.Mode, r.RatePerSec, r.Offered, r.Completed, r.ThroughputPerSec,
+			ms(r.P50), ms(r.P95), ms(r.P99), r.MeanHostLoad)
 	}
 	return nil
 }

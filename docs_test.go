@@ -1,0 +1,85 @@
+package xartrek
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoDanglingMarkdownReferences fails when any markdown document
+// references a repository file that does not exist — either through a
+// [text](path) link or by naming a top-level document like
+// EXPERIMENTS.md in prose. DESIGN.md once cited an EXPERIMENTS.md that
+// was never written; this gate keeps that from recurring. The CI docs
+// job runs it alongside gofmt/vet.
+func TestNoDanglingMarkdownReferences(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown documents found")
+	}
+
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// Bare top-level document names in prose (README.md, DESIGN.md,
+	// ...). The leading boundary rejects path components of external
+	// repositories (a/b/guide.md) and the uppercase-start convention
+	// matches how this repository names its documents.
+	bareRe := regexp.MustCompile(`(^|[^/\w])([A-Z][A-Z0-9_]*\.md)`)
+
+	exists := func(p string) bool {
+		_, err := os.Stat(p)
+		return err == nil
+	}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		rel, _ := filepath.Rel(root, doc)
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure anchor
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if !exists(resolved) {
+				t.Errorf("%s: dangling link target %q", rel, m[1])
+			}
+		}
+		for _, m := range bareRe.FindAllStringSubmatch(text, -1) {
+			name := m[2]
+			if !exists(filepath.Join(root, name)) {
+				t.Errorf("%s: references non-existent document %s", rel, name)
+			}
+		}
+	}
+}

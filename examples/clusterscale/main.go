@@ -1,0 +1,100 @@
+// Clusterscale: grow the paper's 2-server testbed into multi-rack
+// topologies and drive them with open-loop request traffic — Poisson
+// arrivals that do not wait for completions, the regime of a
+// middleware fleet serving many independent clients.
+//
+//	go run ./examples/clusterscale
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"xartrek"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	apps, err := xartrek.Benchmarks()
+	if err != nil {
+		return err
+	}
+	arts, err := xartrek.Build(apps)
+	if err != nil {
+		return err
+	}
+
+	// Three cluster sizes: the paper testbed and two scale-outs. A
+	// topology is plain data — nodes, FPGAs, links — so custom shapes
+	// are one literal away.
+	topos := []xartrek.Topology{
+		xartrek.PaperTopology(),
+		xartrek.ScaleOutTopology("rack8", 4, 4, 2),
+		xartrek.ScaleOutTopology("rack32", 8, 24, 4),
+	}
+	for _, topo := range topos {
+		p, err := xartrek.NewPlatformTopology(arts, topo)
+		if err != nil {
+			return err
+		}
+		fmt.Println(p.Summary())
+	}
+
+	// The same offered load against each topology: 8 requests/second
+	// for a simulated minute, under Xar-Trek and the x86-only
+	// baseline. The sweep fans across CPU cores; a fixed seed makes
+	// the output byte-identical on any machine.
+	var cfgs []xartrek.ServingConfig
+	for _, topo := range topos {
+		for _, mode := range []xartrek.Mode{xartrek.ModeXarTrek, xartrek.ModeVanillaX86} {
+			cfgs = append(cfgs, xartrek.ServingConfig{
+				Topo:       topo,
+				Mode:       mode,
+				RatePerSec: 8,
+				Duration:   time.Minute,
+				Seed:       2021,
+			})
+		}
+	}
+	results, err := xartrek.RunServingSweep(arts, cfgs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-8s %-14s %8s %8s %8s %9s %9s %9s\n",
+		"topo", "mode", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, r := range results {
+		fmt.Printf("%-8s %-14s %8d %8d %8.2f %9d %9d %9d\n",
+			r.Name, r.Mode, r.Offered, r.Completed, r.ThroughputPerSec,
+			r.P50.Milliseconds(), r.P95.Milliseconds(), r.P99.Milliseconds())
+	}
+
+	// Trace-driven arrivals: replay an explicit burst instead of a
+	// Poisson process (e.g. recorded production traffic).
+	// Ten waves of four simultaneous arrivals, 50 ms apart.
+	burst := make([]time.Duration, 40)
+	for i := range burst {
+		burst[i] = time.Duration(i/4) * 50 * time.Millisecond
+	}
+	res, err := xartrek.RunServing(arts, xartrek.ServingConfig{
+		Name:     "burst",
+		Topo:     xartrek.ScaleOutTopology("rack8", 4, 4, 2),
+		Mode:     xartrek.ModeXarTrek,
+		Duration: time.Minute,
+		Seed:     2021,
+		Trace:    burst,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace-driven burst: %d offered, %d done, p99 %v\n",
+		res.Offered, res.Completed, res.P99)
+	return nil
+}

@@ -1,10 +1,15 @@
-// Package cluster models the evaluation hardware of the paper: a Dell
-// 7920 x86 server (Xeon Bronze 3104, 6 cores, 1.7 GHz), a Cavium
-// ThunderX ARM server (96 cores, 2 GHz), the 1 Gbps Ethernet between
-// them, and the process-count load metric the Xar-Trek scheduler reads.
+// Package cluster models the evaluation hardware as a configurable
+// heterogeneous topology: N CPU servers of mixed ISA classes with
+// per-machine core counts and cost models, M FPGA devices, and a
+// per-pair interconnect model, plus the process-count load metric the
+// Xar-Trek scheduler reads. The paper's fixed testbed — a Dell 7920 x86
+// server (Xeon Bronze 3104, 6 cores, 1.7 GHz), a Cavium ThunderX ARM
+// server (96 cores, 2 GHz), one Alveo U50 and the 1 Gbps Ethernet
+// between the servers — is just the default, PaperTopology().
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"xartrek/internal/isa"
@@ -34,6 +39,9 @@ func ARMServer() Machine {
 type Node struct {
 	Machine
 	Pool *simtime.PSServer
+	// Index is the node's position in Cluster.Nodes — the identifier
+	// the scheduler's placement step uses.
+	Index int
 }
 
 // Exec runs work (exclusive single-core time) on the node; done fires
@@ -46,36 +54,135 @@ func (n *Node) Exec(work time.Duration, done func()) *simtime.PSJob {
 // metric the paper's scheduler samples (Section 4, Table 3).
 func (n *Node) Load() int { return n.Pool.Active() }
 
-// Cluster is the full evaluation platform.
+// Link is the shared-capacity model of one node-pair interconnect:
+// concurrent transfers and DSM fault traffic divide the link bandwidth
+// (processor-sharing with capacity 1). Submit link work as the
+// uncontended transfer time; completion reflects contention.
+type Link struct {
+	Net popcorn.NetModel
+	PS  *simtime.PSServer
+}
+
+// Submit places one transfer of the given uncontended duration on the
+// link.
+func (l *Link) Submit(work time.Duration, done func()) *simtime.PSJob {
+	return l.PS.Submit(work, done)
+}
+
+// linkKey identifies an unordered node pair by index.
+type linkKey struct{ lo, hi int }
+
+// Cluster is a topology materialised on a simulator: every node gets a
+// processor-sharing run queue and every node pair a shared link.
 type Cluster struct {
-	Sim *simtime.Simulator
+	Sim  *simtime.Simulator
+	Topo Topology
+	// Nodes holds every CPU node in topology order.
+	Nodes []*Node
+	// X86 is the scheduler host — the first x86-class node. Processes
+	// start here and the paper's load metric samples it.
 	X86 *Node
+	// ARM is the first ARM-class node (nil in CPU-homogeneous
+	// topologies); the single-ARM-server view of the paper testbed.
 	ARM *Node
-	// Eth is the server interconnect carrying Popcorn DSM and
-	// migration traffic.
+	// Eth is the interconnect model between the host and ARM (the
+	// paper's 1 Gbps Ethernet); DefaultNet when no ARM node exists.
 	Eth popcorn.NetModel
-	// EthLink is the shared-capacity model of that interconnect:
-	// concurrent transfers and DSM fault traffic divide the 1 Gbps
-	// (processor-sharing with capacity 1). Submit link work as the
-	// uncontended transfer time; completion reflects contention.
+	// EthLink is the host-ARM shared link, nil without an ARM node.
 	EthLink *simtime.PSServer
+	links   map[linkKey]*Link
 }
 
 // New assembles the paper's testbed on the given simulator.
 func New(sim *simtime.Simulator) *Cluster {
-	x86 := X86Server()
-	arm := ARMServer()
-	return &Cluster{
-		Sim:     sim,
-		X86:     &Node{Machine: x86, Pool: simtime.NewPSServer(sim, float64(x86.Cores))},
-		ARM:     &Node{Machine: arm, Pool: simtime.NewPSServer(sim, float64(arm.Cores))},
-		Eth:     popcorn.EthernetGbps1(),
-		EthLink: simtime.NewPSServer(sim, 1),
+	c, err := FromTopology(sim, PaperTopology())
+	if err != nil {
+		// PaperTopology is statically valid.
+		panic("cluster: paper topology invalid: " + err.Error())
 	}
+	return c
 }
 
-// TotalCores reports the platform core count (6 + 96 = 102).
-func (c *Cluster) TotalCores() int { return c.X86.Cores + c.ARM.Cores }
+// FromTopology materialises a topology on the simulator.
+func FromTopology(sim *simtime.Simulator, topo Topology) (*Cluster, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Sim: sim, Topo: topo, links: make(map[linkKey]*Link)}
+	for i, spec := range topo.Nodes {
+		m, err := spec.machine()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{Machine: m, Pool: simtime.NewPSServer(sim, float64(m.Cores)), Index: i}
+		c.Nodes = append(c.Nodes, n)
+		if c.X86 == nil && m.Arch == isa.X86_64 {
+			c.X86 = n
+		}
+		if c.ARM == nil && m.Arch == isa.ARM64 {
+			c.ARM = n
+		}
+	}
+	// Materialise every node-pair link eagerly and in index order so
+	// construction is deterministic regardless of topology size.
+	overrides := make(map[linkKey]popcorn.NetModel, len(topo.Links))
+	byName := make(map[string]int, len(topo.Nodes))
+	for i, spec := range topo.Nodes {
+		byName[spec.Name] = i
+	}
+	for _, l := range topo.Links {
+		a, b := byName[l.A], byName[l.B]
+		overrides[pairKey(a, b)] = l.Net
+	}
+	for i := range c.Nodes {
+		for j := i + 1; j < len(c.Nodes); j++ {
+			key := pairKey(i, j)
+			net := topo.DefaultNet
+			if o, ok := overrides[key]; ok {
+				net = o
+			}
+			c.links[key] = &Link{Net: net, PS: simtime.NewPSServer(sim, 1)}
+		}
+	}
+	c.Eth = topo.DefaultNet
+	if c.ARM != nil {
+		hostARM := c.Link(c.X86, c.ARM)
+		c.Eth = hostARM.Net
+		c.EthLink = hostARM.PS
+	}
+	return c, nil
+}
+
+// pairKey normalises an unordered index pair.
+func pairKey(a, b int) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{lo: a, hi: b}
+}
+
+// Link returns the shared interconnect between two nodes.
+func (c *Cluster) Link(a, b *Node) *Link {
+	if a.Index == b.Index {
+		panic(fmt.Sprintf("cluster: self-link on node %s", a.Name))
+	}
+	return c.links[pairKey(a.Index, b.Index)]
+}
+
+// NodesOfArch lists the nodes of one ISA class in topology order.
+func (c *Cluster) NodesOfArch(arch isa.Arch) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.Arch == arch {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalCores reports the CPU core count across all nodes (the paper
+// testbed's 6 + 96 = 102).
+func (c *Cluster) TotalCores() int { return c.Topo.TotalCPUCores() }
 
 // LoadClass is the paper's Table 3 classification.
 type LoadClass int
@@ -101,10 +208,12 @@ func (l LoadClass) String() string {
 	}
 }
 
-// ClassifyLoad maps a process count to Table 3's ranges.
+// ClassifyLoad maps a process count to Table 3's ranges, generalised to
+// the topology's core counts: low below the x86-class core count,
+// medium up to the total CPU core count, high beyond.
 func (c *Cluster) ClassifyLoad(processes int) LoadClass {
 	switch {
-	case processes < c.X86.Cores:
+	case processes < c.Topo.CoresOfArch(isa.X86_64):
 		return LoadLow
 	case processes <= c.TotalCores():
 		return LoadMedium

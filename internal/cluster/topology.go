@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+)
+
+// NodeSpec describes one CPU server of a topology: its ISA class, core
+// count and cost model. A nil Cost selects the default model for the
+// architecture (the paper's Xeon Bronze 3104 or Cavium ThunderX
+// calibration).
+type NodeSpec struct {
+	Name  string
+	Arch  isa.Arch
+	Cores int
+	Cost  *isa.CostModel
+}
+
+// FPGASpec describes one accelerator card of a topology. Cards are
+// PCIe-attached to the scheduler host; the device model itself lives in
+// packages fpga/xrt and is instantiated per experiment platform.
+type FPGASpec struct {
+	Name string
+}
+
+// LinkSpec overrides the interconnect between one unordered pair of
+// named nodes. Pairs without an override use the topology's DefaultNet.
+type LinkSpec struct {
+	A, B string
+	Net  popcorn.NetModel
+}
+
+// Topology is a configurable heterogeneous cluster: N CPU nodes of
+// mixed ISA classes, M FPGA devices, and a per-pair link model. The
+// paper's fixed testbed is PaperTopology(); scale-out variants are
+// built with ScaleOutTopology or assembled by hand.
+//
+// Conventions the scheduler and experiment engine rely on:
+//
+//   - the first x86-class node is the scheduler host (processes start
+//     there, the load metric samples it),
+//   - node order is significant and deterministic: placement ties break
+//     toward the lower index,
+//   - every FPGA is reachable from the host over PCIe.
+type Topology struct {
+	Name  string
+	Nodes []NodeSpec
+	FPGAs []FPGASpec
+	// DefaultNet is the interconnect model for any node pair without a
+	// LinkSpec override (the paper's shared 1 Gbps Ethernet).
+	DefaultNet popcorn.NetModel
+	Links      []LinkSpec
+}
+
+// PaperTopology returns the paper's Section 4 testbed: one Dell 7920
+// x86 host, one Cavium ThunderX ARM server, one Alveo U50, 1 Gbps
+// Ethernet between the servers.
+func PaperTopology() Topology {
+	return Topology{
+		Name: "paper",
+		Nodes: []NodeSpec{
+			{Name: "dell7920", Arch: isa.X86_64, Cores: 6},
+			{Name: "thunderx", Arch: isa.ARM64, Cores: 96},
+		},
+		FPGAs:      []FPGASpec{{Name: "alveo-u50"}},
+		DefaultNet: popcorn.EthernetGbps1(),
+	}
+}
+
+// ScaleOutTopology builds a homogeneous-rack scale-out of the paper
+// testbed: nX86 copies of the x86 host, nARM copies of the ARM server
+// and nFPGA accelerator cards, all pairs joined by the default 1 Gbps
+// Ethernet. Node names are deterministic (x86-00, arm-00, fpga-00, ...)
+// so experiment output is stable.
+func ScaleOutTopology(name string, nX86, nARM, nFPGA int) Topology {
+	t := Topology{Name: name, DefaultNet: popcorn.EthernetGbps1()}
+	for i := 0; i < nX86; i++ {
+		t.Nodes = append(t.Nodes, NodeSpec{
+			Name: fmt.Sprintf("x86-%02d", i), Arch: isa.X86_64, Cores: 6,
+		})
+	}
+	for i := 0; i < nARM; i++ {
+		t.Nodes = append(t.Nodes, NodeSpec{
+			Name: fmt.Sprintf("arm-%02d", i), Arch: isa.ARM64, Cores: 96,
+		})
+	}
+	for i := 0; i < nFPGA; i++ {
+		t.FPGAs = append(t.FPGAs, FPGASpec{Name: fmt.Sprintf("fpga-%02d", i)})
+	}
+	return t
+}
+
+// Validate checks the structural invariants the scheduler and the
+// experiment engine assume.
+func (t Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("cluster: topology %q has no nodes", t.Name)
+	}
+	names := make(map[string]bool, len(t.Nodes))
+	hasX86 := false
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: topology %q has an unnamed node", t.Name)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("cluster: topology %q: duplicate node %q", t.Name, n.Name)
+		}
+		names[n.Name] = true
+		if n.Cores <= 0 {
+			return fmt.Errorf("cluster: topology %q: node %q has %d cores", t.Name, n.Name, n.Cores)
+		}
+		if n.Arch == isa.X86_64 {
+			hasX86 = true
+		}
+	}
+	if !hasX86 {
+		return fmt.Errorf("cluster: topology %q has no x86 node to host the scheduler", t.Name)
+	}
+	fpgaNames := make(map[string]bool, len(t.FPGAs))
+	for _, f := range t.FPGAs {
+		if f.Name == "" {
+			return fmt.Errorf("cluster: topology %q has an unnamed FPGA", t.Name)
+		}
+		if fpgaNames[f.Name] {
+			return fmt.Errorf("cluster: topology %q: duplicate FPGA %q", t.Name, f.Name)
+		}
+		fpgaNames[f.Name] = true
+	}
+	for _, l := range t.Links {
+		if !names[l.A] || !names[l.B] {
+			return fmt.Errorf("cluster: topology %q: link %s-%s names an unknown node", t.Name, l.A, l.B)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("cluster: topology %q: self-link on %s", t.Name, l.A)
+		}
+	}
+	return nil
+}
+
+// CoresOfArch sums the core counts of every node of the given class.
+func (t Topology) CoresOfArch(arch isa.Arch) int {
+	total := 0
+	for _, n := range t.Nodes {
+		if n.Arch == arch {
+			total += n.Cores
+		}
+	}
+	return total
+}
+
+// TotalCPUCores sums all CPU cores across the topology.
+func (t Topology) TotalCPUCores() int {
+	total := 0
+	for _, n := range t.Nodes {
+		total += n.Cores
+	}
+	return total
+}
+
+// machine materialises a NodeSpec, filling in the default cost model
+// for its architecture.
+func (n NodeSpec) machine() (Machine, error) {
+	cost := n.Cost
+	if cost == nil {
+		var err error
+		cost, err = isa.CostModelFor(n.Arch)
+		if err != nil {
+			return Machine{}, fmt.Errorf("cluster: node %q: %w", n.Name, err)
+		}
+	}
+	return Machine{Name: n.Name, Arch: n.Arch, Cores: n.Cores, Cost: cost}, nil
+}

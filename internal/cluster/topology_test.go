@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+	"xartrek/internal/simtime"
+)
+
+func TestPaperTopologyMatchesFixedTestbed(t *testing.T) {
+	c, err := FromTopology(simtime.New(), PaperTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The topology-built cluster must be indistinguishable from the
+	// historical fixed testbed New() returns.
+	if c.X86 == nil || c.X86.Name != "dell7920" || c.X86.Cores != 6 || c.X86.Arch != isa.X86_64 {
+		t.Fatalf("x86 host = %+v", c.X86)
+	}
+	if c.ARM == nil || c.ARM.Name != "thunderx" || c.ARM.Cores != 96 || c.ARM.Arch != isa.ARM64 {
+		t.Fatalf("arm node = %+v", c.ARM)
+	}
+	if c.TotalCores() != 102 {
+		t.Fatalf("total cores = %d, want 102", c.TotalCores())
+	}
+	if c.EthLink == nil {
+		t.Fatal("no host-ARM link")
+	}
+	want := popcorn.EthernetGbps1()
+	if c.Eth != want {
+		t.Fatalf("Eth = %+v, want %+v", c.Eth, want)
+	}
+	if got := c.Link(c.X86, c.ARM); got.PS != c.EthLink || got.Net != c.Eth {
+		t.Fatal("Link(x86, arm) is not the EthLink compatibility view")
+	}
+	if len(PaperTopology().FPGAs) != 1 {
+		t.Fatal("paper topology should carry one FPGA")
+	}
+}
+
+func TestScaleOutTopologyShape(t *testing.T) {
+	topo := ScaleOutTopology("rack32", 8, 24, 4)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(topo.Nodes); n != 32 {
+		t.Fatalf("nodes = %d, want 32", n)
+	}
+	if n := len(topo.FPGAs); n != 4 {
+		t.Fatalf("fpgas = %d, want 4", n)
+	}
+	if got := topo.CoresOfArch(isa.X86_64); got != 48 {
+		t.Fatalf("x86 cores = %d, want 48", got)
+	}
+	if got := topo.CoresOfArch(isa.ARM64); got != 24*96 {
+		t.Fatalf("arm cores = %d, want %d", got, 24*96)
+	}
+	c, err := FromTopology(simtime.New(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.NodesOfArch(isa.ARM64)) != 24 {
+		t.Fatalf("materialised ARM nodes = %d", len(c.NodesOfArch(isa.ARM64)))
+	}
+	// Node order and indices are stable.
+	for i, n := range c.Nodes {
+		if n.Index != i {
+			t.Fatalf("node %s has index %d at position %d", n.Name, n.Index, i)
+		}
+	}
+	// Every distinct pair has a link; both argument orders agree.
+	a, b := c.Nodes[3], c.Nodes[17]
+	if c.Link(a, b) == nil || c.Link(a, b) != c.Link(b, a) {
+		t.Fatal("pair links missing or order-dependent")
+	}
+}
+
+func TestTopologyValidateRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		want string
+	}{
+		{"empty", Topology{Name: "e"}, "no nodes"},
+		{"dup-node", Topology{Name: "d", Nodes: []NodeSpec{
+			{Name: "n", Arch: isa.X86_64, Cores: 1},
+			{Name: "n", Arch: isa.ARM64, Cores: 1},
+		}}, "duplicate node"},
+		{"no-x86", Topology{Name: "a", Nodes: []NodeSpec{
+			{Name: "n", Arch: isa.ARM64, Cores: 1},
+		}}, "no x86 node"},
+		{"zero-cores", Topology{Name: "z", Nodes: []NodeSpec{
+			{Name: "n", Arch: isa.X86_64, Cores: 0},
+		}}, "cores"},
+		{"bad-link", Topology{Name: "l",
+			Nodes: []NodeSpec{{Name: "n", Arch: isa.X86_64, Cores: 1}},
+			Links: []LinkSpec{{A: "n", B: "ghost"}},
+		}, "unknown node"},
+		{"dup-fpga", Topology{Name: "f",
+			Nodes: []NodeSpec{{Name: "n", Arch: isa.X86_64, Cores: 1}},
+			FPGAs: []FPGASpec{{Name: "u50"}, {Name: "u50"}},
+		}, "duplicate FPGA"},
+	}
+	for _, tc := range cases {
+		err := tc.topo.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLinkOverrideApplies(t *testing.T) {
+	fast := popcorn.NetModel{LatencyRTT: 10 * time.Microsecond, BandwidthBps: 1.25e9}
+	topo := Topology{
+		Name: "mixed",
+		Nodes: []NodeSpec{
+			{Name: "h", Arch: isa.X86_64, Cores: 6},
+			{Name: "a0", Arch: isa.ARM64, Cores: 96},
+			{Name: "a1", Arch: isa.ARM64, Cores: 96},
+		},
+		DefaultNet: popcorn.EthernetGbps1(),
+		Links:      []LinkSpec{{A: "a1", B: "h", Net: fast}},
+	}
+	c, err := FromTopology(simtime.New(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Link(c.Nodes[0], c.Nodes[2]).Net; got != fast {
+		t.Fatalf("override link = %+v, want %+v", got, fast)
+	}
+	if got := c.Link(c.Nodes[0], c.Nodes[1]).Net; got != popcorn.EthernetGbps1() {
+		t.Fatalf("default link = %+v", got)
+	}
+}
+
+func TestClassifyLoadScalesWithTopology(t *testing.T) {
+	c, err := FromTopology(simtime.New(), ScaleOutTopology("r", 2, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 x86 cores, 108 total.
+	if got := c.ClassifyLoad(11); got != LoadLow {
+		t.Fatalf("ClassifyLoad(11) = %v, want low", got)
+	}
+	if got := c.ClassifyLoad(108); got != LoadMedium {
+		t.Fatalf("ClassifyLoad(108) = %v, want medium", got)
+	}
+	if got := c.ClassifyLoad(109); got != LoadHigh {
+		t.Fatalf("ClassifyLoad(109) = %v, want high", got)
+	}
+}

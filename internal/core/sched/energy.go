@@ -38,12 +38,16 @@ type energyPolicy struct {
 // executable. Called with s.mu held.
 func (s *Server) decideEDP(rec threshold.Record, kernel string) Decision {
 	x86Load := s.load()
-	hwAvail := s.dev != nil && s.dev.HasKernel(kernel)
+	devIdx, hwAvail := s.findKernel(kernel)
+	armNode, armOK := s.pickARMNode()
 
 	ests := power.EstimateFromRecord(s.energy.model, rec, x86Load, s.energy.x86Cores)
 	viable := ests[:0:0]
 	for _, e := range ests {
 		if e.Target == threshold.TargetFPGA && !hwAvail {
+			continue
+		}
+		if e.Target == threshold.TargetARM && !armOK {
 			continue
 		}
 		viable = append(viable, e)
@@ -54,6 +58,12 @@ func (s *Server) decideEDP(rec threshold.Record, kernel string) Decision {
 	}
 
 	d := Decision{Target: best.Target}
+	switch d.Target {
+	case threshold.TargetARM:
+		d.ARMNode = armNode
+	case threshold.TargetFPGA:
+		d.Device = devIdx
+	}
 	if !hwAvail {
 		// The FPGA was excluded this round; configure it in the
 		// background so the EDP comparison includes it next time.

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"xartrek/internal/core/threshold"
+	"xartrek/internal/xclbin"
+)
+
+// Fleet is the generalized-topology view Algorithm 2's placement step
+// scores: the ARM-class CPU candidates for software migration and the
+// FPGA device fleet. The paper's Algorithm 2 picks among exactly three
+// targets (the x86 host, the ARM server, the FPGA); with a Fleet the
+// class decision is unchanged — thresholds against the host load — and
+// a deterministic placement step then selects the concrete node or
+// device inside the class:
+//
+//   - ARM class: the least-loaded candidate node, ties broken toward
+//     the lower identifier,
+//   - FPGA class: the lowest-indexed device that has the kernel
+//     resident; background reconfiguration targets the lowest-indexed
+//     idle device.
+//
+// On a single-ARM-node, single-device fleet both rules collapse to the
+// paper's fixed targets, so decisions are bit-identical to the
+// pre-fleet server.
+type Fleet struct {
+	// ARMNodes lists the identifiers of ARM-class nodes eligible for
+	// software migration, in deterministic (topology) order.
+	ARMNodes []int
+	// NodeLoad reports the resident process count of a node named in
+	// ARMNodes.
+	NodeLoad func(id int) int
+	// Devices lists the FPGA fleet in deterministic (topology) order.
+	// Entries must be non-nil.
+	Devices []Device
+}
+
+// NewFleetServer assembles a scheduler server over a generalized
+// topology. table is the threshold table from step G; load samples the
+// scheduler host's CPU load (the x86LOAD of Algorithm 2); images are
+// the step F XCLBINs consulted when a kernel must be configured.
+func NewFleetServer(table *threshold.Table, load LoadFunc, fleet Fleet, images []*xclbin.XCLBIN) *Server {
+	s := &Server{table: table, load: load, images: images, fleet: &fleet}
+	if len(fleet.Devices) > 0 {
+		s.dev = fleet.Devices[0]
+	}
+	return s
+}
+
+// devices returns the device fleet: the configured Fleet's list, or the
+// single NewServer device.
+func (s *Server) devices() []Device {
+	if s.fleet != nil {
+		return s.fleet.Devices
+	}
+	if s.dev == nil {
+		return nil
+	}
+	return []Device{s.dev}
+}
+
+// findKernel locates the lowest-indexed device with the kernel
+// resident ("Query Available HW Kernels" across the fleet).
+func (s *Server) findKernel(kernel string) (int, bool) {
+	for i, d := range s.devices() {
+		if d.HasKernel(kernel) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// pickARMNode selects the least-loaded ARM candidate, ties broken
+// toward the lower identifier. Without a fleet (the fixed testbed) the
+// single ARM server is node 0; with an empty candidate list it reports
+// false and the caller must not choose the ARM class.
+func (s *Server) pickARMNode() (int, bool) {
+	if s.fleet == nil {
+		return 0, true
+	}
+	if len(s.fleet.ARMNodes) == 0 {
+		return 0, false
+	}
+	best := s.fleet.ARMNodes[0]
+	if s.fleet.NodeLoad == nil {
+		return best, true
+	}
+	bestLoad := s.fleet.NodeLoad(best)
+	for _, id := range s.fleet.ARMNodes[1:] {
+		if l := s.fleet.NodeLoad(id); l < bestLoad {
+			best, bestLoad = id, l
+		}
+	}
+	return best, true
+}

@@ -14,14 +14,17 @@ import (
 type fakeDevice struct {
 	kernels       map[string]bool
 	reconfiguring bool
-	programs      []*xclbin.XCLBIN
-	programErr    error
+	// pending lists kernels an in-flight reconfiguration will deliver.
+	pending    map[string]bool
+	programs   []*xclbin.XCLBIN
+	programErr error
 }
 
 var _ Device = (*fakeDevice)(nil)
 
-func (d *fakeDevice) HasKernel(name string) bool { return d.kernels[name] }
-func (d *fakeDevice) Reconfiguring() bool        { return d.reconfiguring }
+func (d *fakeDevice) HasKernel(name string) bool     { return d.kernels[name] }
+func (d *fakeDevice) Reconfiguring() bool            { return d.reconfiguring }
+func (d *fakeDevice) KernelPending(name string) bool { return d.pending[name] }
 
 func (d *fakeDevice) Program(img *xclbin.XCLBIN, done func()) error {
 	if d.programErr != nil {

@@ -121,6 +121,21 @@ func (t *Table) Records() []Record {
 // Len reports the number of rows.
 func (t *Table) Len() int { return len(t.order) }
 
+// Clone deep-copies the table. Every experiment platform clones the
+// shared step G table so Algorithm 1's dynamic updates inside one
+// experiment never leak into the next.
+func (t *Table) Clone() *Table {
+	out := NewTable()
+	for _, r := range t.Records() {
+		// Records returns copies in insertion order; re-adding onto a
+		// fresh table cannot collide.
+		if err := out.Add(r); err != nil {
+			panic("threshold: clone: " + err.Error())
+		}
+	}
+	return out
+}
+
 // Update applies Algorithm 1 after one function invocation finished on
 // the given target with the observed execution time, under the given
 // x86 CPU load. It returns the updated record.

@@ -3,12 +3,12 @@ package exper
 import (
 	"time"
 
+	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
+	"xartrek/internal/isa"
+	"xartrek/internal/simtime"
 	"xartrek/internal/xclbin"
 	"xartrek/internal/xrt"
-
-	"xartrek/internal/cluster"
-	"xartrek/internal/simtime"
 )
 
 // Options disable individual Xar-Trek design decisions for the
@@ -32,43 +32,107 @@ type Options struct {
 	StaticThresholds bool
 }
 
-// NewPlatformOpts is NewPlatform with ablation options.
+// NewPlatformOpts is NewPlatform with ablation options on the paper
+// testbed.
 func NewPlatformOpts(arts *Artifacts, opts Options) *Platform {
-	sim := simtime.New()
-	c := cluster.New(sim)
-	var dev *xrt.Device
-	if arts.Compile != nil {
-		dev = xrt.OpenDevice(sim, arts.Compile.Platform, xrt.PCIeGen3x16())
+	p, err := NewPlatformTopo(arts, cluster.PaperTopology(), opts)
+	if err != nil {
+		// PaperTopology is statically valid.
+		panic("exper: paper topology: " + err.Error())
 	}
-	table := cloneTable(arts.Table)
+	return p
+}
+
+// NewPlatformTopo materialises an arbitrary cluster topology as an
+// experiment platform: one run queue per CPU node, one xrt device per
+// FPGA card, a per-pair link fleet, and a scheduler server whose
+// Algorithm 2 placement scores over all of them (least-loaded ARM
+// node, lowest-indexed device with the kernel). Under
+// cluster.PaperTopology() the platform reproduces the fixed paper
+// testbed bit-identically.
+func NewPlatformTopo(arts *Artifacts, topo cluster.Topology, opts Options) (*Platform, error) {
+	sim := simtime.New()
+	c, err := cluster.FromTopology(sim, topo)
+	if err != nil {
+		return nil, err
+	}
+	var devs []*xrt.Device
+	if arts.Compile != nil {
+		for range topo.FPGAs {
+			devs = append(devs, xrt.OpenDevice(sim, arts.Compile.Platform, xrt.PCIeGen3x16()))
+		}
+	}
+	table := arts.Table.Clone()
 	var images []*xclbin.XCLBIN
 	if arts.Compile != nil {
 		images = arts.Compile.Images
 	}
-	var sdev sched.Device
-	if dev != nil {
-		sdev = dev
+	p := &Platform{Sim: sim, Cluster: c, Devices: devs, arts: arts, opts: opts}
+	p.deciding = make([]int, len(c.Nodes))
+	if len(devs) > 0 {
+		p.Device = devs[0]
 	}
-	p := &Platform{Sim: sim, Cluster: c, Device: dev, arts: arts, opts: opts}
 	if opts.X86FIFO {
 		p.fifo = &fifoGate{p: p, slots: c.X86.Cores}
 	}
-	p.Server = sched.NewServer(table, p.x86Load, sdev, images)
-	return p
+	fleet := sched.Fleet{
+		NodeLoad: func(id int) int { return c.Nodes[id].Load() },
+	}
+	for _, n := range c.NodesOfArch(isa.ARM64) {
+		fleet.ARMNodes = append(fleet.ARMNodes, n.Index)
+	}
+	for _, d := range devs {
+		fleet.Devices = append(fleet.Devices, d)
+	}
+	// One scheduler server per x86 node, each sampling its own node's
+	// load, all sharing the cloned threshold table and the device
+	// fleet. The host's instance is the paper's single server.
+	p.servers = make([]*sched.Server, len(c.Nodes))
+	for _, n := range c.NodesOfArch(isa.X86_64) {
+		node := n
+		p.servers[node.Index] = sched.NewFleetServer(table, func() int { return p.nodeLoad(node) }, fleet, images)
+	}
+	p.Server = p.servers[c.X86.Index]
+	return p, nil
 }
 
-// x86Load samples the paper's process-count metric: processes in the
-// x86 run queue, plus any queued behind FIFO cores, plus processes
-// blocked on a scheduling decision.
-func (p *Platform) x86Load() int {
-	load := p.Cluster.X86.Load() + p.deciding
-	if p.fifo != nil {
+// nodeLoad samples the paper's process-count metric on one x86 node:
+// processes in its run queue, plus any queued behind FIFO cores (host
+// only), plus processes blocked on a scheduling decision there.
+func (p *Platform) nodeLoad(n *cluster.Node) int {
+	load := n.Load() + p.deciding[n.Index]
+	if p.fifo != nil && n == p.Cluster.X86 {
 		load += len(p.fifo.queue)
 	}
 	return load
 }
 
-// x86Exec routes x86 compute through the configured CPU model.
+// x86Load samples the scheduler host's load (the x86LOAD of
+// Algorithm 2 on the paper testbed).
+func (p *Platform) x86Load() int { return p.nodeLoad(p.Cluster.X86) }
+
+// serverFor returns the scheduler server of an entry node, falling
+// back to the host's instance.
+func (p *Platform) serverFor(entry *cluster.Node) *sched.Server {
+	if entry != nil && entry.Index < len(p.servers) && p.servers[entry.Index] != nil {
+		return p.servers[entry.Index]
+	}
+	return p.Server
+}
+
+// entryExec routes one process's x86-class compute onto its entry
+// node. The FIFO-core ablation gates the scheduler host only (the
+// paper testbed's single x86 server).
+func (p *Platform) entryExec(entry *cluster.Node, work time.Duration, done func()) {
+	if entry == nil || entry == p.Cluster.X86 {
+		p.x86Exec(work, done)
+		return
+	}
+	entry.Exec(work, done)
+}
+
+// x86Exec routes scheduler-host compute through the configured CPU
+// model.
 func (p *Platform) x86Exec(work time.Duration, done func()) {
 	if p.fifo != nil {
 		p.fifo.exec(work, done)

@@ -1,0 +1,74 @@
+package exper
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/core/threshold"
+)
+
+// The generalized topology scheduler must reproduce the fixed-testbed
+// scheduler bit-for-bit under cluster.PaperTopology(). The constants
+// below were captured from the pre-generalization engine (PR 1 state,
+// commit f142378) and pin both the sweep averages and the individual
+// scheduling decisions.
+
+func TestPaperTopologySweepMatchesPreRefactorEngine(t *testing.T) {
+	arts := testArtifacts(t)
+	pts, err := RunFixedLoadSweep(arts, []int{2, 5}, DefaultModes(), 20, 2, 2021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FixedLoadPoint{
+		{SetSize: 2, Mode: ModeXarTrek, Average: 4386329187},
+		{SetSize: 2, Mode: ModeVanillaX86, Average: 4821124963},
+		{SetSize: 2, Mode: ModeVanillaFPGA, Average: 3955373762},
+		{SetSize: 2, Mode: ModeVanillaARM, Average: 4701167275},
+		{SetSize: 5, Mode: ModeXarTrek, Average: 4783755335},
+		{SetSize: 5, Mode: ModeVanillaX86, Average: 5250233312},
+		{SetSize: 5, Mode: ModeVanillaFPGA, Average: 2855692547},
+		{SetSize: 5, Mode: ModeVanillaARM, Average: 5060266399},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %d, want %d", len(pts), len(want))
+	}
+	for i, w := range want {
+		if pts[i] != w {
+			t.Fatalf("point %d = %+v, want %+v (pre-refactor pin)", i, pts[i], w)
+		}
+	}
+}
+
+func TestPaperTopologyDecisionsMatchPreRefactorEngine(t *testing.T) {
+	arts := testArtifacts(t)
+	set := RandomSet(newTestRNG(1), arts.Apps, 5)
+	r, err := RunSet(arts, set, ModeXarTrek, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Average, time.Duration(3378062094); got != want {
+		t.Fatalf("average = %d, want %d (pre-refactor pin)", got, want)
+	}
+	// Completion order, per-run target and elapsed time, all pinned.
+	want := []struct {
+		app     string
+		target  threshold.Target
+		elapsed time.Duration
+	}{
+		{"FaceDet320", threshold.TargetARM, 621276129},
+		{"FaceDet320", threshold.TargetARM, 621276129},
+		{"FaceDet640", threshold.TargetARM, 3040843448},
+		{"FaceDet640", threshold.TargetARM, 3040843448},
+		{"Digit2000", threshold.TargetARM, 9566071320},
+	}
+	if len(r.Runs) != len(want) {
+		t.Fatalf("runs = %d, want %d", len(r.Runs), len(want))
+	}
+	for i, w := range want {
+		run := r.Runs[i]
+		if run.App != w.app || run.Target != w.target || run.Elapsed() != w.elapsed {
+			t.Fatalf("run %d = %s on %v in %d, want %s on %v in %d",
+				i, run.App, run.Target, run.Elapsed(), w.app, w.target, w.elapsed)
+		}
+	}
+}

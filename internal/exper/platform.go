@@ -1,8 +1,10 @@
-// Package exper is the experiment engine: it assembles the paper's
-// evaluation platform (Section 4's Dell 7920 + ThunderX + Alveo U50 on
-// the discrete-event simulator), runs application processes under
-// Xar-Trek or the no-migration baselines, and reproduces every table
-// and figure of the evaluation.
+// Package exper is the experiment engine: it materialises a cluster
+// topology (the paper's Section 4 testbed by default, arbitrary
+// N-node/M-FPGA topologies via NewPlatformTopo) on the discrete-event
+// simulator, runs application processes under Xar-Trek or the
+// no-migration baselines, reproduces every table and figure of the
+// paper's evaluation, and drives open-loop serving campaigns against
+// scaled-out clusters (RunServingSweep).
 package exper
 
 import (
@@ -16,6 +18,7 @@ import (
 	"xartrek/internal/core/sched"
 	"xartrek/internal/core/threshold"
 	"xartrek/internal/hls"
+	"xartrek/internal/isa"
 	"xartrek/internal/simtime"
 	"xartrek/internal/workloads"
 	"xartrek/internal/xrt"
@@ -101,41 +104,41 @@ func BuildArtifacts(apps []*workloads.App) (*Artifacts, error) {
 	return &Artifacts{Apps: apps, Compile: res, Table: table}, nil
 }
 
-// cloneTable deep-copies the threshold table so Algorithm 1's dynamic
-// updates inside one experiment never leak into the next.
-func cloneTable(t *threshold.Table) *threshold.Table {
-	out := threshold.NewTable()
-	for _, r := range t.Records() {
-		// Add copies; error impossible on a fresh table.
-		if err := out.Add(r); err != nil {
-			panic("exper: clone table: " + err.Error())
-		}
-	}
-	return out
-}
-
 // Platform is one experiment's virtual testbed: fresh simulator,
-// cluster, device and scheduler over shared artifacts.
+// materialised topology, device fleet and scheduler over shared
+// artifacts.
 type Platform struct {
 	Sim     *simtime.Simulator
 	Cluster *cluster.Cluster
-	Device  *xrt.Device
-	Server  *sched.Server
-	arts    *Artifacts
+	// Devices is the FPGA fleet in topology order (empty when the
+	// artifact set has no hardware kernels or the topology no cards).
+	Devices []*xrt.Device
+	// Device is the first card — the single-device view the fixed
+	// paper testbed exposes; nil when Devices is empty.
+	Device *xrt.Device
+	// Server is the scheduler host's server — the paper's single
+	// scheduler. Under entry balancing every x86 node runs its own
+	// instance (see servers); all share one threshold table.
+	Server *sched.Server
+	arts   *Artifacts
 
+	// servers holds one scheduler server per cluster node index (nil
+	// for non-x86 nodes); servers[X86.Index] == Server.
+	servers []*sched.Server
 	// traceHook, when set, receives per-kernel-completion notes
 	// (debugging aid for experiment development).
 	traceHook func(string)
-	// deciding counts processes currently blocked on a scheduling
-	// request; they are resident on x86 and count toward x86LOAD.
-	deciding int
+	// deciding counts, per node index, the processes currently blocked
+	// on a scheduling request; they are resident on their entry node
+	// and count toward its load.
+	deciding []int
 	// opts carries the ablation switches (zero value = full system).
 	opts Options
 	// fifo is the FIFO-core admission gate of the X86FIFO ablation.
 	fifo *fifoGate
 }
 
-// NewPlatform instantiates the testbed for one experiment run.
+// NewPlatform instantiates the paper testbed for one experiment run.
 func NewPlatform(arts *Artifacts) *Platform {
 	return NewPlatformOpts(arts, Options{})
 }
@@ -144,9 +147,15 @@ func NewPlatform(arts *Artifacts) *Platform {
 // the xarbench tool to narrate experiments).
 func (p *Platform) Summary() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "x86: %d cores, ARM: %d cores", p.Cluster.X86.Cores, p.Cluster.ARM.Cores)
-	if p.Device != nil {
-		fmt.Fprintf(&sb, ", FPGA: %s", p.Device.Platform().Name)
+	fmt.Fprintf(&sb, "topology %s:", p.Cluster.Topo.Name)
+	x86 := p.Cluster.NodesOfArch(isa.X86_64)
+	arm := p.Cluster.NodesOfArch(isa.ARM64)
+	fmt.Fprintf(&sb, " x86: %d node(s), %d cores", len(x86), p.Cluster.Topo.CoresOfArch(isa.X86_64))
+	if len(arm) > 0 {
+		fmt.Fprintf(&sb, ", ARM: %d node(s), %d cores", len(arm), p.Cluster.Topo.CoresOfArch(isa.ARM64))
+	}
+	if len(p.Devices) > 0 {
+		fmt.Fprintf(&sb, ", FPGA: %d x %s", len(p.Devices), p.Devices[0].Platform().Name)
 	}
 	return sb.String()
 }

@@ -3,7 +3,9 @@ package exper
 import (
 	"time"
 
+	"xartrek/internal/cluster"
 	"xartrek/internal/core/threshold"
+	"xartrek/internal/isa"
 	"xartrek/internal/workloads"
 	"xartrek/internal/xclbin"
 )
@@ -16,65 +18,90 @@ type RunResult struct {
 	End   time.Duration
 	// Target is where the selected function executed.
 	Target threshold.Target
+	// Entry is the index of the x86 node the process entered on (0,
+	// the scheduler host, except under entry balancing).
+	Entry int
 }
 
 // Elapsed is the run's total execution time.
 func (r RunResult) Elapsed() time.Duration { return r.End - r.Start }
 
-// LaunchApp schedules one application instance at virtual time `at`.
-// The lifecycle mirrors the instrumented binary:
+// LaunchApp schedules one application instance at virtual time `at` on
+// the scheduler host — the paper's setup, where every process starts on
+// the single x86 server. The lifecycle mirrors the instrumented binary:
 //
-//  1. main starts on the x86 host; under Xar-Trek the inserted
+//  1. main starts on the entry x86 node; under Xar-Trek the inserted
 //     __xar_fpga_preconfig call kicks off XCLBIN download so the
 //     kernel is ready without waiting (Section 3.1),
-//  2. the non-kernel part runs on x86 under processor sharing,
+//  2. the non-kernel part runs on the entry node under processor
+//     sharing,
 //  3. at the selected function's call site the dispatch wrapper
-//     consults the scheduler (Xar-Trek) or uses the mode's fixed
-//     target (baselines),
+//     consults the entry node's scheduler (Xar-Trek) or uses the
+//     mode's fixed target (baselines),
 //  4. on return, the scheduler client reports the observed execution
 //     time, driving Algorithm 1's dynamic threshold update.
 //
 // done may be nil.
 func (p *Platform) LaunchApp(app *workloads.App, mode Mode, at time.Duration, done func(RunResult)) {
+	p.LaunchAppOn(p.Cluster.X86, app, mode, at, done)
+}
+
+// LaunchAppOn is LaunchApp with an explicit entry node — the x86-class
+// node the process starts on. Cluster-scale serving campaigns balance
+// arrivals across entry nodes; each entry node runs its own scheduler
+// server instance sampling its own load, all sharing one threshold
+// table (Algorithm 1 updates are platform-wide, as if the servers
+// gossiped the table).
+func (p *Platform) LaunchAppOn(entry *cluster.Node, app *workloads.App, mode Mode, at time.Duration, done func(RunResult)) {
 	p.Sim.At(at, func() {
 		start := p.Sim.Now()
 		if mode == ModeXarTrek && !p.opts.NoPreconfig {
 			p.preconfigure(app)
 		}
 		finish := func(target threshold.Target) {
-			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target}
+			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target, Entry: entry.Index}
 			if mode == ModeXarTrek && app.Migratable && !p.opts.StaticThresholds {
 				// __xar_sched_fini: report the run so Algorithm 1
 				// refines the thresholds. Errors mean the app has no
 				// threshold row (background load); ignore per the
 				// paper's design (MG-B is not instrumented).
-				_, _ = p.Server.Report(app.Name, target, res.Elapsed())
+				_, _ = p.serverFor(entry).Report(app.Name, target, res.Elapsed())
 			}
 			if done != nil {
 				done(res)
 			}
 		}
-		p.runPrologue(app, func() {
-			p.runKernel(app, mode, finish)
+		p.runPrologue(entry, app, func() {
+			p.runKernel(entry, app, mode, finish)
 		})
 	})
 }
 
 // preconfigure starts downloading the image that carries the app's
-// kernel, unless it is already resident or a download is in flight.
+// kernel onto the lowest-indexed idle device, unless the kernel is
+// already resident — or already being downloaded — somewhere in the
+// fleet.
 func (p *Platform) preconfigure(app *workloads.App) {
-	if p.Device == nil || !app.HWCapable {
+	if len(p.Devices) == 0 || !app.HWCapable {
 		return
 	}
-	if p.Device.HasKernel(app.KernelName) || p.Device.Reconfiguring() {
-		return
+	for _, dev := range p.Devices {
+		if dev.HasKernel(app.KernelName) || dev.KernelPending(app.KernelName) {
+			return
+		}
 	}
 	img, ok := p.images(app)
 	if !ok {
 		return
 	}
-	// Ignore a losing race with another process's preconfigure.
-	_ = p.Device.Program(img, nil)
+	for _, dev := range p.Devices {
+		if dev.Reconfiguring() {
+			continue
+		}
+		// Ignore a losing race with another process's preconfigure.
+		_ = dev.Program(img, nil)
+		return
+	}
 }
 
 // images locates the XCLBIN holding the app's kernel.
@@ -85,17 +112,17 @@ func (p *Platform) images(app *workloads.App) (*xclbin.XCLBIN, bool) {
 	return p.arts.Compile.ImageFor(app.KernelName)
 }
 
-// runPrologue executes the app's non-kernel part on the x86 pool.
-func (p *Platform) runPrologue(app *workloads.App, then func()) {
+// runPrologue executes the app's non-kernel part on the entry node.
+func (p *Platform) runPrologue(entry *cluster.Node, app *workloads.App, then func()) {
 	if app.NonKernel <= 0 {
 		then()
 		return
 	}
-	p.x86Exec(app.NonKernel, then)
+	p.entryExec(entry, app.NonKernel, then)
 }
 
 // runKernel executes the selected function once on the mode's target.
-func (p *Platform) runKernel(app *workloads.App, mode Mode, finish func(threshold.Target)) {
+func (p *Platform) runKernel(entry *cluster.Node, app *workloads.App, mode Mode, finish func(threshold.Target)) {
 	if p.traceHook != nil {
 		inner := finish
 		finish = func(t threshold.Target) {
@@ -105,33 +132,82 @@ func (p *Platform) runKernel(app *workloads.App, mode Mode, finish func(threshol
 	}
 	switch mode {
 	case ModeVanillaX86:
-		p.execX86(app, finish)
+		p.execX86(entry, app, finish)
 	case ModeVanillaARM:
 		p.execVanillaARM(app, finish)
 	case ModeVanillaFPGA:
-		p.execVanillaFPGA(app, finish)
+		p.execVanillaFPGA(entry, app, finish)
 	case ModeXarTrek:
-		p.execXarTrek(app, finish)
+		p.execXarTrek(entry, app, finish)
 	default:
-		p.execX86(app, finish)
+		p.execX86(entry, app, finish)
 	}
 }
 
-// execX86 runs the kernel on the x86 host's CPU model.
-func (p *Platform) execX86(app *workloads.App, finish func(threshold.Target)) {
-	p.x86Exec(app.X86KernelTime(), func() { finish(threshold.TargetX86) })
+// execX86 runs the kernel on the entry node's CPU model.
+func (p *Platform) execX86(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+	p.entryExec(entry, app.X86KernelTime(), func() { finish(threshold.TargetX86) })
 }
 
-// execARM performs software migration: Popcorn state transformation,
-// DSM working-set transfer over the shared Ethernet, then the kernel
-// on the ThunderX pool with its DSM fault traffic occupying the link
-// concurrently. The x86 process has left the host pool, so x86LOAD
-// drops — exactly the relief the paper exploits. With many migrated
-// pointer-chasing instances the 1 Gbps link serialises and ARM
-// migration stops paying off (Section 4.4's profitability cliff).
-func (p *Platform) execARM(app *workloads.App, finish func(threshold.Target)) {
+// armNode resolves a fleet node identifier to its cluster node,
+// falling back to the first ARM server for out-of-range ids.
+func (p *Platform) armNode(id int) *cluster.Node {
+	if id >= 0 && id < len(p.Cluster.Nodes) {
+		if n := p.Cluster.Nodes[id]; n.Arch == isa.ARM64 {
+			return n
+		}
+	}
+	return p.Cluster.ARM
+}
+
+// leastLoadedX86 picks the entry node the serving front end assigns an
+// arriving request to: least loaded (including processes blocked on a
+// decision, plus any same-instant placements the caller counts in
+// extra), ties toward the lower index. extra may be nil.
+func (p *Platform) leastLoadedX86(extra []int) *cluster.Node {
+	var best *cluster.Node
+	bestLoad := 0
+	for _, n := range p.Cluster.NodesOfArch(isa.X86_64) {
+		l := p.nodeLoad(n)
+		if extra != nil {
+			l += extra[n.Index]
+		}
+		if best == nil || l < bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	return best
+}
+
+// leastLoadedARM picks the ARM node the no-scheduler baselines land
+// on: least loaded, ties toward the lower index — the same rule the
+// fleet scheduler applies, so baselines scale with the topology too.
+func (p *Platform) leastLoadedARM() *cluster.Node {
+	var best *cluster.Node
+	for _, n := range p.Cluster.NodesOfArch(isa.ARM64) {
+		if best == nil || n.Load() < best.Load() {
+			best = n
+		}
+	}
+	return best
+}
+
+// execARM performs software migration from the entry node onto the
+// given ARM node: Popcorn state transformation, DSM working-set
+// transfer over the pair's link, then the kernel on the node's pool
+// with its DSM fault traffic occupying the link concurrently. The
+// process has left the entry pool, so that node's load drops — exactly
+// the relief the paper exploits. With many migrated pointer-chasing
+// instances a 1 Gbps link serialises and ARM migration stops paying
+// off (Section 4.4's profitability cliff).
+func (p *Platform) execARM(entry *cluster.Node, app *workloads.App, node *cluster.Node, finish func(threshold.Target)) {
+	if node == nil {
+		p.execX86(entry, app, finish)
+		return
+	}
+	link := p.Cluster.Link(entry, node)
 	p.Sim.After(app.StateTransformTime(), func() {
-		p.Cluster.EthLink.Submit(p.Cluster.Eth.TransferTime(app.WorkingSetBytes), func() {
+		link.Submit(link.Net.TransferTime(app.WorkingSetBytes), func() {
 			pending := 2
 			part := func(threshold.Target) {
 				pending--
@@ -139,9 +215,9 @@ func (p *Platform) execARM(app *workloads.App, finish func(threshold.Target)) {
 					finish(threshold.TargetARM)
 				}
 			}
-			p.Cluster.ARM.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
+			node.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
 			if dsm := app.DSMLinkWork(); dsm > 0 {
-				p.Cluster.EthLink.Submit(dsm, func() { part(threshold.TargetARM) })
+				link.Submit(dsm, func() { part(threshold.TargetARM) })
 			} else {
 				part(threshold.TargetARM)
 			}
@@ -150,23 +226,33 @@ func (p *Platform) execARM(app *workloads.App, finish func(threshold.Target)) {
 }
 
 // execVanillaARM models the Vanilla Linux/ARM baseline: the entire
-// application runs on the ARM server (no x86 involvement beyond the
+// application runs on an ARM server (no x86 involvement beyond the
 // already-executed prologue, which the baseline also pays on ARM's
 // slower cores — approximated by the kernel-derived slowdown ratio).
+// Topologies without ARM nodes fall back to the scheduler host.
 func (p *Platform) execVanillaARM(app *workloads.App, finish func(threshold.Target)) {
-	p.Cluster.ARM.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
+	node := p.leastLoadedARM()
+	if node == nil {
+		p.execX86(p.Cluster.X86, app, finish)
+		return
+	}
+	node.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
 }
 
 // execFPGAInvoke performs one hardware invocation on a device that
-// already has the kernel: host-side OpenCL setup on x86, then PCIe in,
-// pipeline, PCIe out.
-func (p *Platform) execFPGAInvoke(app *workloads.App, finish func(threshold.Target)) {
-	p.x86Exec(app.FPGAFixedOverhead, func() {
-		p.Device.Invoke(app.KernelName, app.Trips, app.BytesIn, app.BytesOut, func(err error) {
+// already has the kernel: host-side OpenCL setup on the entry node,
+// then PCIe in, pipeline, PCIe out.
+func (p *Platform) execFPGAInvoke(entry *cluster.Node, app *workloads.App, devIdx int, finish func(threshold.Target)) {
+	if devIdx < 0 || devIdx >= len(p.Devices) {
+		devIdx = 0
+	}
+	dev := p.Devices[devIdx]
+	p.entryExec(entry, app.FPGAFixedOverhead, func() {
+		dev.Invoke(app.KernelName, app.Trips, app.BytesIn, app.BytesOut, func(err error) {
 			if err != nil {
 				// Kernel vanished (reconfiguration race): fall back
-				// to x86, as the real runtime would.
-				p.execX86(app, finish)
+				// to the CPU, as the real runtime would.
+				p.execX86(entry, app, finish)
 				return
 			}
 			finish(threshold.TargetFPGA)
@@ -178,50 +264,67 @@ func (p *Platform) execFPGAInvoke(app *workloads.App, finish func(threshold.Targ
 // traditional flow configures the FPGA when the accelerated call first
 // needs it, so invocations wait for any in-flight or required
 // configuration. The retry poll stands in for blocking on the OpenCL
-// context.
-func (p *Platform) execVanillaFPGA(app *workloads.App, finish func(threshold.Target)) {
-	if p.Device == nil || !app.HWCapable {
-		p.execX86(app, finish)
+// context. With a device fleet the invocation uses the lowest-indexed
+// card carrying the kernel and configures the lowest-indexed idle card
+// otherwise.
+func (p *Platform) execVanillaFPGA(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+	if len(p.Devices) == 0 || !app.HWCapable {
+		p.execX86(entry, app, finish)
 		return
 	}
 	const retry = 10 * time.Millisecond
 	var attempt func()
 	attempt = func() {
-		if p.Device.HasKernel(app.KernelName) {
-			p.execFPGAInvoke(app, finish)
-			return
+		for i, dev := range p.Devices {
+			if dev.HasKernel(app.KernelName) {
+				p.execFPGAInvoke(entry, app, i, finish)
+				return
+			}
 		}
-		if p.Device.Reconfiguring() {
-			p.Sim.After(retry, attempt)
-			return
+		for _, dev := range p.Devices {
+			// A download that will deliver this kernel is already in
+			// flight on some card: wait for it instead of duplicating
+			// the image onto another card.
+			if dev.KernelPending(app.KernelName) {
+				p.Sim.After(retry, attempt)
+				return
+			}
 		}
 		img, ok := p.images(app)
 		if !ok {
-			p.execX86(app, finish)
+			p.execX86(entry, app, finish)
 			return
 		}
-		if err := p.Device.Program(img, attempt); err != nil {
-			p.Sim.After(retry, attempt)
+		for _, dev := range p.Devices {
+			if dev.Reconfiguring() {
+				continue
+			}
+			if err := dev.Program(img, attempt); err == nil {
+				return
+			}
 		}
+		// Every card is reconfiguring (or rejected the program):
+		// poll, standing in for blocking on the OpenCL context.
+		p.Sim.After(retry, attempt)
 	}
 	attempt()
 }
 
-// execXarTrek consults the scheduler server (Algorithm 2) and runs the
-// kernel on the decided target.
-func (p *Platform) execXarTrek(app *workloads.App, finish func(threshold.Target)) {
+// execXarTrek consults the entry node's scheduler server (Algorithm 2)
+// and runs the kernel on the decided target and placement.
+func (p *Platform) execXarTrek(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
 	if !app.Migratable {
-		p.execX86(app, finish)
+		p.execX86(entry, app, finish)
 		return
 	}
-	// The requesting process is itself resident on the x86 host while
-	// it waits for the decision; x86LOAD counts it (the paper's load
-	// metric counts processes, not runnable jobs).
-	p.deciding++
-	d, err := p.Server.Decide(app.Name, app.KernelName)
-	p.deciding--
+	// The requesting process is itself resident on its entry node
+	// while it waits for the decision; that node's load counts it (the
+	// paper's load metric counts processes, not runnable jobs).
+	p.deciding[entry.Index]++
+	d, err := p.serverFor(entry).Decide(app.Name, app.KernelName)
+	p.deciding[entry.Index]--
 	if err != nil {
-		p.execX86(app, finish)
+		p.execX86(entry, app, finish)
 		return
 	}
 	if p.opts.BlockOnReconfig && d.ReconfigStarted {
@@ -229,15 +332,15 @@ func (p *Platform) execXarTrek(app *workloads.App, finish func(threshold.Target)
 		// on a CPU (Algorithm 2 lines 9-18), the process blocks until
 		// the kernel is resident and then runs in hardware — the
 		// traditional accelerator flow's behaviour.
-		p.execVanillaFPGA(app, finish)
+		p.execVanillaFPGA(entry, app, finish)
 		return
 	}
 	switch d.Target {
 	case threshold.TargetARM:
-		p.execARM(app, finish)
+		p.execARM(entry, app, p.armNode(d.ARMNode), finish)
 	case threshold.TargetFPGA:
-		p.execFPGAInvoke(app, finish)
+		p.execFPGAInvoke(entry, app, d.Device, finish)
 	default:
-		p.execX86(app, finish)
+		p.execX86(entry, app, finish)
 	}
 }

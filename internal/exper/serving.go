@@ -1,0 +1,195 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/par"
+	"xartrek/internal/workloads"
+)
+
+// ServingConfig describes one open-loop serving run: a topology under
+// a request stream whose arrivals do not wait for completions —
+// the regime of a middleware fleet multiplexing many independent
+// clients. Arrivals are Poisson at RatePerSec (drawn deterministically
+// from Seed) or, when Trace is non-empty, replayed from an explicit
+// arrival-offset trace.
+type ServingConfig struct {
+	// Name labels the run in reports; empty defaults to the topology
+	// name.
+	Name string
+	Topo cluster.Topology
+	Mode Mode
+	// RatePerSec is the mean Poisson arrival rate (requests/second).
+	// Ignored when Trace is set.
+	RatePerSec float64
+	// Duration is the injection window and the measurement horizon:
+	// arrivals are issued over [0, Duration) and only requests that
+	// complete by Duration count.
+	Duration time.Duration
+	// Seed drives the arrival process and the per-request application
+	// draw; fixed seeds make runs byte-identical.
+	Seed int64
+	// Trace, when non-empty, lists explicit arrival offsets from time
+	// zero (trace-driven mode). Offsets at or past Duration are
+	// dropped; negative offsets are invalid.
+	Trace []time.Duration
+	// Opts carries the ablation switches.
+	Opts Options
+}
+
+// ServingResult is one serving run's report: offered vs completed
+// requests, throughput over the horizon, and the completion-latency
+// distribution.
+type ServingResult struct {
+	Name       string
+	Mode       Mode
+	RatePerSec float64
+	// Offered is the number of requests injected.
+	Offered int
+	// Completed is the number that finished within the horizon.
+	Completed int
+	// ThroughputPerSec is Completed divided by the horizon.
+	ThroughputPerSec float64
+	// P50, P95 and P99 are completion-latency percentiles
+	// (nearest-rank over completed requests; zero when none completed).
+	P50, P95, P99 time.Duration
+	// MeanHostLoad is the scheduler host's average multiprogramming
+	// level over the horizon — the x86LOAD the thresholds react to.
+	MeanHostLoad float64
+}
+
+// arrival is one pre-drawn request: when it enters and what it runs.
+type arrival struct {
+	at  time.Duration
+	app *workloads.App
+}
+
+// arrivals pre-draws the whole request stream so the simulation's
+// outcome is a pure function of the config, independent of execution
+// order.
+func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("exper: serving %q: non-positive duration %v", cfg.Name, cfg.Duration)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("exper: serving %q: empty application pool", cfg.Name)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []arrival
+	if len(cfg.Trace) > 0 {
+		for _, at := range cfg.Trace {
+			if at < 0 {
+				return nil, fmt.Errorf("exper: serving %q: negative trace offset %v", cfg.Name, at)
+			}
+			if at >= cfg.Duration {
+				continue
+			}
+			out = append(out, arrival{at: at, app: pool[rng.Intn(len(pool))]})
+		}
+		return out, nil
+	}
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("exper: serving %q: non-positive rate %v", cfg.Name, cfg.RatePerSec)
+	}
+	var t time.Duration
+	for {
+		gap := rng.ExpFloat64() / cfg.RatePerSec
+		t += time.Duration(gap * float64(time.Second))
+		if t >= cfg.Duration {
+			return out, nil
+		}
+		out = append(out, arrival{at: t, app: pool[rng.Intn(len(pool))]})
+	}
+}
+
+// RunServing executes one open-loop serving run.
+func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
+	if cfg.Name == "" {
+		cfg.Name = cfg.Topo.Name
+	}
+	reqs, err := cfg.arrivals(arts.Apps)
+	if err != nil {
+		return ServingResult{}, err
+	}
+	p, err := NewPlatformTopo(arts, cfg.Topo, cfg.Opts)
+	if err != nil {
+		return ServingResult{}, err
+	}
+	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Offered: len(reqs)}
+	var latencies []time.Duration
+	// A request placed on a node becomes visible in the node's run
+	// queue only when its launch event executes, which is after every
+	// arrival event of the same instant. assigned tracks same-instant
+	// placements so a burst of simultaneous arrivals spreads across
+	// the fleet instead of piling onto one node.
+	assigned := make([]int, len(p.Cluster.Nodes))
+	assignedAt := time.Duration(-1)
+	for _, r := range reqs {
+		req := r
+		// Entry balancing: the front end places each arriving request
+		// on the least-loaded x86 node at its arrival instant (ties
+		// toward the lower index — deterministic), the request-serving
+		// analogue of RDA's client multiplexing over a server fleet.
+		p.Sim.At(req.at, func() {
+			if now := p.Sim.Now(); now != assignedAt {
+				assignedAt = now
+				for i := range assigned {
+					assigned[i] = 0
+				}
+			}
+			entry := p.leastLoadedX86(assigned)
+			assigned[entry.Index]++
+			p.LaunchAppOn(entry, req.app, cfg.Mode, p.Sim.Now(), func(run RunResult) {
+				latencies = append(latencies, run.Elapsed())
+			})
+		})
+	}
+	p.RunFor(cfg.Duration)
+	res.Completed = len(latencies)
+	res.ThroughputPerSec = float64(res.Completed) / cfg.Duration.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = percentile(latencies, 50)
+	res.P95 = percentile(latencies, 95)
+	res.P99 = percentile(latencies, 99)
+	res.MeanHostLoad = p.Cluster.X86.Pool.JobSeconds() / cfg.Duration.Seconds()
+	return res, nil
+}
+
+// RunServingSweep fans a serving campaign across the worker pool: each
+// config is an isolated simulation, results land in config order, and
+// a fixed seed yields byte-identical output regardless of GOMAXPROCS.
+func RunServingSweep(arts *Artifacts, cfgs []ServingConfig) ([]ServingResult, error) {
+	out := make([]ServingResult, len(cfgs))
+	err := par.ForEach(len(cfgs), func(i int) error {
+		r, err := RunServing(arts, cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted
+// latency slice; zero for an empty slice.
+func percentile(sorted []time.Duration, pct int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (pct*len(sorted) + 99) / 100 // ceil(pct/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -244,7 +244,10 @@ type Fabric struct {
 	plat  xclbin.Platform
 	state regionState
 	image *xclbin.XCLBIN
-	cus   map[string][]*ComputeUnit
+	// pending is the image being downloaded while reconfiguring —
+	// what the region will hold once Program's timer fires.
+	pending *xclbin.XCLBIN
+	cus     map[string][]*ComputeUnit
 
 	reconfigs int
 }
@@ -259,6 +262,10 @@ func (f *Fabric) Platform() xclbin.Platform { return f.plat }
 
 // Reconfiguring reports whether a reconfiguration is in flight.
 func (f *Fabric) Reconfiguring() bool { return f.state == regionConfiguring }
+
+// Pending returns the image an in-flight reconfiguration is
+// downloading, nil when none is in flight.
+func (f *Fabric) Pending() *xclbin.XCLBIN { return f.pending }
 
 // Image returns the configured image, or nil while empty/configuring.
 func (f *Fabric) Image() *xclbin.XCLBIN {
@@ -332,11 +339,13 @@ func (f *Fabric) Program(image *xclbin.XCLBIN, done func()) error {
 	}
 	f.state = regionConfiguring
 	f.image = nil
+	f.pending = image
 	f.cus = nil
 	f.reconfigs++
 	f.sim.After(image.ReconfigTime(f.plat), func() {
 		f.state = regionConfigured
 		f.image = image
+		f.pending = nil
 		f.cus = make(map[string][]*ComputeUnit, len(image.Kernels))
 		for _, k := range image.Kernels {
 			units := make([]*ComputeUnit, k.CUCount())

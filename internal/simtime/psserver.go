@@ -28,6 +28,10 @@ type PSServer struct {
 	lastAt   time.Duration
 	next     *Event
 	nextSeq  uint64
+	// jobSeconds integrates Active() over virtual time; dividing by an
+	// observation window yields the mean multiprogramming level (the
+	// occupancy metric serving campaigns report per node).
+	jobSeconds float64
 }
 
 // PSJob is one unit of work inside a PSServer.
@@ -58,6 +62,14 @@ func (p *PSServer) Active() int { return len(p.jobs) }
 
 // Capacity reports the configured service capacity.
 func (p *PSServer) Capacity() float64 { return p.capacity }
+
+// JobSeconds reports the time integral of the active-job count up to
+// the current virtual time (process-seconds of residency). Dividing by
+// an observation window gives the mean load over that window.
+func (p *PSServer) JobSeconds() float64 {
+	p.advance()
+	return p.jobSeconds
+}
 
 // rate is the per-job progress rate with n active jobs.
 func (p *PSServer) rate() float64 {
@@ -111,6 +123,7 @@ func (p *PSServer) advance() {
 	if elapsed <= 0 || len(p.jobs) == 0 {
 		return
 	}
+	p.jobSeconds += elapsed * float64(len(p.jobs))
 	progress := elapsed * p.rate()
 	for j := range p.jobs {
 		j.remaining -= progress

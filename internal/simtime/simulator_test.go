@@ -247,3 +247,38 @@ func TestPSServerDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestPSServerJobSeconds: the load integral tracks residency exactly
+// in the deterministic world.
+func TestPSServerJobSeconds(t *testing.T) {
+	s := New()
+	p := NewPSServer(s, 2)
+	if got := p.JobSeconds(); got != 0 {
+		t.Fatalf("fresh server integral = %v, want 0", got)
+	}
+	// Two 1s jobs on 2 cores: both resident for 1s -> 2 job-seconds.
+	p.Submit(time.Second, nil)
+	p.Submit(time.Second, nil)
+	s.Run()
+	if got := p.JobSeconds(); got < 1.999 || got > 2.001 {
+		t.Fatalf("integral after two parallel jobs = %v, want ~2", got)
+	}
+	// Four more 1s jobs on 2 cores run at rate 1/2 and take 2s: 8 more
+	// job-seconds.
+	for i := 0; i < 4; i++ {
+		p.Submit(time.Second, nil)
+	}
+	s.Run()
+	if got := p.JobSeconds(); got < 9.999 || got > 10.001 {
+		t.Fatalf("integral after saturated batch = %v, want ~10", got)
+	}
+	// Reading the integral mid-simulation must not disturb job
+	// completion times.
+	done := time.Duration(0)
+	p.Submit(time.Second, func() { done = s.Now() })
+	s.At(s.Now()+500*time.Millisecond, func() { _ = p.JobSeconds() })
+	s.Run()
+	if want := 3*time.Second + time.Second; done != want {
+		t.Fatalf("completion at %v, want %v", done, want)
+	}
+}

@@ -94,6 +94,19 @@ func (d *Device) Loaded() *xclbin.XCLBIN { return d.card.Fabric.Image() }
 // Reconfiguring reports whether a Program operation is in flight.
 func (d *Device) Reconfiguring() bool { return d.card.Fabric.Reconfiguring() }
 
+// KernelPending reports whether an in-flight reconfiguration will
+// deliver the named kernel once it completes — the predicate fleet
+// schedulers use to avoid starting duplicate downloads of one image
+// across several cards.
+func (d *Device) KernelPending(name string) bool {
+	img := d.card.Fabric.Pending()
+	if img == nil {
+		return false
+	}
+	_, ok := xclbin.FindKernel([]*xclbin.XCLBIN{img}, name)
+	return ok
+}
+
 // HasKernel reports whether the named kernel is available right now
 // (Algorithm 2's "HW Kernel Available" predicate).
 func (d *Device) HasKernel(name string) bool {

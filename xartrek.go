@@ -10,8 +10,10 @@
 //     paper's Algorithm 2 policy and Algorithm 1 dynamic threshold
 //     update, over direct calls or TCP), and
 //   - the evaluation platform (discrete-event models of the paper's
-//     x86/ARM/Alveo-U50 testbed) with runners that regenerate every
-//     table and figure of the evaluation section.
+//     x86/ARM/Alveo-U50 testbed, generalised to configurable
+//     N-node/M-FPGA topologies) with runners that regenerate every
+//     table and figure of the evaluation section and drive open-loop
+//     serving campaigns against scaled-out clusters.
 //
 // The physical testbed is simulated — see DESIGN.md for the
 // substitution table — but the compiler passes, scheduling algorithms,
@@ -31,6 +33,7 @@ import (
 	"math/rand"
 	"time"
 
+	"xartrek/internal/cluster"
 	"xartrek/internal/core/profile"
 	"xartrek/internal/core/sched"
 	"xartrek/internal/core/threshold"
@@ -75,6 +78,19 @@ type (
 	PowerModel = power.Model
 	// EnergySegment is one accounted interval for energy integration.
 	EnergySegment = power.Segment
+	// Topology is a configurable heterogeneous cluster: N CPU nodes,
+	// M FPGA devices, per-pair links.
+	Topology = cluster.Topology
+	// NodeSpec describes one CPU server of a topology.
+	NodeSpec = cluster.NodeSpec
+	// FPGASpec describes one accelerator card of a topology.
+	FPGASpec = cluster.FPGASpec
+	// LinkSpec overrides one node pair's interconnect model.
+	LinkSpec = cluster.LinkSpec
+	// ServingConfig describes one open-loop serving run.
+	ServingConfig = exper.ServingConfig
+	// ServingResult is one serving run's throughput/latency report.
+	ServingResult = exper.ServingResult
 )
 
 // Execution modes.
@@ -110,10 +126,40 @@ func NewMGB() (*App, error) { return workloads.NewMGB() }
 // estimation.
 func Build(apps []*App) (*Artifacts, error) { return exper.BuildArtifacts(apps) }
 
-// NewPlatform instantiates a fresh simulated testbed over shared
+// NewPlatform instantiates a fresh simulated paper testbed over shared
 // artifacts: x86 and ARM servers, the Alveo U50, and a scheduler
 // server wired to the platform's load monitor and device.
 func NewPlatform(arts *Artifacts) *Platform { return exper.NewPlatform(arts) }
+
+// NewPlatformTopology materialises an arbitrary cluster topology as an
+// experiment platform: one run queue per CPU node, one device per FPGA
+// card, per-pair links, and a scheduler fleet whose generalized
+// Algorithm 2 places work on the least-loaded node of an ISA class.
+func NewPlatformTopology(arts *Artifacts, topo Topology) (*Platform, error) {
+	return exper.NewPlatformTopo(arts, topo, exper.Options{})
+}
+
+// PaperTopology returns the paper's Section 4 testbed as a topology.
+func PaperTopology() Topology { return cluster.PaperTopology() }
+
+// ScaleOutTopology builds a rack of nX86 x86 hosts, nARM ARM servers
+// and nFPGA accelerator cards joined by 1 Gbps Ethernet.
+func ScaleOutTopology(name string, nX86, nARM, nFPGA int) Topology {
+	return cluster.ScaleOutTopology(name, nX86, nARM, nFPGA)
+}
+
+// RunServing executes one open-loop serving run: Poisson (or
+// trace-driven) request arrivals against a chosen topology, reporting
+// throughput and p50/p95/p99 completion latency.
+func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
+	return exper.RunServing(arts, cfg)
+}
+
+// RunServingSweep fans a serving campaign across CPU cores with
+// deterministic, GOMAXPROCS-independent output.
+func RunServingSweep(arts *Artifacts, cfgs []ServingConfig) ([]ServingResult, error) {
+	return exper.RunServingSweep(arts, cfgs)
+}
 
 // ParseManifest reads a step A profiling manifest.
 func ParseManifest(r io.Reader) (*Manifest, error) { return profile.Parse(r) }
