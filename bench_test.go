@@ -19,8 +19,10 @@ import (
 	"testing"
 	"time"
 
+	"xartrek/internal/cluster"
 	"xartrek/internal/exper"
 	"xartrek/internal/mir"
+	"xartrek/internal/simtime"
 	"xartrek/internal/workloads"
 )
 
@@ -90,6 +92,114 @@ func BenchmarkInterpDigit(b *testing.B)   { benchmarkInterp(b, workloads.NewDigi
 func BenchmarkInterpLegacyCG(b *testing.B)      { benchmarkInterp(b, workloads.NewCGA, true) }
 func BenchmarkInterpLegacyFaceDet(b *testing.B) { benchmarkInterp(b, workloads.NewFaceDet320, true) }
 func BenchmarkInterpLegacyDigit(b *testing.B)   { benchmarkInterp(b, workloads.NewDigit2000, true) }
+
+// benchmarkServing measures one open-loop serving run per iteration:
+// the end-to-end cost of the discrete-event core (simulator queue +
+// per-node processor-sharing servers) under sustained traffic. The
+// saturated cells overload the topology so resident-job counts grow
+// throughout the horizon — the regime where a per-event full scan of
+// the run queue turns quadratic.
+func benchmarkServing(b *testing.B, topo cluster.Topology, rate float64) {
+	arts := benchArtifacts(b)
+	cfg := exper.ServingConfig{
+		Topo:       topo,
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: rate,
+		Duration:   30 * time.Second,
+		Seed:       benchSeed,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var completed int
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		completed = r.Completed
+	}
+	b.ReportMetric(float64(completed), "completed")
+}
+
+// BenchmarkServing* track the serving-campaign cost on the paper
+// testbed and a 32-node rack, each at a low rate (the topology keeps
+// up) and a saturated rate (arrivals outpace capacity and jobs pile
+// up). The saturated rack is the cluster-scale regime the ROADMAP
+// north star targets.
+func BenchmarkServingPaperLow(b *testing.B) {
+	benchmarkServing(b, cluster.PaperTopology(), 2)
+}
+
+func BenchmarkServingPaperSaturated(b *testing.B) {
+	benchmarkServing(b, cluster.PaperTopology(), 24)
+}
+
+func BenchmarkServingRack32Low(b *testing.B) {
+	benchmarkServing(b, cluster.ScaleOutTopology("rack32", 8, 24, 4), 16)
+}
+
+func BenchmarkServingRack32Saturated(b *testing.B) {
+	benchmarkServing(b, cluster.ScaleOutTopology("rack32", 8, 24, 4), 4000)
+}
+
+// benchmarkPSServerChurn measures submit/complete churn against a
+// server that already holds `resident` long-running jobs: each
+// iteration submits one short job and steps the simulator until its
+// completion callback fires. ns/op is therefore the per-event cost at
+// multiprogramming level n — O(n) for the legacy full-scan server,
+// O(log n) for the virtual-time one.
+func benchmarkPSServerChurn(b *testing.B, resident int, legacy bool) {
+	sim := simtime.New()
+	var submit func(work time.Duration, done func())
+	if legacy {
+		ps := simtime.NewLegacyPSServer(sim, 6)
+		submit = func(w time.Duration, done func()) { ps.Submit(w, done) }
+	} else {
+		ps := simtime.NewPSServer(sim, 6)
+		submit = func(w time.Duration, done func()) { ps.Submit(w, done) }
+	}
+	for i := 0; i < resident; i++ {
+		submit(10*time.Hour, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		submit(time.Microsecond, func() { done = true })
+		for !done {
+			if !sim.Step() {
+				b.Fatal("simulator drained before churn job completed")
+			}
+		}
+	}
+}
+
+// BenchmarkPSServer* track the processor-sharing server's per-event
+// cost across four orders of magnitude of resident jobs; the Legacy
+// pair keeps the retained full-scan reference measurable so the
+// speedup stays visible in the BENCH trajectory (no Legacy100k: even
+// filling the legacy server with 100k jobs is quadratic).
+func BenchmarkPSServer10(b *testing.B)       { benchmarkPSServerChurn(b, 10, false) }
+func BenchmarkPSServer1k(b *testing.B)       { benchmarkPSServerChurn(b, 1000, false) }
+func BenchmarkPSServer100k(b *testing.B)     { benchmarkPSServerChurn(b, 100000, false) }
+func BenchmarkPSServerLegacy10(b *testing.B) { benchmarkPSServerChurn(b, 10, true) }
+func BenchmarkPSServerLegacy1k(b *testing.B) { benchmarkPSServerChurn(b, 1000, true) }
+
+// BenchmarkEventEngine measures the bare scheduling core — one
+// schedule + fire cycle per iteration with a preallocated callback.
+// The 0 allocs/op is the engine's steady-state contract: pooled Event
+// structs and the typed quad-ary heap leave no per-event garbage
+// (TestSimulatorSteadyStateAllocs gates the same property).
+func BenchmarkEventEngine(b *testing.B) {
+	sim := simtime.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.After(time.Microsecond, fn)
+		sim.Step()
+	}
+}
 
 // BenchmarkTable1ExecutionTimes regenerates Table 1: per-benchmark
 // execution times on vanilla x86 and under x86→FPGA / x86→ARM

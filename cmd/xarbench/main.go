@@ -123,6 +123,11 @@ func servingCells() []servingCell {
 		{cluster.PaperTopology(), []float64{0.5, 1, 2}},
 		{cluster.ScaleOutTopology("rack8", 4, 4, 2), []float64{2, 4, 8}},
 		{cluster.ScaleOutTopology("rack32", 8, 24, 4), []float64{8, 16, 32}},
+		// The 64-node cell runs one saturating rate on top of a
+		// keeping-up one; its overload leg is only affordable because
+		// the virtual-time simulation core's per-event cost no longer
+		// grows with the resident-process count (DESIGN.md §7).
+		{cluster.ScaleOutTopology("rack64", 16, 48, 8), []float64{64, 256}},
 	}
 }
 

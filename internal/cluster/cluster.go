@@ -91,6 +91,11 @@ type Cluster struct {
 	// EthLink is the host-ARM shared link, nil without an ARM node.
 	EthLink *simtime.PSServer
 	links   map[linkKey]*Link
+	// byArch caches the per-ISA-class node lists (topology order).
+	// Topologies are immutable once materialised, so the serving front
+	// end's per-arrival least-loaded scan reads a prebuilt slice
+	// instead of filtering — and allocating — on every request.
+	byArch map[isa.Arch][]*Node
 }
 
 // New assembles the paper's testbed on the given simulator.
@@ -108,7 +113,7 @@ func FromTopology(sim *simtime.Simulator, topo Topology) (*Cluster, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Sim: sim, Topo: topo, links: make(map[linkKey]*Link)}
+	c := &Cluster{Sim: sim, Topo: topo, links: make(map[linkKey]*Link), byArch: make(map[isa.Arch][]*Node)}
 	for i, spec := range topo.Nodes {
 		m, err := spec.machine()
 		if err != nil {
@@ -116,6 +121,7 @@ func FromTopology(sim *simtime.Simulator, topo Topology) (*Cluster, error) {
 		}
 		n := &Node{Machine: m, Pool: simtime.NewPSServer(sim, float64(m.Cores)), Index: i}
 		c.Nodes = append(c.Nodes, n)
+		c.byArch[m.Arch] = append(c.byArch[m.Arch], n)
 		if c.X86 == nil && m.Arch == isa.X86_64 {
 			c.X86 = n
 		}
@@ -170,14 +176,10 @@ func (c *Cluster) Link(a, b *Node) *Link {
 }
 
 // NodesOfArch lists the nodes of one ISA class in topology order.
+// The returned slice is the cluster's cached copy; callers must not
+// mutate it.
 func (c *Cluster) NodesOfArch(arch isa.Arch) []*Node {
-	var out []*Node
-	for _, n := range c.Nodes {
-		if n.Arch == arch {
-			out = append(out, n)
-		}
-	}
-	return out
+	return c.byArch[arch]
 }
 
 // TotalCores reports the CPU core count across all nodes (the paper

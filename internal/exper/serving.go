@@ -90,6 +90,11 @@ func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
 			}
 			out = append(out, arrival{at: at, app: pool[rng.Intn(len(pool))]})
 		}
+		// Lazy injection chains arrivals in slice order, so the slice
+		// must be time-ordered; traces may not be. The stable sort
+		// keeps same-instant entries in trace order — the order the
+		// eager injector processed them in.
+		sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
 		return out, nil
 	}
 	if cfg.RatePerSec <= 0 {
@@ -128,25 +133,53 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	// the fleet instead of piling onto one node.
 	assigned := make([]int, len(p.Cluster.Nodes))
 	assignedAt := time.Duration(-1)
-	for _, r := range reqs {
-		req := r
-		// Entry balancing: the front end places each arriving request
-		// on the least-loaded x86 node at its arrival instant (ties
-		// toward the lower index — deterministic), the request-serving
-		// analogue of RDA's client multiplexing over a server fleet.
-		p.Sim.At(req.at, func() {
-			if now := p.Sim.Now(); now != assignedAt {
-				assignedAt = now
-				for i := range assigned {
-					assigned[i] = 0
-				}
+	// Arrivals are injected lazily: one injector event per distinct
+	// arrival instant places every request of that instant and then
+	// schedules the next instant's injector, so the simulator's event
+	// heap holds O(in-flight) entries instead of the whole campaign's
+	// O(total requests) — at cluster scale the difference between a
+	// bounded working set and pre-pushing millions of events before
+	// the clock starts. Batching an instant into one event keeps the
+	// eager injector's same-instant order: every placement of the
+	// instant happens before any of its launch events executes, which
+	// the `assigned` bookkeeping relies on to spread a burst (chaining
+	// arrivals one event each would let the first launches interleave
+	// from the third same-instant arrival on). One ordering edge
+	// differs from eager injection — an unrelated event whose firing
+	// time lands on exactly an arrival instant's nanosecond now wins
+	// the tie; DESIGN.md §7 scopes the determinism contract
+	// accordingly.
+	var inject func(i int)
+	schedule := func(i int) {
+		p.Sim.At(reqs[i].at, func() { inject(i) })
+	}
+	inject = func(i int) {
+		if now := p.Sim.Now(); now != assignedAt {
+			assignedAt = now
+			for n := range assigned {
+				assigned[n] = 0
 			}
+		}
+		j := i
+		for ; j < len(reqs) && reqs[j].at == reqs[i].at; j++ {
+			req := reqs[j]
+			// Entry balancing: the front end places each arriving
+			// request on the least-loaded x86 node at its arrival
+			// instant (ties toward the lower index — deterministic),
+			// the request-serving analogue of RDA's client
+			// multiplexing over a server fleet.
 			entry := p.leastLoadedX86(assigned)
 			assigned[entry.Index]++
 			p.LaunchAppOn(entry, req.app, cfg.Mode, p.Sim.Now(), func(run RunResult) {
 				latencies = append(latencies, run.Elapsed())
 			})
-		})
+		}
+		if j < len(reqs) {
+			schedule(j)
+		}
+	}
+	if len(reqs) > 0 {
+		schedule(0)
 	}
 	p.RunFor(cfg.Duration)
 	res.Completed = len(latencies)

@@ -75,8 +75,21 @@ type CostModel struct {
 	CacheMissPenalty float64
 }
 
+// x86Model and armModel are built once: the models are immutable
+// reference data, and experiment hot paths (per-request kernel-time
+// derivations in serving campaigns) call the accessors millions of
+// times — constructing the map-backed struct per call was the top
+// allocation site of a saturated serving run.
+var (
+	x86Model = buildX86CostModel()
+	armModel = buildARMCostModel()
+)
+
 // X86CostModel models the Xeon Bronze 3104 (1.7 GHz, wide OoO core).
-func X86CostModel() *CostModel {
+// The returned model is shared and must not be mutated.
+func X86CostModel() *CostModel { return x86Model }
+
+func buildX86CostModel() *CostModel {
 	return &CostModel{
 		Arch:     X86_64,
 		ClockGHz: 1.7,
@@ -115,7 +128,10 @@ func X86CostModel() *CostModel {
 
 // ARMCostModel models the Cavium ThunderX CN8890 (2.0 GHz, dual-issue
 // in-order core; weak single-thread performance, 96 cores).
-func ARMCostModel() *CostModel {
+// The returned model is shared and must not be mutated.
+func ARMCostModel() *CostModel { return armModel }
+
+func buildARMCostModel() *CostModel {
 	return &CostModel{
 		Arch:     ARM64,
 		ClockGHz: 2.0,

@@ -1,0 +1,112 @@
+package simtime
+
+// jobHeap is an indexed quad-ary min-heap of processor-sharing jobs
+// ordered by (finishV, seq): the job whose work drains at the lowest
+// virtual progress sits on top, with submission order breaking exact
+// virtual-time ties. Every job carries its own heap index, so Cancel
+// removes an arbitrary job in O(log n) instead of rebuilding or
+// scanning.
+//
+// It deliberately mirrors eventheap.go rather than sharing a generic:
+// the sift loops are the engine's innermost path, and the concrete
+// element type keeps the index writes and key comparisons direct
+// field accesses. A fix to either file's heap logic belongs in both.
+type jobHeap struct {
+	items []*PSJob
+}
+
+// jobBefore is the (finishV, seq) strict weak order.
+func jobBefore(a, b *PSJob) bool {
+	if a.finishV != b.finishV {
+		return a.finishV < b.finishV
+	}
+	return a.seq < b.seq
+}
+
+func (h *jobHeap) len() int { return len(h.items) }
+
+// min returns the soonest-finishing job without removing it. The
+// caller must ensure the heap is non-empty.
+func (h *jobHeap) min() *PSJob { return h.items[0] }
+
+func (h *jobHeap) push(j *PSJob) {
+	j.index = len(h.items)
+	h.items = append(h.items, j)
+	h.siftUp(j.index)
+}
+
+// popMin removes and returns the soonest-finishing job. The caller
+// must ensure the heap is non-empty.
+func (h *jobHeap) popMin() *PSJob {
+	top := h.items[0]
+	h.removeAt(0)
+	return top
+}
+
+// removeAt deletes the job at heap position i.
+func (h *jobHeap) removeAt(i int) {
+	items := h.items
+	n := len(items) - 1
+	out := items[i]
+	if i != n {
+		moved := items[n]
+		items[i] = moved
+		moved.index = i
+	}
+	items[n] = nil
+	h.items = items[:n]
+	if i < n {
+		// The filler came from the bottom: it can only need to move
+		// down relative to i's subtree, or up relative to i's ancestors.
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	out.index = -1
+}
+
+func (h *jobHeap) siftUp(i int) {
+	items := h.items
+	j := items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := items[parent]
+		if !jobBefore(j, p) {
+			break
+		}
+		items[i] = p
+		p.index = i
+		i = parent
+	}
+	items[i] = j
+	j.index = i
+}
+
+func (h *jobHeap) siftDown(i int) {
+	items := h.items
+	n := len(items)
+	j := items[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if jobBefore(items[c], items[best]) {
+				best = c
+			}
+		}
+		if !jobBefore(items[best], j) {
+			break
+		}
+		items[i] = items[best]
+		items[i].index = i
+		i = best
+	}
+	items[i] = j
+	j.index = i
+}

@@ -3,7 +3,6 @@ package simtime
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -21,26 +20,70 @@ const psEpsilon = 1e-10
 // runtime) and shared interconnects (capacity 1; a job's work is
 // bytes/bandwidth). This matches how the paper measures load: the x86
 // CPU load is simply the number of resident compute processes.
+//
+// The implementation is the classic virtual-time formulation: instead
+// of decrementing every resident job's remaining work on every event
+// (O(n) per event — quadratic over a saturation ramp, exactly the
+// regime cluster-scale serving campaigns drive), the server tracks one
+// cumulative per-job progress function V(t) that grows at the shared
+// rate. A job submitted with work w when the accumulator reads V₀ is
+// done when V reaches V₀ + w, so accruing progress costs O(1) under
+// saturation and the next completion pops off an indexed
+// (finishV, seq) min-heap in O(log n). While the server runs under
+// capacity, advance additionally keeps every resident job's explicit
+// remaining-work chain — a walk bounded by the capacity constant, not
+// the population — which reproduces the pre-virtual-time reference
+// arithmetic bit for bit in the regime where completion times land on
+// exact nanosecond boundaries and a single ulp would flip the
+// ceil-to-nanosecond event schedule (see DESIGN.md §7 for the
+// determinism argument). LegacyPSServer retains the direct per-job
+// formulation as the differential-test reference.
 type PSServer struct {
 	sim      *Simulator
 	capacity float64
-	jobs     map[*PSJob]struct{}
-	lastAt   time.Duration
-	next     *Event
-	nextSeq  uint64
+	// virt is V(t): the per-job service each always-resident job would
+	// have accumulated since the server was created.
+	virt   float64
+	lastAt time.Duration
+	heap   jobHeap
+	// next is the pending completion event; cancelling a fired or
+	// zero-value ref is a no-op, so no validity flag is needed.
+	next    EventRef
+	nextSeq uint64
 	// jobSeconds integrates Active() over virtual time; dividing by an
 	// observation window yields the mean multiprogramming level (the
 	// occupancy metric serving campaigns report per node).
 	jobSeconds float64
+	// completeFn is completeDue bound once, so rescheduling the
+	// completion event does not allocate a method closure per event.
+	completeFn func()
+	// finished is completeDue's reusable batch buffer.
+	finished []*PSJob
 }
 
 // PSJob is one unit of work inside a PSServer.
 type PSJob struct {
-	server    *PSServer
-	seq       uint64
-	remaining float64 // seconds of exclusive-rate work left at lastAt
-	done      func()
-	finished  bool
+	server *PSServer
+	seq    uint64
+	// finishV is the virtual progress at which the job's work drains —
+	// the static heap key deciding completion order.
+	finishV float64
+	// chainRem and chainV carry the job's remaining work the way the
+	// reference implementation does: chainRem is the residual work as
+	// of accumulator value chainV. While the server runs under
+	// capacity (shared rate exactly 1) advance subtracts each quantum
+	// from chainRem directly — bit-for-bit the legacy per-job chain.
+	// Across saturated phases the chain is left behind and the
+	// residual is the fold chainRem - (virt - chainV); see
+	// remainingNow.
+	chainRem float64
+	chainV   float64
+	done     func()
+	finished bool
+	index    int // heap index, -1 once removed
+	// frozen is the remaining work (seconds) captured when the job
+	// left the server, so Remaining stays meaningful afterwards.
+	frozen float64
 }
 
 // NewPSServer returns a processor-sharing server with the given
@@ -49,16 +92,17 @@ func NewPSServer(sim *Simulator, capacity float64) *PSServer {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("simtime: non-positive PSServer capacity %v", capacity))
 	}
-	return &PSServer{
+	p := &PSServer{
 		sim:      sim,
 		capacity: capacity,
-		jobs:     make(map[*PSJob]struct{}),
 		lastAt:   sim.Now(),
 	}
+	p.completeFn = p.completeDue
+	return p
 }
 
 // Active reports the number of jobs currently in service.
-func (p *PSServer) Active() int { return len(p.jobs) }
+func (p *PSServer) Active() int { return p.heap.len() }
 
 // Capacity reports the configured service capacity.
 func (p *PSServer) Capacity() float64 { return p.capacity }
@@ -73,7 +117,7 @@ func (p *PSServer) JobSeconds() float64 {
 
 // rate is the per-job progress rate with n active jobs.
 func (p *PSServer) rate() float64 {
-	n := float64(len(p.jobs))
+	n := float64(p.heap.len())
 	if n == 0 {
 		return 0
 	}
@@ -90,9 +134,16 @@ func (p *PSServer) Submit(work time.Duration, done func()) *PSJob {
 		work = 0
 	}
 	p.advance()
-	j := &PSJob{server: p, seq: p.nextSeq, remaining: work.Seconds(), done: done}
+	if p.heap.len() == 0 {
+		// Fresh busy period: rebase the accumulator so its magnitude —
+		// and with it the cancellation error of finishV - virt — stays
+		// bounded by the busy period instead of the whole horizon.
+		p.virt = 0
+	}
+	w := work.Seconds()
+	j := &PSJob{server: p, seq: p.nextSeq, finishV: p.virt + w, chainRem: w, chainV: p.virt, done: done, index: -1}
 	p.nextSeq++
-	p.jobs[j] = struct{}{}
+	p.heap.push(j)
 	p.reschedule()
 	return j
 }
@@ -105,69 +156,120 @@ func (j *PSJob) Cancel() {
 	p := j.server
 	p.advance()
 	j.finished = true
-	delete(p.jobs, j)
+	j.frozen = j.remainingNow()
+	p.heap.removeAt(j.index)
 	p.reschedule()
+}
+
+// remainingNow is the job's residual work against the current
+// accumulator, clamped at zero (the completion event's nanosecond
+// rounding can overshoot by a hair). A chain kept in sync by
+// under-capacity advances is returned as-is — bit-for-bit what the
+// reference implementation computes. Progress accrued across
+// saturated phases is folded as chainRem - (virt - chainV), NOT as
+// finishV - virt: subtracting the accrued progress from the job's own
+// residual rounds at the residual's magnitude — where the
+// reference's chain also rounds — while finishV - virt would cancel
+// at the accumulator's larger magnitude and drift ulps away, enough
+// to flip the ceil-to-nanosecond of a scheduled completion.
+func (j *PSJob) remainingNow() float64 {
+	rem := j.chainRem
+	if v := j.server.virt; j.chainV != v {
+		rem -= v - j.chainV
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
 }
 
 // Remaining reports the exclusive-rate work left for the job.
 func (j *PSJob) Remaining() time.Duration {
 	j.server.advance()
-	return time.Duration(j.remaining * float64(time.Second))
+	rem := j.frozen
+	if !j.finished {
+		rem = j.remainingNow()
+	}
+	return time.Duration(rem * float64(time.Second))
 }
 
-// advance accrues progress for all jobs since the last event.
+// advance accrues shared progress since the last event. Under
+// capacity (shared rate exactly 1 — the light-load regime, bounded by
+// the machine's core count) every resident job's chain is updated
+// directly, reproducing the reference implementation's arithmetic bit
+// for bit at a per-event cost capped by the capacity constant. Over
+// capacity — the saturation regime where a per-job walk would turn
+// the simulation quadratic — only the O(1) accumulator moves and jobs
+// fold the delta lazily on read.
 func (p *PSServer) advance() {
 	now := p.sim.Now()
 	elapsed := (now - p.lastAt).Seconds()
 	p.lastAt = now
-	if elapsed <= 0 || len(p.jobs) == 0 {
+	n := p.heap.len()
+	if elapsed <= 0 || n == 0 {
 		return
 	}
-	p.jobSeconds += elapsed * float64(len(p.jobs))
+	p.jobSeconds += elapsed * float64(n)
 	progress := elapsed * p.rate()
-	for j := range p.jobs {
-		j.remaining -= progress
-		if j.remaining < 0 {
-			j.remaining = 0
+	newVirt := p.virt + progress
+	if float64(n) <= p.capacity {
+		for _, j := range p.heap.items {
+			if j.chainV != p.virt {
+				// The job lived through a saturated phase: fold that
+				// progress before continuing its exact chain.
+				j.chainRem -= p.virt - j.chainV
+			}
+			j.chainRem -= progress
+			if j.chainRem < 0 {
+				j.chainRem = 0
+			}
+			j.chainV = newVirt
 		}
 	}
+	p.virt = newVirt
 }
 
 // reschedule computes the next completion and schedules it.
 func (p *PSServer) reschedule() {
-	if p.next != nil {
-		p.next.Cancel()
-		p.next = nil
-	}
-	if len(p.jobs) == 0 {
+	p.next.Cancel()
+	if p.heap.len() == 0 {
 		return
 	}
-	var soonest float64 = math.MaxFloat64
-	for j := range p.jobs {
-		if j.remaining < soonest {
-			soonest = j.remaining
-		}
-	}
+	soonest := p.heap.min().remainingNow()
 	waitSec := soonest / p.rate()
 	wait := time.Duration(math.Ceil(waitSec * float64(time.Second)))
-	p.next = p.sim.After(wait, p.completeDue)
+	p.next = p.sim.After(wait, p.completeFn)
 }
 
 // completeDue finishes every job whose work has drained, then
-// reschedules. Multiple jobs may complete at the same instant.
+// reschedules. Multiple jobs may complete at the same instant; their
+// callbacks run in submission (seq) order, exactly as the legacy
+// full-scan server ordered them.
 func (p *PSServer) completeDue() {
-	p.next = nil
 	p.advance()
-	var finished []*PSJob
-	for j := range p.jobs {
-		if j.remaining <= psEpsilon {
-			finished = append(finished, j)
+	finished := p.finished[:0]
+	p.finished = nil // reentrancy guard: a callback may re-enter the server
+	for p.heap.len() > 0 {
+		top := p.heap.min()
+		if top.remainingNow() > psEpsilon {
+			break
 		}
+		p.heap.popMin()
+		top.finished = true
+		top.frozen = top.remainingNow()
+		finished = append(finished, top)
 	}
-	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
-	for _, j := range finished {
-		j.finished = true
-		delete(p.jobs, j)
+	// The heap yields the batch in (finishV, seq) order; callbacks must
+	// run in pure seq order. Batches are tiny, so an insertion sort
+	// reorders them without allocating.
+	for i := 1; i < len(finished); i++ {
+		j := finished[i]
+		k := i - 1
+		for k >= 0 && finished[k].seq > j.seq {
+			finished[k+1] = finished[k]
+			k--
+		}
+		finished[k+1] = j
 	}
 	p.reschedule()
 	for _, j := range finished {
@@ -175,4 +277,8 @@ func (p *PSServer) completeDue() {
 			j.done()
 		}
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	p.finished = finished[:0]
 }

@@ -1,0 +1,165 @@
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LegacyPSServer is the original processor-sharing implementation: it
+// keeps every resident job's remaining work explicitly and walks the
+// whole job set on every event — O(n) per advance/reschedule, which
+// turns quadratic once a node saturates. It is retained purely as the
+// differential-test reference for the virtual-time PSServer (the same
+// playbook that de-risked the compiled MIR engine, DESIGN.md §3): both
+// implementations must produce identical completion times, orders and
+// load integrals on identical schedules.
+type LegacyPSServer struct {
+	sim        *Simulator
+	capacity   float64
+	jobs       map[*LegacyPSJob]struct{}
+	lastAt     time.Duration
+	next       EventRef
+	nextSeq    uint64
+	jobSeconds float64
+}
+
+// LegacyPSJob is one unit of work inside a LegacyPSServer.
+type LegacyPSJob struct {
+	server    *LegacyPSServer
+	seq       uint64
+	remaining float64 // seconds of exclusive-rate work left at lastAt
+	done      func()
+	finished  bool
+}
+
+// NewLegacyPSServer returns the reference processor-sharing server
+// with the given capacity.
+func NewLegacyPSServer(sim *Simulator, capacity float64) *LegacyPSServer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive PSServer capacity %v", capacity))
+	}
+	return &LegacyPSServer{
+		sim:      sim,
+		capacity: capacity,
+		jobs:     make(map[*LegacyPSJob]struct{}),
+		lastAt:   sim.Now(),
+	}
+}
+
+// Active reports the number of jobs currently in service.
+func (p *LegacyPSServer) Active() int { return len(p.jobs) }
+
+// Capacity reports the configured service capacity.
+func (p *LegacyPSServer) Capacity() float64 { return p.capacity }
+
+// JobSeconds reports the time integral of the active-job count up to
+// the current virtual time.
+func (p *LegacyPSServer) JobSeconds() float64 {
+	p.advance()
+	return p.jobSeconds
+}
+
+// rate is the per-job progress rate with n active jobs.
+func (p *LegacyPSServer) rate() float64 {
+	n := float64(len(p.jobs))
+	if n == 0 {
+		return 0
+	}
+	if n <= p.capacity {
+		return 1
+	}
+	return p.capacity / n
+}
+
+// Submit adds a job with the given exclusive-rate work; done fires when
+// the job completes. It returns the job handle, usable for Cancel.
+func (p *LegacyPSServer) Submit(work time.Duration, done func()) *LegacyPSJob {
+	if work < 0 {
+		work = 0
+	}
+	p.advance()
+	j := &LegacyPSJob{server: p, seq: p.nextSeq, remaining: work.Seconds(), done: done}
+	p.nextSeq++
+	p.jobs[j] = struct{}{}
+	p.reschedule()
+	return j
+}
+
+// Cancel removes the job without running its completion callback.
+func (j *LegacyPSJob) Cancel() {
+	if j.finished {
+		return
+	}
+	p := j.server
+	p.advance()
+	j.finished = true
+	delete(p.jobs, j)
+	p.reschedule()
+}
+
+// Remaining reports the exclusive-rate work left for the job.
+func (j *LegacyPSJob) Remaining() time.Duration {
+	j.server.advance()
+	return time.Duration(j.remaining * float64(time.Second))
+}
+
+// advance accrues progress for all jobs since the last event — the
+// O(n) walk the virtual-time server exists to avoid.
+func (p *LegacyPSServer) advance() {
+	now := p.sim.Now()
+	elapsed := (now - p.lastAt).Seconds()
+	p.lastAt = now
+	if elapsed <= 0 || len(p.jobs) == 0 {
+		return
+	}
+	p.jobSeconds += elapsed * float64(len(p.jobs))
+	progress := elapsed * p.rate()
+	for j := range p.jobs {
+		j.remaining -= progress
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+	}
+}
+
+// reschedule computes the next completion and schedules it.
+func (p *LegacyPSServer) reschedule() {
+	p.next.Cancel()
+	if len(p.jobs) == 0 {
+		return
+	}
+	var soonest float64 = math.MaxFloat64
+	for j := range p.jobs {
+		if j.remaining < soonest {
+			soonest = j.remaining
+		}
+	}
+	waitSec := soonest / p.rate()
+	wait := time.Duration(math.Ceil(waitSec * float64(time.Second)))
+	p.next = p.sim.After(wait, p.completeDue)
+}
+
+// completeDue finishes every job whose work has drained, then
+// reschedules. Multiple jobs may complete at the same instant.
+func (p *LegacyPSServer) completeDue() {
+	p.advance()
+	var finished []*LegacyPSJob
+	for j := range p.jobs {
+		if j.remaining <= psEpsilon {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+	for _, j := range finished {
+		j.finished = true
+		delete(p.jobs, j)
+	}
+	p.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}

@@ -4,29 +4,62 @@
 // results are bit-identical across runs and independent of host speed.
 // The simulator is a classic event-heap design: callbacks are scheduled
 // at absolute virtual times and executed in (time, sequence) order.
+//
+// The engine is allocation-free in steady state: fired or cancelled
+// Event structs return to a per-simulator free list and are reissued
+// under a new generation, and the pending queue is a concrete indexed
+// quad-ary heap of *Event — no container/heap interface boxing, and
+// cancellation removes the entry eagerly in O(log n) instead of
+// leaving garbage to sift around until its firing time. A
+// million-event serving campaign therefore costs no per-event heap
+// garbage beyond the closures the caller itself schedules.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a scheduled callback, owned and pooled by its simulator.
+// User code never holds a *Event directly; At and After hand out
+// EventRef handles whose generation check keeps them safe after the
+// struct is recycled.
 type Event struct {
-	when     time.Duration
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	sim   *Simulator
+	when  time.Duration
+	seq   uint64
+	gen   uint64
+	fn    func()
+	index int // heap position, -1 while recycled
 }
 
-// When reports the virtual time at which the event fires.
-func (e *Event) When() time.Duration { return e.when }
+// EventRef is a cancellable handle to a scheduled event. It is a plain
+// value — handing one out allocates nothing — and it stays valid
+// forever: once the event fires or is cancelled the underlying struct
+// is recycled under a bumped generation, turning any further Cancel
+// through an old handle into a no-op.
+type EventRef struct {
+	ev   *Event
+	gen  uint64
+	when time.Duration
+}
 
-// Cancel prevents the event's callback from running. Cancelling an
-// already-fired event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// When reports the virtual time at which the event fires (or fired).
+func (r EventRef) When() time.Duration { return r.when }
+
+// Cancel prevents the event's callback from running, removing it from
+// the pending queue immediately. Cancelling an already-fired or
+// already-cancelled event is a no-op, so double cancellation cannot
+// corrupt the pending-event count.
+func (r EventRef) Cancel() {
+	e := r.ev
+	if e == nil || e.gen != r.gen {
+		return
+	}
+	s := e.sim
+	s.queue.removeAt(e.index)
+	s.recycle(e)
+}
 
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; call New.
@@ -34,7 +67,8 @@ type Simulator struct {
 	now     time.Duration
 	queue   eventHeap
 	nextSeq uint64
-	running bool
+	// free holds recycled Event structs for reuse by At.
+	free []*Event
 }
 
 // New returns a simulator with the clock at zero and no pending events.
@@ -48,40 +82,57 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past is an error the simulator surfaces by panicking, because it is
 // always a programming bug in a deterministic simulation.
-func (s *Simulator) At(t time.Duration, fn func()) *Event {
+func (s *Simulator) At(t time.Duration, fn func()) EventRef {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, s.now))
 	}
-	e := &Event{when: t, seq: s.nextSeq, fn: fn}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{sim: s}
+	}
+	e.when = t
+	e.seq = s.nextSeq
+	e.fn = fn
 	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e
+	s.queue.push(e)
+	return EventRef{ev: e, gen: e.gen, when: t}
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Simulator) After(d time.Duration, fn func()) *Event {
+func (s *Simulator) After(d time.Duration, fn func()) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
+// recycle returns a dequeued event to the free list. Bumping the
+// generation invalidates every outstanding EventRef to it before the
+// struct can be reissued.
+func (s *Simulator) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	s.free = append(s.free, e)
+}
+
 // Step runs the single earliest pending event. It reports false when
 // the queue is empty.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		e, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
-			return false
-		}
-		if e.canceled {
-			continue
-		}
-		s.now = e.when
-		e.fn()
-		return true
+	if s.queue.len() == 0 {
+		return false
 	}
-	return false
+	e := s.queue.popMin()
+	s.now = e.when
+	fn := e.fn
+	// Recycle before running: a Cancel from inside fn (or on any
+	// handle kept around) sees a stale generation and no-ops.
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -93,15 +144,7 @@ func (s *Simulator) Run() {
 // RunUntil executes events with firing time <= t, then advances the
 // clock to t.
 func (s *Simulator) RunUntil(t time.Duration) {
-	for s.queue.Len() > 0 {
-		e := s.queue[0]
-		if e.canceled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if e.when > t {
-			break
-		}
+	for s.queue.len() > 0 && s.queue.min().when <= t {
 		s.Step()
 	}
 	if t > s.now {
@@ -109,53 +152,6 @@ func (s *Simulator) RunUntil(t time.Duration) {
 	}
 }
 
-// Pending reports the number of not-yet-cancelled scheduled events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
-
-// eventHeap orders events by (when, seq) so ties break deterministically
-// in scheduling order.
-type eventHeap []*Event
-
-var _ heap.Interface = (*eventHeap)(nil)
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// Pending reports the number of scheduled events. It is O(1): a
+// cancelled event leaves the queue at cancellation time.
+func (s *Simulator) Pending() int { return s.queue.len() }

@@ -2,6 +2,7 @@ package simtime
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -280,5 +281,148 @@ func TestPSServerJobSeconds(t *testing.T) {
 	s.Run()
 	if want := 3*time.Second + time.Second; done != want {
 		t.Fatalf("completion at %v, want %v", done, want)
+	}
+}
+
+func TestSimulatorPendingTracksCancelAndFire(t *testing.T) {
+	s := New()
+	a := s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	s.At(3*time.Second, func() {})
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	a.Cancel()
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", got)
+	}
+	// Double cancel must not decrement twice.
+	a.Cancel()
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after double cancel = %d, want 2", got)
+	}
+	s.Step()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after one fire = %d, want 1", got)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// A handle to a fired event must stay inert even after the pooled
+// Event struct is reissued to a new schedule.
+func TestSimulatorStaleRefCannotCancelRecycledEvent(t *testing.T) {
+	s := New()
+	first := s.At(time.Second, func() {})
+	s.Run()
+	fired := false
+	second := s.At(2*time.Second, func() { fired = true })
+	// The pool reissued the same struct; the stale handle must see the
+	// bumped generation and refuse.
+	first.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after stale cancel = %d, want 1", got)
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	second.Cancel() // post-fire cancel stays a no-op
+}
+
+func TestSimulatorCancelInsideOwnCallback(t *testing.T) {
+	s := New()
+	var self EventRef
+	ran := false
+	self = s.At(time.Second, func() {
+		ran = true
+		self.Cancel() // already firing: must be a no-op
+	})
+	follow := false
+	s.At(time.Second, func() { follow = true })
+	s.Run()
+	if !ran || !follow {
+		t.Fatalf("ran=%v follow=%v, want both true", ran, follow)
+	}
+}
+
+// The scheduling core must not allocate in steady state: events come
+// from the pool and the typed heap boxes nothing.
+func TestSimulatorSteadyStateAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Warm the pool.
+	for i := 0; i < 16; i++ {
+		s.After(time.Microsecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestEventHeapOrderFuzz drives the typed quad-ary heap against a
+// sorted reference with random schedules and random eager
+// cancellations.
+func TestEventHeapOrderFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		type rec struct {
+			when time.Duration
+			seq  int
+		}
+		var want []rec
+		var got []rec
+		n := 1 + rng.Intn(300)
+		seq := 0
+		for i := 0; i < n; i++ {
+			when := time.Duration(rng.Intn(1000)) * time.Millisecond
+			id := seq
+			seq++
+			ref := s.At(when, func() { got = append(got, rec{when: when, seq: id}) })
+			if rng.Intn(4) == 0 {
+				ref.Cancel()
+				ref.Cancel()
+			} else {
+				want = append(want, rec{when: when, seq: id})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].when != want[j].when {
+				return want[i].when < want[j].when
+			}
+			return want[i].seq < want[j].seq
+		})
+		s.Run()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimulatorRunUntilWithCancelledHead(t *testing.T) {
+	s := New()
+	head := s.At(time.Second, func() { t.Error("cancelled event ran") })
+	ran := false
+	s.At(2*time.Second, func() { ran = true })
+	head.Cancel()
+	s.RunUntil(5 * time.Second)
+	if !ran {
+		t.Fatal("live event did not run")
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", s.Now())
 	}
 }
