@@ -20,10 +20,13 @@ import (
 	"time"
 
 	"xartrek/internal/cluster"
+	"xartrek/internal/core/sched"
+	"xartrek/internal/core/threshold"
 	"xartrek/internal/exper"
 	"xartrek/internal/mir"
 	"xartrek/internal/simtime"
 	"xartrek/internal/workloads"
+	"xartrek/internal/xclbin"
 )
 
 const benchSeed = 2021
@@ -484,3 +487,113 @@ func BenchmarkAblationDynamicThresholds(b *testing.B) {
 	}
 	b.ReportMetric(ratio, "static/dynamic-ratio")
 }
+
+// benchDevice is a minimal sched.Device for placement benchmarks: the
+// kernel is resident, so Decide exercises the full policy scoring
+// path without touching the simulator.
+type benchDevice struct{ resident bool }
+
+func (d *benchDevice) HasKernel(string) bool                { return d.resident }
+func (d *benchDevice) Reconfiguring() bool                  { return false }
+func (d *benchDevice) KernelPending(string) bool            { return false }
+func (d *benchDevice) Program(*xclbin.XCLBIN, func()) error { return nil }
+
+// benchmarkDecide measures one Algorithm 2 decision per iteration on
+// an 8-ARM-node, 4-card fleet under the given placement policy, with
+// the load high enough that every request scores the whole ARM
+// candidate set — the placement hot path of a serving campaign.
+func benchmarkDecide(b *testing.B, policy sched.PlacementPolicy) {
+	tab := threshold.NewTable()
+	if err := tab.Add(threshold.Record{
+		App: "app", Kernel: "KNL", FPGAThr: 60, ARMThr: 16,
+		X86Exec:  175 * time.Millisecond,
+		ARMExec:  642 * time.Millisecond,
+		FPGAExec: 332 * time.Millisecond,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	loads := []int{9, 4, 7, 2, 8, 3, 6, 5}
+	nodes := make([]int, len(loads))
+	for i := range nodes {
+		nodes[i] = i + 1
+	}
+	devs := make([]sched.Device, 4)
+	for i := range devs {
+		devs[i] = &benchDevice{resident: true}
+	}
+	fleet := sched.Fleet{
+		ARMNodes:  nodes,
+		NodeLoad:  func(id int) int { return loads[id-1] },
+		NodeCores: func(int) int { return 96 },
+		MigrationCost: func(_ string, id int) time.Duration {
+			return time.Duration(id) * 10 * time.Millisecond
+		},
+		LinkQueue: func(id int) int { return id % 3 },
+		Devices:   devs,
+		Policy:    policy,
+	}
+	srv := sched.NewFleetServer(tab, func() int { return 40 }, fleet, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Decide("app", "KNL"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecide* track the per-request cost of the placement-policy
+// layer (DESIGN.md §8): the default rule must stay allocation-free
+// and the richer policies within the same order of magnitude, so
+// placement never becomes the serving bottleneck.
+func BenchmarkDecideDefault(b *testing.B)   { benchmarkDecide(b, nil) }
+func BenchmarkDecideLinkAware(b *testing.B) { benchmarkDecide(b, sched.LinkAwarePolicy{}) }
+func BenchmarkDecideAffinity(b *testing.B) {
+	benchmarkDecide(b, sched.NewAffinityPolicy(map[string]int{"KNL": 2}))
+}
+
+// benchmarkServingPolicy measures the cross-rack policy-comparison
+// cell (per-kernel images, slow uplink, saturating load) under one
+// placement policy — the end-to-end cost of a policy campaign run.
+func benchmarkServingPolicy(b *testing.B, policy string) {
+	benchSplitOnce.Do(func() {
+		apps, err := workloads.Registry()
+		if err != nil {
+			benchSplitErr = err
+			return
+		}
+		benchSplitArts, benchSplitErr = exper.BuildArtifactsSplitImages(apps)
+	})
+	if benchSplitErr != nil {
+		b.Fatalf("split artifacts: %v", benchSplitErr)
+	}
+	cfg := exper.ServingConfig{
+		Topo:       exper.PolicyComparisonTopology(),
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: 48,
+		Duration:   30 * time.Second,
+		Seed:       benchSeed,
+		Policy:     policy,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var p99 time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(benchSplitArts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = r.P99
+	}
+	b.ReportMetric(float64(p99.Milliseconds()), "p99-ms")
+}
+
+var (
+	benchSplitOnce sync.Once
+	benchSplitArts *exper.Artifacts
+	benchSplitErr  error
+)
+
+func BenchmarkServingPolicyDefault(b *testing.B)   { benchmarkServingPolicy(b, exper.PolicyDefault) }
+func BenchmarkServingPolicyLinkAware(b *testing.B) { benchmarkServingPolicy(b, exper.PolicyLinkAware) }
+func BenchmarkServingPolicyAffinity(b *testing.B)  { benchmarkServingPolicy(b, exper.PolicyAffinity) }

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	xarbench -all
-//	xarbench -table 1        # Tables 1-4
-//	xarbench -figure 6       # Figures 3-10
-//	xarbench -serving        # open-loop serving campaign (3 topologies)
-//	xarbench -all -runs 3    # cheaper randomized experiments
+//	xarbench -table 1                  # Tables 1-4
+//	xarbench -figure 6                 # Figures 3-10
+//	xarbench -serving                  # open-loop serving campaign
+//	xarbench -serving -policy affinity # …under one placement policy
+//	xarbench -all -runs 3              # cheaper randomized experiments
+//
+// The serving campaign drives the standard Poisson grid, then a
+// placement-policy comparison (default vs link-aware vs affinity on a
+// cross-rack topology with one slow uplink) and a bursty MMPP cell.
 //
 // Absolute times come from this repository's calibrated models, not
 // the authors' hardware; EXPERIMENTS.md records paper-vs-measured for
@@ -42,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	table := fs.Int("table", 0, "regenerate one table (1-4)")
 	figure := fs.Int("figure", 0, "regenerate one figure (3-10)")
 	serving := fs.Bool("serving", false, "run the open-loop serving campaign")
+	policy := fs.String("policy", "", "placement policy for the serving grid (default, link-aware, affinity)")
 	all := fs.Bool("all", false, "regenerate everything")
 	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
 	if err := fs.Parse(args); err != nil {
@@ -99,8 +105,16 @@ func run(args []string, out io.Writer) error {
 	if *all || *serving {
 		matched = true
 		fmt.Fprintf(out, "\n== serving ==\n")
-		if err := servingCampaign(out, arts); err != nil {
+		if err := servingCampaign(out, arts, *policy); err != nil {
 			return fmt.Errorf("serving: %w", err)
+		}
+		fmt.Fprintf(out, "\n== serving: placement policies ==\n")
+		if err := policyCampaign(out, apps); err != nil {
+			return fmt.Errorf("serving policies: %w", err)
+		}
+		fmt.Fprintf(out, "\n== serving: bursty (MMPP) ==\n")
+		if err := burstyCampaign(out, arts); err != nil {
+			return fmt.Errorf("serving bursty: %w", err)
 		}
 	}
 	if !matched {
@@ -133,8 +147,10 @@ func servingCells() []servingCell {
 
 // servingCampaign drives open-loop Poisson arrivals against each
 // topology at rates scaled to its size and reports throughput and tail
-// latency per mode.
-func servingCampaign(out io.Writer, arts *exper.Artifacts) error {
+// latency per mode. policy, when non-empty, selects the scheduler
+// fleet's placement policy for every cell (the default grid is
+// byte-identical to the pre-policy engine).
+func servingCampaign(out io.Writer, arts *exper.Artifacts, policy string) error {
 	modes := []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}
 	var cfgs []exper.ServingConfig
 	for _, cell := range servingCells() {
@@ -147,6 +163,7 @@ func servingCampaign(out io.Writer, arts *exper.Artifacts) error {
 					RatePerSec: rate,
 					Duration:   60 * time.Second,
 					Seed:       seed,
+					Policy:     policy,
 				})
 			}
 		}
@@ -161,6 +178,76 @@ func servingCampaign(out io.Writer, arts *exper.Artifacts) error {
 		fmt.Fprintf(out, "%-8s %-14s %7.1f %8d %8d %8.2f %9d %9d %9d %9.1f\n",
 			r.Name, r.Mode, r.RatePerSec, r.Offered, r.Completed, r.ThroughputPerSec,
 			ms(r.P50), ms(r.P95), ms(r.P99), r.MeanHostLoad)
+	}
+	return nil
+}
+
+// policyCampaign compares the placement policies on the canonical
+// cross-rack cell: per-kernel XCLBIN images (step E manual mode), four
+// entry hosts, half the ARM fleet behind a 100 Mbps uplink, saturating
+// Poisson load. Link-aware placement should cut the p99 tail (it stops
+// paying the slow hop per migration); affinity should cut scheduler
+// reconfigurations at equal-or-better throughput.
+func policyCampaign(out io.Writer, apps []*workloads.App) error {
+	arts, err := exper.BuildArtifactsSplitImages(apps)
+	if err != nil {
+		return err
+	}
+	topo := exper.PolicyComparisonTopology()
+	fmt.Fprintf(out, "topology %s: 4 x86 + 2 near ARM | 2 far ARM behind 100 Mbps/2 ms; 2 FPGAs, per-kernel images\n", topo.Name)
+	fmt.Fprintf(out, "%-10s %7s %8s %8s %8s %9s %9s %9s %7s %7s %9s %9s\n",
+		"policy", "req/s", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)", "toARM", "reconf", "skip-pend", "all-busy")
+	for _, rate := range []float64{24, 48} {
+		results, err := exper.RunPolicyComparison(arts, exper.ServingConfig{
+			Topo:       topo,
+			Mode:       exper.ModeXarTrek,
+			RatePerSec: rate,
+			Duration:   60 * time.Second,
+			Seed:       seed,
+		}, exper.Policies())
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Fprintf(out, "%-10s %7.1f %8d %8d %8.2f %9d %9d %9d %7d %7d %9d %9d\n",
+				r.Policy, r.RatePerSec, r.Offered, r.Completed, r.ThroughputPerSec,
+				ms(r.P50), ms(r.P95), ms(r.P99), r.Sched.ToARM,
+				r.Sched.ReconfigsStarted, r.Sched.ReconfigsSkippedPending, r.Sched.ReconfigsAllBusy)
+		}
+	}
+	return nil
+}
+
+// burstyCampaign replaces the Poisson stream with an MMPP trace (2 s
+// bursts at 40 req/s, 8 s idle at 1 req/s) on the rack8 topology —
+// non-Poisson open-loop load whose tail reflects burst absorption.
+func burstyCampaign(out io.Writer, arts *exper.Artifacts) error {
+	trace, err := exper.BurstyTrace(seed, 60*time.Second, 40, 2*time.Second, 1, 8*time.Second)
+	if err != nil {
+		return err
+	}
+	var cfgs []exper.ServingConfig
+	for _, mode := range []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86} {
+		cfgs = append(cfgs, exper.ServingConfig{
+			Name:     "rack8-mmpp",
+			Topo:     cluster.ScaleOutTopology("rack8", 4, 4, 2),
+			Mode:     mode,
+			Duration: 60 * time.Second,
+			Seed:     seed,
+			Trace:    trace,
+		})
+	}
+	results, err := exper.RunServingSweep(arts, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "MMPP 2-state: 40 req/s bursts (mean 2 s) / 1 req/s idle (mean 8 s), %d arrivals\n", len(trace))
+	fmt.Fprintf(out, "%-12s %-14s %8s %8s %8s %9s %9s %9s\n",
+		"trace", "mode", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, r := range results {
+		fmt.Fprintf(out, "%-12s %-14s %8d %8d %8.2f %9d %9d %9d\n",
+			r.Name, r.Mode, r.Offered, r.Completed, r.ThroughputPerSec,
+			ms(r.P50), ms(r.P95), ms(r.P99))
 	}
 	return nil
 }

@@ -53,3 +53,11 @@ func TestTable3Static(t *testing.T) {
 		t.Fatalf("table 3 text wrong:\n%s", out.String())
 	}
 }
+
+func TestServingRejectsUnknownPolicy(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-serving", "-policy", "bogus"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown placement policy") {
+		t.Fatalf("err = %v, want unknown placement policy", err)
+	}
+}

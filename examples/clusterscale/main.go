@@ -96,5 +96,53 @@ func run() error {
 	}
 	fmt.Printf("\ntrace-driven burst: %d offered, %d done, p99 %v\n",
 		res.Offered, res.Completed, res.P99)
+
+	// Bursty open-loop load without a recorded trace: a two-state MMPP
+	// (2 s bursts at 30 req/s, 8 s idle trickle) — non-Poisson arrival
+	// statistics whose tail reflects burst absorption.
+	mmpp, err := xartrek.BurstyTrace(2021, time.Minute, 30, 2*time.Second, 1, 8*time.Second)
+	if err != nil {
+		return err
+	}
+	res, err = xartrek.RunServing(arts, xartrek.ServingConfig{
+		Name:     "mmpp",
+		Topo:     xartrek.ScaleOutTopology("rack8", 4, 4, 2),
+		Mode:     xartrek.ModeXarTrek,
+		Duration: time.Minute,
+		Seed:     2021,
+		Trace:    mmpp,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MMPP bursty:        %d offered, %d done, p99 %v\n",
+		res.Offered, res.Completed, res.P99)
+
+	// Placement policies: on a topology with a slow cross-rack hop the
+	// scheduler's placement rule is swappable per run. Per-kernel
+	// images (BuildSplitImages) make the FPGA fleet reconfigure under
+	// contention, so the affinity policy has churn to cut; link-aware
+	// placement stops paying the 100 Mbps uplink on every second ARM
+	// migration.
+	splitArts, err := xartrek.BuildSplitImages(apps)
+	if err != nil {
+		return err
+	}
+	comparison, err := xartrek.RunPolicyComparison(splitArts, xartrek.ServingConfig{
+		Topo:       xartrek.PolicyComparisonTopology(),
+		Mode:       xartrek.ModeXarTrek,
+		RatePerSec: 48,
+		Duration:   time.Minute,
+		Seed:       2021,
+	}, xartrek.Policies())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-12s %8s %9s %9s %9s\n", "policy", "tput/s", "p99(ms)", "reconfigs", "to-ARM")
+	for _, r := range comparison {
+		fmt.Printf("%-12s %8.2f %9d %9d %9d\n",
+			r.Policy, r.ThroughputPerSec, r.P99.Milliseconds(),
+			r.Sched.ReconfigsStarted, r.Sched.ToARM)
+	}
 	return nil
 }

@@ -69,6 +69,16 @@ func (l *Link) Submit(work time.Duration, done func()) *simtime.PSJob {
 	return l.PS.Submit(work, done)
 }
 
+// Queued reports the number of transfers currently in flight on the
+// link. Concurrent transfers divide the link's bandwidth, so a
+// placement policy weighing transfer time should inflate its estimate
+// by the occupancy.
+func (l *Link) Queued() int { return l.PS.Active() }
+
+// Transfer estimates the uncontended time to move n bytes over the
+// link (LinkSpec overrides included).
+func (l *Link) Transfer(n int64) time.Duration { return l.Net.TransferTime(n) }
+
 // linkKey identifies an unordered node pair by index.
 type linkKey struct{ lo, hi int }
 
@@ -173,6 +183,21 @@ func (c *Cluster) Link(a, b *Node) *Link {
 		panic(fmt.Sprintf("cluster: self-link on node %s", a.Name))
 	}
 	return c.links[pairKey(a.Index, b.Index)]
+}
+
+// TransferEstimate is the cluster's transfer-cost query surface:
+// the estimated uncontended time to move n bytes between two nodes
+// over their pair link, resolving any LinkSpec override. The payload
+// is whatever a policy is costing — a migration's DSM working set, a
+// state-transformation snapshot, or an XCLBIN image staged to a remote
+// host. A same-node "transfer" costs zero (no link is crossed).
+// Contention is not folded in; combine with Link.Queued when the
+// current occupancy matters.
+func (c *Cluster) TransferEstimate(a, b *Node, n int64) time.Duration {
+	if a.Index == b.Index {
+		return 0
+	}
+	return c.Link(a, b).Transfer(n)
 }
 
 // NodesOfArch lists the nodes of one ISA class in topology order.

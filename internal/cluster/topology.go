@@ -92,6 +92,62 @@ func ScaleOutTopology(name string, nX86, nARM, nFPGA int) Topology {
 	return t
 }
 
+// CrossRackTopology builds a two-rack cluster with an asymmetric
+// interconnect: rack A holds nX86 entry/scheduler hosts and nARMNear
+// ARM servers joined by DefaultNet-class 1 Gbps Ethernet; rack B holds
+// nARMFar ARM servers reachable from rack A only over the given cross
+// model (every A↔B pair gets a LinkSpec override). The nFPGA cards
+// stay PCIe-attached to the hosts, as in every other topology. This is
+// the canonical testbed for link-aware placement: the far ARM capacity
+// is real, but a policy that ignores the slow hop pays its transfer
+// cost on every second migration.
+//
+// Node names are deterministic (x86-00, arma-00, armb-00, fpga-00, …)
+// so experiment output is stable.
+func CrossRackTopology(name string, nX86, nARMNear, nARMFar, nFPGA int, cross popcorn.NetModel) Topology {
+	t := Topology{Name: name, DefaultNet: popcorn.EthernetGbps1()}
+	var rackA, rackB []string
+	for i := 0; i < nX86; i++ {
+		n := fmt.Sprintf("x86-%02d", i)
+		t.Nodes = append(t.Nodes, NodeSpec{Name: n, Arch: isa.X86_64, Cores: 6})
+		rackA = append(rackA, n)
+	}
+	for i := 0; i < nARMNear; i++ {
+		n := fmt.Sprintf("arma-%02d", i)
+		t.Nodes = append(t.Nodes, NodeSpec{Name: n, Arch: isa.ARM64, Cores: 96})
+		rackA = append(rackA, n)
+	}
+	for i := 0; i < nARMFar; i++ {
+		n := fmt.Sprintf("armb-%02d", i)
+		t.Nodes = append(t.Nodes, NodeSpec{Name: n, Arch: isa.ARM64, Cores: 96})
+		rackB = append(rackB, n)
+	}
+	for i := 0; i < nFPGA; i++ {
+		t.FPGAs = append(t.FPGAs, FPGASpec{Name: fmt.Sprintf("fpga-%02d", i)})
+	}
+	for _, a := range rackA {
+		for _, b := range rackB {
+			t.Links = append(t.Links, LinkSpec{A: a, B: b, Net: cross})
+		}
+	}
+	return t
+}
+
+// NetBetween resolves the interconnect model between two named nodes:
+// the LinkSpec override when one exists (either orientation),
+// DefaultNet otherwise. It answers the spec-level transfer-cost
+// question — "what would moving bytes between these nodes cost" —
+// without materialising the topology; Cluster.TransferEstimate is the
+// materialised equivalent.
+func (t Topology) NetBetween(a, b string) popcorn.NetModel {
+	for _, l := range t.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l.Net
+		}
+	}
+	return t.DefaultNet
+}
+
 // Validate checks the structural invariants the scheduler and the
 // experiment engine assume.
 func (t Topology) Validate() error {

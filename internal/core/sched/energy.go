@@ -38,8 +38,9 @@ type energyPolicy struct {
 // executable. Called with s.mu held.
 func (s *Server) decideEDP(rec threshold.Record, kernel string) Decision {
 	x86Load := s.load()
-	devIdx, hwAvail := s.findKernel(kernel)
-	armNode, armOK := s.pickARMNode()
+	ctx := PlacementContext{App: rec.App, Kernel: kernel, HostLoad: x86Load, Record: rec}
+	devIdx, hwAvail := s.placeDevice(ctx)
+	armNode, armOK := s.placeARM(ctx)
 
 	ests := power.EstimateFromRecord(s.energy.model, rec, x86Load, s.energy.x86Cores)
 	viable := ests[:0:0]
@@ -67,7 +68,7 @@ func (s *Server) decideEDP(rec threshold.Record, kernel string) Decision {
 	if !hwAvail {
 		// The FPGA was excluded this round; configure it in the
 		// background so the EDP comparison includes it next time.
-		d.ReconfigStarted = s.startReconfig(kernel)
+		d.ReconfigStarted = s.startReconfig(ctx)
 	}
 	return d
 }

@@ -1,17 +1,20 @@
 package sched
 
 import (
+	"time"
+
 	"xartrek/internal/core/threshold"
 	"xartrek/internal/xclbin"
 )
 
 // Fleet is the generalized-topology view Algorithm 2's placement step
-// scores: the ARM-class CPU candidates for software migration and the
-// FPGA device fleet. The paper's Algorithm 2 picks among exactly three
-// targets (the x86 host, the ARM server, the FPGA); with a Fleet the
-// class decision is unchanged — thresholds against the host load — and
-// a deterministic placement step then selects the concrete node or
-// device inside the class:
+// scores: the ARM-class CPU candidates for software migration, the
+// FPGA device fleet, and the transfer-cost context a placement policy
+// may weigh. The paper's Algorithm 2 picks among exactly three targets
+// (the x86 host, the ARM server, the FPGA); with a Fleet the class
+// decision is unchanged — thresholds against the host load — and a
+// PlacementPolicy then selects the concrete node or device inside the
+// class. The nil policy is DefaultPolicy, the paper's rule:
 //
 //   - ARM class: the least-loaded candidate node, ties broken toward
 //     the lower identifier,
@@ -29,9 +32,29 @@ type Fleet struct {
 	// NodeLoad reports the resident process count of a node named in
 	// ARMNodes.
 	NodeLoad func(id int) int
+	// NodeCores reports the core count of a node named in ARMNodes —
+	// the capacity a policy needs to turn a process count into a
+	// processor-sharing slowdown. nil means capacity is unknown.
+	NodeCores func(id int) int
+	// MigrationCost estimates the uncontended one-way cost of
+	// migrating the named application from this server's entry node to
+	// the given ARM node: Popcorn state transformation plus the
+	// working set over the pair's link (see cluster.TransferEstimate).
+	// nil means transfer costs are unobservable; policies must treat
+	// them as zero.
+	MigrationCost func(app string, node int) time.Duration
+	// LinkQueue reports the number of transfers currently in flight on
+	// the link between this server's entry node and the given ARM node
+	// — concurrent transfers divide the link's bandwidth. nil means
+	// link occupancy is unobservable.
+	LinkQueue func(node int) int
 	// Devices lists the FPGA fleet in deterministic (topology) order.
 	// Entries must be non-nil.
 	Devices []Device
+	// Policy chooses concrete placements within Algorithm 2's class
+	// decision; nil selects DefaultPolicy, which keeps the server
+	// bit-identical to the pre-policy scheduler.
+	Policy PlacementPolicy
 }
 
 // NewFleetServer assembles a scheduler server over a generalized
@@ -46,6 +69,15 @@ func NewFleetServer(table *threshold.Table, load LoadFunc, fleet Fleet, images [
 	return s
 }
 
+// Policy returns the server's active placement policy (DefaultPolicy
+// for nil-policy fleets and for the fixed-testbed NewServer wiring).
+func (s *Server) Policy() PlacementPolicy {
+	if s.fleet != nil && s.fleet.Policy != nil {
+		return s.fleet.Policy
+	}
+	return DefaultPolicy{}
+}
+
 // devices returns the device fleet: the configured Fleet's list, or the
 // single NewServer device.
 func (s *Server) devices() []Device {
@@ -58,37 +90,32 @@ func (s *Server) devices() []Device {
 	return []Device{s.dev}
 }
 
-// findKernel locates the lowest-indexed device with the kernel
-// resident ("Query Available HW Kernels" across the fleet).
-func (s *Server) findKernel(kernel string) (int, bool) {
-	for i, d := range s.devices() {
-		if d.HasKernel(kernel) {
-			return i, true
+// placeDevice locates the card serving a hardware invocation ("Query
+// Available HW Kernels" across the fleet): the policy's pick over a
+// fleet, the single NewServer device otherwise.
+func (s *Server) placeDevice(ctx PlacementContext) (int, bool) {
+	if s.fleet == nil {
+		if s.dev != nil && s.dev.HasKernel(ctx.Kernel) {
+			return 0, true
 		}
+		return 0, false
 	}
-	return 0, false
+	if len(s.fleet.Devices) == 0 {
+		return 0, false
+	}
+	return s.Policy().PickDevice(ctx, s.fleet)
 }
 
-// pickARMNode selects the least-loaded ARM candidate, ties broken
-// toward the lower identifier. Without a fleet (the fixed testbed) the
-// single ARM server is node 0; with an empty candidate list it reports
-// false and the caller must not choose the ARM class.
-func (s *Server) pickARMNode() (int, bool) {
+// placeARM selects the ARM-class placement. Without a fleet (the fixed
+// testbed) the single ARM server is node 0; with an empty candidate
+// list it reports false and the caller must not choose the ARM class.
+// Non-degenerate fleets delegate to the placement policy.
+func (s *Server) placeARM(ctx PlacementContext) (int, bool) {
 	if s.fleet == nil {
 		return 0, true
 	}
 	if len(s.fleet.ARMNodes) == 0 {
 		return 0, false
 	}
-	best := s.fleet.ARMNodes[0]
-	if s.fleet.NodeLoad == nil {
-		return best, true
-	}
-	bestLoad := s.fleet.NodeLoad(best)
-	for _, id := range s.fleet.ARMNodes[1:] {
-		if l := s.fleet.NodeLoad(id); l < bestLoad {
-			best, bestLoad = id, l
-		}
-	}
-	return best, true
+	return s.Policy().PickARMNode(ctx, s.fleet)
 }

@@ -1,14 +1,35 @@
 package exper
 
 import (
+	"fmt"
 	"time"
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
 	"xartrek/internal/isa"
 	"xartrek/internal/simtime"
+	"xartrek/internal/workloads"
 	"xartrek/internal/xclbin"
 	"xartrek/internal/xrt"
+)
+
+// Placement-policy names selectable per platform or per serving
+// campaign (Options.Policy / ServingConfig.Policy). The empty string
+// selects PolicyDefault.
+const (
+	// PolicyDefault is the paper's placement rule: least-loaded ARM
+	// node, lowest-indexed device — bit-identical to the pre-policy
+	// scheduler.
+	PolicyDefault = "default"
+	// PolicyLinkAware weighs migration transfer time and link
+	// occupancy against queueing, so a slow cross-rack hop repels ARM
+	// placement (sched.LinkAwarePolicy).
+	PolicyLinkAware = "link-aware"
+	// PolicyAffinity pre-partitions the XCLBIN image set across the
+	// FPGA fleet and pins each kernel to its card, cutting
+	// reconfiguration churn (sched.AffinityPolicy). The assigned
+	// images are preloaded at platform start.
+	PolicyAffinity = "affinity"
 )
 
 // Options disable individual Xar-Trek design decisions for the
@@ -30,6 +51,10 @@ type Options struct {
 	// StaticThresholds disables Algorithm 1: the threshold table
 	// stays as step G estimated it. Ablation 4.
 	StaticThresholds bool
+	// Policy selects the placement policy of the scheduler fleet:
+	// PolicyDefault (also the empty string), PolicyLinkAware or
+	// PolicyAffinity. Unknown names fail platform construction.
+	Policy string
 }
 
 // NewPlatformOpts is NewPlatform with ablation options on the paper
@@ -46,10 +71,11 @@ func NewPlatformOpts(arts *Artifacts, opts Options) *Platform {
 // NewPlatformTopo materialises an arbitrary cluster topology as an
 // experiment platform: one run queue per CPU node, one xrt device per
 // FPGA card, a per-pair link fleet, and a scheduler server whose
-// Algorithm 2 placement scores over all of them (least-loaded ARM
+// Algorithm 2 placement scores over all of them through the selected
+// placement policy (opts.Policy; the default is least-loaded ARM
 // node, lowest-indexed device with the kernel). Under
-// cluster.PaperTopology() the platform reproduces the fixed paper
-// testbed bit-identically.
+// cluster.PaperTopology() with the default policy the platform
+// reproduces the fixed paper testbed bit-identically.
 func NewPlatformTopo(arts *Artifacts, topo cluster.Topology, opts Options) (*Platform, error) {
 	sim := simtime.New()
 	c, err := cluster.FromTopology(sim, topo)
@@ -75,25 +101,122 @@ func NewPlatformTopo(arts *Artifacts, topo cluster.Topology, opts Options) (*Pla
 	if opts.X86FIFO {
 		p.fifo = &fifoGate{p: p, slots: c.X86.Cores}
 	}
-	fleet := sched.Fleet{
-		NodeLoad: func(id int) int { return c.Nodes[id].Load() },
+	p.appByName = make(map[string]*workloads.App, len(arts.Apps))
+	for _, a := range arts.Apps {
+		p.appByName[a.Name] = a
 	}
+	policy, pins, err := p.placementPolicy(opts.Policy, images)
+	if err != nil {
+		return nil, err
+	}
+	p.pins = pins
+	armNodes := make([]int, 0, len(c.NodesOfArch(isa.ARM64)))
 	for _, n := range c.NodesOfArch(isa.ARM64) {
-		fleet.ARMNodes = append(fleet.ARMNodes, n.Index)
+		armNodes = append(armNodes, n.Index)
 	}
+	fleetDevs := make([]sched.Device, 0, len(devs))
 	for _, d := range devs {
-		fleet.Devices = append(fleet.Devices, d)
+		fleetDevs = append(fleetDevs, d)
 	}
 	// One scheduler server per x86 node, each sampling its own node's
 	// load, all sharing the cloned threshold table and the device
-	// fleet. The host's instance is the paper's single server.
+	// fleet. The host's instance is the paper's single server. Each
+	// server's fleet carries transfer context anchored at its own
+	// entry node — migrations depart from where the process runs, so
+	// two entry nodes can legitimately score the same ARM candidate
+	// differently.
 	p.servers = make([]*sched.Server, len(c.Nodes))
 	for _, n := range c.NodesOfArch(isa.X86_64) {
 		node := n
+		fleet := sched.Fleet{
+			ARMNodes:  armNodes,
+			NodeLoad:  func(id int) int { return c.Nodes[id].Load() },
+			NodeCores: func(id int) int { return c.Nodes[id].Cores },
+			MigrationCost: func(app string, id int) time.Duration {
+				return p.migrationCost(node, app, id)
+			},
+			LinkQueue: func(id int) int {
+				return c.Link(node, c.Nodes[id]).Queued()
+			},
+			Devices: fleetDevs,
+			Policy:  policy,
+		}
 		p.servers[node.Index] = sched.NewFleetServer(table, func() int { return p.nodeLoad(node) }, fleet, images)
 	}
 	p.Server = p.servers[c.X86.Index]
+	p.preloadPinnedImages(images)
 	return p, nil
+}
+
+// migrationCost estimates the uncontended cost of migrating one
+// application from its entry node to an ARM node: Popcorn state
+// transformation plus the DSM working set over the pair's link — the
+// transfer context link-aware placement weighs. Unknown applications
+// (no profile) report zero, degrading the policy to least-loaded.
+func (p *Platform) migrationCost(entry *cluster.Node, app string, node int) time.Duration {
+	a, ok := p.appByName[app]
+	if !ok || node < 0 || node >= len(p.Cluster.Nodes) {
+		return 0
+	}
+	return a.StateTransformTime() + p.Cluster.TransferEstimate(entry, p.Cluster.Nodes[node], a.WorkingSetBytes)
+}
+
+// placementPolicy resolves an Options.Policy name. For PolicyAffinity
+// it also builds the kernel→card pin map by round-robining the
+// compiled image set across the device fleet — card i%N owns image i
+// and every kernel it carries.
+func (p *Platform) placementPolicy(name string, images []*xclbin.XCLBIN) (sched.PlacementPolicy, map[string]int, error) {
+	switch name {
+	case "", PolicyDefault:
+		return nil, nil, nil
+	case PolicyLinkAware:
+		return sched.LinkAwarePolicy{}, nil, nil
+	case PolicyAffinity:
+		pins := partitionKernels(images, len(p.Devices))
+		return sched.NewAffinityPolicy(pins), pins, nil
+	default:
+		return nil, nil, fmt.Errorf("exper: unknown placement policy %q (want %s, %s or %s)",
+			name, PolicyDefault, PolicyLinkAware, PolicyAffinity)
+	}
+}
+
+// partitionKernels assigns image i to card i%n and pins each kernel to
+// its image's card (first image wins for kernels carried by several).
+// With no cards the map is empty and the affinity policy degrades to
+// DefaultPolicy.
+func partitionKernels(images []*xclbin.XCLBIN, n int) map[string]int {
+	pins := make(map[string]int)
+	if n == 0 {
+		return pins
+	}
+	for i, img := range images {
+		card := i % n
+		for _, k := range img.Kernels {
+			if _, seen := pins[k.KernelName]; !seen {
+				pins[k.KernelName] = card
+			}
+		}
+	}
+	return pins
+}
+
+// preloadPinnedImages warms an affinity-partitioned fleet: each card
+// starts downloading its first assigned image at time zero, so the hot
+// kernels are resident before the first FPGA-class decision instead of
+// being configured on demand. No-op without affinity pins.
+func (p *Platform) preloadPinnedImages(images []*xclbin.XCLBIN) {
+	if p.pins == nil {
+		return
+	}
+	for i, img := range images {
+		if i >= len(p.Devices) {
+			// Later images in a card's round-robin share load on
+			// demand through the policy's ReconfigOrder.
+			break
+		}
+		// Ignore errors: a busy card just loads on demand later.
+		_ = p.Devices[i].Program(img, nil)
+	}
 }
 
 // nodeLoad samples the paper's process-count metric on one x86 node:

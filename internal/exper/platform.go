@@ -64,13 +64,33 @@ type Artifacts struct {
 }
 
 // BuildArtifacts runs the full compiler pipeline (steps A-G) over the
-// application set.
+// application set, with step E's automatic first-fit partitioning
+// (the Alveo U50's dynamic region fits all five paper kernels in one
+// image, so the paper testbed never reconfigures after first load).
 func BuildArtifacts(apps []*workloads.App) (*Artifacts, error) {
+	return buildArtifacts(apps, false)
+}
+
+// BuildArtifactsSplitImages runs the same pipeline in step E's manual
+// mode with every hardware kernel assigned its own XCLBIN image — the
+// configuration a designer picks when kernels must hot-swap
+// independently. On a device fleet smaller than the image set the
+// cards now reconfigure under contention, which is the regime the
+// affinity placement policy exists for.
+func BuildArtifactsSplitImages(apps []*workloads.App) (*Artifacts, error) {
+	return buildArtifacts(apps, true)
+}
+
+func buildArtifacts(apps []*workloads.App, splitImages bool) (*Artifacts, error) {
 	manifest := &profile.Manifest{Platform: "alveo-u50"}
 	inputs := make([]compilepipe.AppInput, 0, len(apps))
 	for _, app := range apps {
 		if !app.HWCapable {
 			continue
+		}
+		idx := profile.AutoAssign
+		if splitImages {
+			idx = len(manifest.Apps)
 		}
 		fnName := app.Spec.Fn.Name()
 		manifest.Apps = append(manifest.Apps, profile.App{
@@ -78,7 +98,7 @@ func BuildArtifacts(apps []*workloads.App) (*Artifacts, error) {
 			Functions: []profile.Function{{
 				Name:        fnName,
 				Kernel:      app.KernelName,
-				XCLBINIndex: profile.AutoAssign,
+				XCLBINIndex: idx,
 			}},
 		})
 		spec := app.Spec
@@ -125,6 +145,13 @@ type Platform struct {
 	// servers holds one scheduler server per cluster node index (nil
 	// for non-x86 nodes); servers[X86.Index] == Server.
 	servers []*sched.Server
+	// appByName indexes the artifact set's applications for the
+	// transfer-cost closures the scheduler fleet consumes.
+	appByName map[string]*workloads.App
+	// pins is the kernel→card assignment of the affinity policy (nil
+	// under every other policy); preconfiguration routes through it so
+	// the instrumentation-inserted download honours the partition too.
+	pins map[string]int
 	// traceHook, when set, receives per-kernel-completion notes
 	// (debugging aid for experiment development).
 	traceHook func(string)
@@ -158,6 +185,37 @@ func (p *Platform) Summary() string {
 		fmt.Fprintf(&sb, ", FPGA: %d x %s", len(p.Devices), p.Devices[0].Platform().Name)
 	}
 	return sb.String()
+}
+
+// SchedStats aggregates scheduling counters across the whole entry
+// fleet (one scheduler server per x86 node). On the paper testbed it
+// equals p.Server.Stats().
+func (p *Platform) SchedStats() sched.Stats {
+	var total sched.Stats
+	for _, s := range p.servers {
+		if s != nil {
+			total.Add(s.Stats())
+		}
+	}
+	return total
+}
+
+// PolicyName reports the active placement policy ("default" when
+// Options.Policy was empty).
+func (p *Platform) PolicyName() string { return p.Server.Policy().Name() }
+
+// DeviceReconfigs sums image downloads across the FPGA fleet — every
+// Program call that started, whether the scheduler, the
+// instrumentation-inserted preconfiguration, or an affinity preload
+// issued it. This is the churn metric the affinity policy minimises;
+// sched.Stats.ReconfigsStarted counts only the scheduler-issued
+// subset.
+func (p *Platform) DeviceReconfigs() int {
+	total := 0
+	for _, d := range p.Devices {
+		total += d.Stats().Reconfigurations
+	}
+	return total
 }
 
 // RunFor drives the simulation until the virtual clock reaches d and

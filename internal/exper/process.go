@@ -80,7 +80,10 @@ func (p *Platform) LaunchAppOn(entry *cluster.Node, app *workloads.App, mode Mod
 // preconfigure starts downloading the image that carries the app's
 // kernel onto the lowest-indexed idle device, unless the kernel is
 // already resident — or already being downloaded — somewhere in the
-// fleet.
+// fleet. Under the affinity policy the download goes to the kernel's
+// pinned card only (or nowhere while that card is busy), so the
+// instrumentation-inserted preconfiguration cannot churn another
+// kernel's card either.
 func (p *Platform) preconfigure(app *workloads.App) {
 	if len(p.Devices) == 0 || !app.HWCapable {
 		return
@@ -93,6 +96,14 @@ func (p *Platform) preconfigure(app *workloads.App) {
 	img, ok := p.images(app)
 	if !ok {
 		return
+	}
+	if p.pins != nil {
+		if card, ok := p.pins[app.KernelName]; ok && card >= 0 && card < len(p.Devices) {
+			if !p.Devices[card].Reconfiguring() {
+				_ = p.Devices[card].Program(img, nil)
+			}
+			return
+		}
 	}
 	for _, dev := range p.Devices {
 		if dev.Reconfiguring() {

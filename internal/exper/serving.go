@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xartrek/internal/cluster"
+	"xartrek/internal/core/sched"
 	"xartrek/internal/par"
 	"xartrek/internal/workloads"
 )
@@ -35,8 +36,13 @@ type ServingConfig struct {
 	Seed int64
 	// Trace, when non-empty, lists explicit arrival offsets from time
 	// zero (trace-driven mode). Offsets at or past Duration are
-	// dropped; negative offsets are invalid.
+	// dropped; negative offsets are invalid. MMPPTrace generates
+	// bursty traces in this format.
 	Trace []time.Duration
+	// Policy selects the scheduler fleet's placement policy for this
+	// run (PolicyDefault, PolicyLinkAware, PolicyAffinity). Non-empty
+	// values override Opts.Policy.
+	Policy string
 	// Opts carries the ablation switches.
 	Opts Options
 }
@@ -60,6 +66,16 @@ type ServingResult struct {
 	// MeanHostLoad is the scheduler host's average multiprogramming
 	// level over the horizon — the x86LOAD the thresholds react to.
 	MeanHostLoad float64
+	// Policy is the placement policy the run's scheduler fleet used.
+	Policy string
+	// Sched aggregates the scheduler fleet's counters over the run —
+	// per-target decisions plus the reconfiguration outcome split
+	// (started / skipped-because-pending / deferred-all-busy).
+	Sched sched.Stats
+	// FPGAReconfigs is the total number of image downloads the device
+	// fleet performed, from any path (scheduler, preconfiguration,
+	// affinity preload) — the churn the affinity policy cuts.
+	FPGAReconfigs int
 }
 
 // arrival is one pre-drawn request: when it enters and what it runs.
@@ -120,11 +136,15 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if err != nil {
 		return ServingResult{}, err
 	}
-	p, err := NewPlatformTopo(arts, cfg.Topo, cfg.Opts)
+	opts := cfg.Opts
+	if cfg.Policy != "" {
+		opts.Policy = cfg.Policy
+	}
+	p, err := NewPlatformTopo(arts, cfg.Topo, opts)
 	if err != nil {
 		return ServingResult{}, err
 	}
-	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Offered: len(reqs)}
+	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Offered: len(reqs), Policy: p.PolicyName()}
 	var latencies []time.Duration
 	// A request placed on a node becomes visible in the node's run
 	// queue only when its launch event executes, which is after every
@@ -189,6 +209,8 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	res.P95 = percentile(latencies, 95)
 	res.P99 = percentile(latencies, 99)
 	res.MeanHostLoad = p.Cluster.X86.Pool.JobSeconds() / cfg.Duration.Seconds()
+	res.Sched = p.SchedStats()
+	res.FPGAReconfigs = p.DeviceReconfigs()
 	return res, nil
 }
 

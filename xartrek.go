@@ -38,6 +38,7 @@ import (
 	"xartrek/internal/core/sched"
 	"xartrek/internal/core/threshold"
 	"xartrek/internal/exper"
+	"xartrek/internal/popcorn"
 	"xartrek/internal/power"
 	"xartrek/internal/workloads"
 )
@@ -91,6 +92,21 @@ type (
 	ServingConfig = exper.ServingConfig
 	// ServingResult is one serving run's throughput/latency report.
 	ServingResult = exper.ServingResult
+	// PlacementPolicy chooses concrete placements within Algorithm 2's
+	// class decision (which ARM node, which FPGA card); implement it to
+	// plug a custom policy into a Scheduler fleet.
+	PlacementPolicy = sched.PlacementPolicy
+	// PlacementContext is the per-request information a placement
+	// policy scores with.
+	PlacementContext = sched.PlacementContext
+	// Fleet is the generalized-topology view a placement policy scores
+	// over: ARM candidates, device fleet, transfer-cost context.
+	Fleet = sched.Fleet
+	// SchedulerStats aggregates a scheduler's decision and
+	// reconfiguration counters.
+	SchedulerStats = sched.Stats
+	// MMPPState is one regime of the bursty (MMPP) arrival generator.
+	MMPPState = exper.MMPPState
 )
 
 // Execution modes.
@@ -106,6 +122,15 @@ const (
 	TargetX86  = threshold.TargetX86
 	TargetARM  = threshold.TargetARM
 	TargetFPGA = threshold.TargetFPGA
+)
+
+// Placement-policy names for ServingConfig.Policy and the -policy
+// flags: the paper's least-loaded/lowest-indexed rule, transfer-aware
+// ARM placement, and kernel→card affinity with image pre-partitioning.
+const (
+	PolicyDefault   = exper.PolicyDefault
+	PolicyLinkAware = exper.PolicyLinkAware
+	PolicyAffinity  = exper.PolicyAffinity
 )
 
 // Benchmarks returns the paper's five Table 1 applications (CG-A,
@@ -125,6 +150,14 @@ func NewMGB() (*App, error) { return workloads.NewMGB() }
 // binary generation, HLS synthesis, XCLBIN partitioning and threshold
 // estimation.
 func Build(apps []*App) (*Artifacts, error) { return exper.BuildArtifacts(apps) }
+
+// BuildSplitImages is Build with step E's manual partitioning mode:
+// every hardware kernel gets its own XCLBIN image, so a device fleet
+// smaller than the kernel set reconfigures under contention — the
+// regime the affinity placement policy targets.
+func BuildSplitImages(apps []*App) (*Artifacts, error) {
+	return exper.BuildArtifactsSplitImages(apps)
+}
 
 // NewPlatform instantiates a fresh simulated paper testbed over shared
 // artifacts: x86 and ARM servers, the Alveo U50, and a scheduler
@@ -147,6 +180,55 @@ func PaperTopology() Topology { return cluster.PaperTopology() }
 func ScaleOutTopology(name string, nX86, nARM, nFPGA int) Topology {
 	return cluster.ScaleOutTopology(name, nX86, nARM, nFPGA)
 }
+
+// CrossRackTopology builds a two-rack cluster whose rack B ARM servers
+// sit behind the given cross-rack interconnect model while rack A
+// (entry hosts + near ARM) keeps 1 Gbps Ethernet — the testbed for
+// link-aware placement.
+func CrossRackTopology(name string, nX86, nARMNear, nARMFar, nFPGA int, cross popcorn.NetModel) Topology {
+	return cluster.CrossRackTopology(name, nX86, nARMNear, nARMFar, nFPGA, cross)
+}
+
+// NetModel is a point-to-point interconnect model (RTT + bandwidth),
+// used for Topology.DefaultNet and per-pair LinkSpec overrides.
+type NetModel = popcorn.NetModel
+
+// EthernetGbps1 is the paper testbed's shared 1 Gbps Ethernet.
+func EthernetGbps1() NetModel { return popcorn.EthernetGbps1() }
+
+// SlowCrossRackNet is the canonical degraded cross-rack hop of the
+// policy-comparison campaign (100 Mbps, 2 ms RTT).
+func SlowCrossRackNet() NetModel { return exper.SlowCrossRackNet() }
+
+// PolicyComparisonTopology is the canonical cross-rack cell the
+// placement policies are compared on in EXPERIMENTS.md: 4 x86 entry
+// hosts + 2 near ARM servers, 2 far ARM servers behind
+// SlowCrossRackNet, 2 FPGA cards.
+func PolicyComparisonTopology() Topology { return exper.PolicyComparisonTopology() }
+
+// MMPPTrace draws a bursty arrival trace from a Markov-modulated
+// Poisson process cycling through the given states; feed the result
+// to ServingConfig.Trace.
+func MMPPTrace(seed int64, horizon time.Duration, states []MMPPState) ([]time.Duration, error) {
+	return exper.MMPPTrace(seed, horizon, states)
+}
+
+// BurstyTrace is the two-state MMPP convenience: bursts at burstRate
+// (mean length burstLen) separated by idle stretches at idleRate
+// (mean length idleLen).
+func BurstyTrace(seed int64, horizon time.Duration, burstRate float64, burstLen time.Duration, idleRate float64, idleLen time.Duration) ([]time.Duration, error) {
+	return exper.BurstyTrace(seed, horizon, burstRate, burstLen, idleRate, idleLen)
+}
+
+// RunPolicyComparison runs one serving configuration once per named
+// placement policy (see Policies) with everything else held fixed,
+// attributing tail-latency and churn differences to placement alone.
+func RunPolicyComparison(arts *Artifacts, cfg ServingConfig, policies []string) ([]ServingResult, error) {
+	return exper.RunPolicyComparison(arts, cfg, policies)
+}
+
+// Policies lists the built-in placement policies in report order.
+func Policies() []string { return exper.Policies() }
 
 // RunServing executes one open-loop serving run: Poisson (or
 // trace-driven) request arrivals against a chosen topology, reporting

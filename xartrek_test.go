@@ -142,3 +142,58 @@ func TestRunWavesViaFacade(t *testing.T) {
 		t.Fatalf("runs = %d, want 10", r.Runs)
 	}
 }
+
+func TestPlacementPolicyViaFacade(t *testing.T) {
+	apps, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := BuildSplitImages(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xrack := CrossRackTopology("xrack", 2, 1, 1, 2, SlowCrossRackNet())
+	results, err := RunPolicyComparison(arts, ServingConfig{
+		Topo: xrack, Mode: ModeXarTrek, RatePerSec: 8,
+		Duration: 10 * time.Second, Seed: 2021,
+	}, Policies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	want := []string{PolicyDefault, PolicyLinkAware, PolicyAffinity}
+	for i, r := range results {
+		if r.Policy != want[i] {
+			t.Fatalf("result %d policy = %q, want %q", i, r.Policy, want[i])
+		}
+		if r.Completed == 0 {
+			t.Fatalf("policy %s completed nothing", r.Policy)
+		}
+	}
+}
+
+func TestMMPPTraceViaFacade(t *testing.T) {
+	trace, err := MMPPTrace(1, 30*time.Second, []MMPPState{
+		{RatePerSec: 20, MeanSojourn: time.Second},
+		{RatePerSec: 1, MeanSojourn: 4 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty MMPP trace")
+	}
+	arts := facadeArtifacts(t)
+	r, err := RunServing(arts, ServingConfig{
+		Name: "mmpp", Topo: PaperTopology(), Mode: ModeVanillaX86,
+		Duration: 30 * time.Second, Seed: 1, Trace: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered != len(trace) {
+		t.Fatalf("offered = %d, want %d", r.Offered, len(trace))
+	}
+}
