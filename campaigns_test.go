@@ -1,0 +1,62 @@
+package xartrek
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCampaignSpecsParse walks every checked-in campaign spec under
+// examples/campaigns and validates that it parses strictly (unknown
+// fields rejected) and expands — so a typo in a spec file fails CI
+// instead of a user's run.
+func TestCampaignSpecsParse(t *testing.T) {
+	dir := filepath.Join("examples", "campaigns")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		specs++
+		path := filepath.Join(dir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			spec, err := ParseCampaign(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if spec.Name == "" {
+				t.Error("spec has no name")
+			}
+			cells, err := spec.Expand()
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			if len(cells) == 0 {
+				t.Error("spec expands to no cells")
+			}
+			// Trace files referenced by a checked-in spec must be
+			// checked in next to it.
+			for _, c := range cells {
+				if c.TraceFile == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(dir, c.TraceFile)); err != nil {
+					t.Errorf("trace file %s: %v", c.TraceFile, err)
+				}
+			}
+		})
+	}
+	if specs == 0 {
+		t.Fatal("no campaign specs found under examples/campaigns")
+	}
+}

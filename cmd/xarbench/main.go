@@ -10,10 +10,18 @@
 //	xarbench -serving                  # open-loop serving campaign
 //	xarbench -serving -policy affinity # …under one placement policy
 //	xarbench -all -runs 3              # cheaper randomized experiments
+//	xarbench -campaign spec.json       # run a declarative campaign spec
 //
 // The serving campaign drives the standard Poisson grid, then a
 // placement-policy comparison (default vs link-aware vs affinity on a
 // cross-rack topology with one slow uplink) and a bursty MMPP cell.
+//
+// -campaign executes a JSON campaign spec (exper.CampaignSpec): each
+// cell selects an experiment kind, topology, mode, policy and load,
+// with grid axes (rates × modes × policies × seeds) expanded into
+// cells. The built-in campaigns are checked in as spec files under
+// examples/campaigns. Cells fan across CPU cores; completed cells
+// stream in deterministic spec order.
 //
 // Absolute times come from this repository's calibrated models, not
 // the authors' hardware; EXPERIMENTS.md records paper-vs-measured for
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"xartrek/internal/cluster"
@@ -48,14 +57,15 @@ func run(args []string, out io.Writer) error {
 	figure := fs.Int("figure", 0, "regenerate one figure (3-10)")
 	serving := fs.Bool("serving", false, "run the open-loop serving campaign")
 	policy := fs.String("policy", "", "placement policy for the serving grid (default, link-aware, affinity)")
+	campaign := fs.String("campaign", "", "execute a JSON campaign spec file (see examples/campaigns)")
 	all := fs.Bool("all", false, "regenerate everything")
 	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 && !*serving {
+	if !*all && *table == 0 && *figure == 0 && !*serving && *campaign == "" {
 		fs.Usage()
-		return fmt.Errorf("pick -all, -table N, -figure N, or -serving")
+		return fmt.Errorf("pick -all, -table N, -figure N, -serving, or -campaign spec.json")
 	}
 
 	apps, err := workloads.Registry()
@@ -117,10 +127,66 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("serving bursty: %w", err)
 		}
 	}
+	if *campaign != "" {
+		matched = true
+		if err := runCampaignFile(out, arts, *campaign); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
 	if !matched {
 		return fmt.Errorf("no experiment matches the requested table/figure")
 	}
 	return nil
+}
+
+// runCampaignFile executes a declarative campaign spec, streaming each
+// completed cell as a report line. Relative trace_file paths resolve
+// against the spec file's directory, so checked-in campaigns carry
+// their fixtures with them.
+func runCampaignFile(out io.Writer, arts *exper.Artifacts, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := exper.ParseCampaign(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n== campaign %s (%d cells) ==\n", spec.Name, len(cells))
+	_, err = exper.RunCampaign(arts, *spec, exper.RunOpts{
+		BaseDir: filepath.Dir(path),
+		OnCell:  func(c exper.CellResult) { printCell(out, c, len(cells)) },
+	})
+	return err
+}
+
+// printCell renders one streamed campaign cell.
+func printCell(out io.Writer, c exper.CellResult, total int) {
+	id := fmt.Sprintf("cell %*d/%d %-11s", len(fmt.Sprint(total)), c.Index+1, total, c.Kind)
+	switch {
+	case c.Serving != nil:
+		r := c.Serving
+		fmt.Fprintf(out, "%s %-10s %-12s %-10s r=%-6.1f offered=%-6d done=%-6d tput=%.2f/s p50=%dms p95=%dms p99=%dms\n",
+			id, r.Name, c.Mode, r.Policy, c.RatePerSec, r.Offered, r.Completed,
+			r.ThroughputPerSec, ms(r.P50), ms(r.P95), ms(r.P99))
+	case c.Set != nil:
+		r := c.Set
+		fmt.Fprintf(out, "%s %-10s %-12s set=%d load=%d avg=%dms\n",
+			id, c.Name, c.Mode, r.SetSize, r.Load, ms(r.Average))
+	case c.Throughput != nil:
+		r := c.Throughput
+		fmt.Fprintf(out, "%s %-10s %-12s load=%d images=%d rate=%.2f/s\n",
+			id, c.Name, c.Mode, r.Load, r.Images, r.PerSecond)
+	case c.Waves != nil:
+		r := c.Waves
+		fmt.Fprintf(out, "%s %-10s %-12s runs=%d avg=%dms peak=%d\n",
+			id, c.Name, c.Mode, r.Runs, ms(r.Average), r.PeakLoad)
+	}
 }
 
 // servingCell pairs one campaign topology with the arrival rates

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +61,70 @@ func TestServingRejectsUnknownPolicy(t *testing.T) {
 	if err := run([]string{"-serving", "-policy", "bogus"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "unknown placement policy") {
 		t.Fatalf("err = %v, want unknown placement policy", err)
+	}
+}
+
+// TestRunCampaignSpecFile exercises -campaign end to end: a grid cell
+// (rates × policies), a trace-file cell whose relative path resolves
+// against the spec's directory, and a set cell, with one streamed
+// output line per expanded cell.
+func TestRunCampaignSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	trace := "# ts,endpoint\n0.0,/detect\n0.5,/detect\n1.0,/classify\n2.5,/detect\n"
+	if err := os.WriteFile(filepath.Join(dir, "requests.log"), []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{
+	  "name": "test",
+	  "cells": [
+	    {"name": "grid", "kind": "serving", "rates": [1, 2],
+	     "policies": ["default", "link-aware"], "duration": "5s", "seed": 2021},
+	    {"name": "replay", "kind": "serving", "mode": "vanilla-x86",
+	     "duration": "30s", "seed": 1, "trace_file": "requests.log"},
+	    {"name": "pair", "kind": "set", "apps": ["CG-A", "Digit500"], "mode": "vanilla-x86"}
+	  ]
+	}`
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-campaign", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== campaign test (6 cells) ==") {
+		t.Fatalf("missing campaign header (2*2 grid + replay + set = 6 cells):\n%s", text)
+	}
+	for _, want := range []string{
+		"cell 1/6", "cell 2/6", "cell 3/6", "cell 4/6", "cell 5/6", "cell 6/6",
+		"link-aware", "replay", "offered=4", "pair",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Streamed lines arrive in cell order regardless of completion
+	// order.
+	last := -1
+	for i := 1; i <= 6; i++ {
+		idx := strings.Index(text, "cell "+string(rune('0'+i))+"/6")
+		if idx < 0 || idx < last {
+			t.Fatalf("cell %d missing or out of order:\n%s", i, text)
+		}
+		last = idx
+	}
+}
+
+func TestRunCampaignRejectsBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","cells":[{"kind":"bogus"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-campaign", path}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown cell kind") {
+		t.Fatalf("err = %v, want unknown cell kind", err)
 	}
 }

@@ -1,14 +1,20 @@
 // Clusterscale: grow the paper's 2-server testbed into multi-rack
-// topologies and drive them with open-loop request traffic — Poisson
-// arrivals that do not wait for completions, the regime of a
-// middleware fleet serving many independent clients.
+// topologies and drive them with open-loop request traffic — declared
+// as one serializable campaign spec instead of hand-wired Run* calls.
+// A CampaignSpec is plain data: each cell names its experiment kind,
+// topology and load, and grid axes (rates × modes × policies × seeds)
+// expand into concrete cells. The same spec round-trips through JSON,
+// so everything below could live in a spec file run by
+// `xarbench -campaign` (see examples/campaigns).
 //
 //	go run ./examples/clusterscale
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"xartrek"
@@ -31,118 +37,133 @@ func run() error {
 		return err
 	}
 
-	// Three cluster sizes: the paper testbed and two scale-outs. A
-	// topology is plain data — nodes, FPGAs, links — so custom shapes
-	// are one literal away.
-	topos := []xartrek.Topology{
-		xartrek.PaperTopology(),
-		xartrek.ScaleOutTopology("rack8", 4, 4, 2),
-		xartrek.ScaleOutTopology("rack32", 8, 24, 4),
-	}
-	for _, topo := range topos {
-		p, err := xartrek.NewPlatformTopology(arts, topo)
-		if err != nil {
-			return err
-		}
-		fmt.Println(p.Summary())
-	}
-
-	// The same offered load against each topology: 8 requests/second
-	// for a simulated minute, under Xar-Trek and the x86-only
-	// baseline. The sweep fans across CPU cores; a fixed seed makes
-	// the output byte-identical on any machine.
-	var cfgs []xartrek.ServingConfig
-	for _, topo := range topos {
-		for _, mode := range []xartrek.Mode{xartrek.ModeXarTrek, xartrek.ModeVanillaX86} {
-			cfgs = append(cfgs, xartrek.ServingConfig{
-				Topo:       topo,
-				Mode:       mode,
-				RatePerSec: 8,
-				Duration:   time.Minute,
-				Seed:       2021,
-			})
-		}
-	}
-	results, err := xartrek.RunServingSweep(arts, cfgs)
+	// Replaying recorded traffic: a request log (timestamps, one per
+	// line or CSV) loads into arrival offsets. Campaign cells can also
+	// reference a log on disk directly via CellSpec.TraceFile.
+	trace, err := xartrek.LoadTrace(strings.NewReader(
+		"# ten waves of four simultaneous arrivals, 50 ms apart\n"+
+			"0.00\n0.00\n0.00\n0.00\n0.05\n0.05\n0.05\n0.05\n"+
+			"0.10\n0.10\n0.10\n0.10\n0.15\n0.15\n0.15\n0.15\n"+
+			"0.20\n0.20\n0.20\n0.20\n0.25\n0.25\n0.25\n0.25\n"+
+			"0.30\n0.30\n0.30\n0.30\n0.35\n0.35\n0.35\n0.35\n"+
+			"0.40\n0.40\n0.40\n0.40\n0.45\n0.45\n0.45\n0.45\n"), 1)
 	if err != nil {
 		return err
 	}
-
-	fmt.Printf("\n%-8s %-14s %8s %8s %8s %9s %9s %9s\n",
-		"topo", "mode", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)")
-	for _, r := range results {
-		fmt.Printf("%-8s %-14s %8d %8d %8.2f %9d %9d %9d\n",
-			r.Name, r.Mode, r.Offered, r.Completed, r.ThroughputPerSec,
-			r.P50.Milliseconds(), r.P95.Milliseconds(), r.P99.Milliseconds())
+	burst := make([]xartrek.Duration, len(trace))
+	for i, off := range trace {
+		burst[i] = xartrek.Duration(off)
 	}
 
-	// Trace-driven arrivals: replay an explicit burst instead of a
-	// Poisson process (e.g. recorded production traffic).
-	// Ten waves of four simultaneous arrivals, 50 ms apart.
-	burst := make([]time.Duration, 40)
-	for i := range burst {
-		burst[i] = time.Duration(i/4) * 50 * time.Millisecond
+	rack8 := &xartrek.TopologySpec{Kind: "scale-out", Name: "rack8", X86: 4, ARM: 4, FPGAs: 2}
+	spec := xartrek.CampaignSpec{
+		Name: "clusterscale",
+		Cells: []xartrek.CellSpec{
+			// The same offered load against three cluster sizes: 8
+			// requests/second for a simulated minute, under Xar-Trek and
+			// the x86-only baseline. One cell per topology; the mode
+			// axis expands each into two runs.
+			{
+				Kind:     xartrek.KindServing,
+				Topology: &xartrek.TopologySpec{Kind: "paper"},
+				Rates:    []float64{8},
+				Modes:    []string{"xar-trek", "vanilla-x86"},
+				Duration: xartrek.Duration(time.Minute),
+				Seed:     2021,
+			},
+			{
+				Kind:     xartrek.KindServing,
+				Topology: rack8,
+				Rates:    []float64{8},
+				Modes:    []string{"xar-trek", "vanilla-x86"},
+				Duration: xartrek.Duration(time.Minute),
+				Seed:     2021,
+			},
+			{
+				Kind:     xartrek.KindServing,
+				Topology: &xartrek.TopologySpec{Kind: "scale-out", Name: "rack32", X86: 8, ARM: 24, FPGAs: 4},
+				Rates:    []float64{8},
+				Modes:    []string{"xar-trek", "vanilla-x86"},
+				Duration: xartrek.Duration(time.Minute),
+				Seed:     2021,
+			},
+			// Trace-driven arrivals: replay the recorded burst above.
+			{
+				Name:     "burst",
+				Kind:     xartrek.KindServing,
+				Topology: rack8,
+				Mode:     "xar-trek",
+				Duration: xartrek.Duration(time.Minute),
+				Seed:     2021,
+				Trace:    burst,
+			},
+			// Bursty open-loop load without a recorded trace: a
+			// two-state MMPP (2 s bursts at 30 req/s, 8 s idle trickle).
+			{
+				Name:     "mmpp",
+				Kind:     xartrek.KindServing,
+				Topology: rack8,
+				Mode:     "xar-trek",
+				Duration: xartrek.Duration(time.Minute),
+				Seed:     2021,
+				MMPP: []xartrek.MMPPStateSpec{
+					{RatePerSec: 30, MeanSojourn: xartrek.Duration(2 * time.Second)},
+					{RatePerSec: 1, MeanSojourn: xartrek.Duration(8 * time.Second)},
+				},
+			},
+			// Placement policies on a topology with a slow cross-rack
+			// hop: the policy-comparison kind expands to every built-in
+			// policy with everything else held fixed; split_images makes
+			// the FPGA fleet reconfigure under contention, the regime
+			// the affinity policy targets.
+			{
+				Kind:        xartrek.KindPolicyComparison,
+				Rates:       []float64{48},
+				Duration:    xartrek.Duration(time.Minute),
+				Seed:        2021,
+				SplitImages: true,
+			},
+		},
 	}
-	res, err := xartrek.RunServing(arts, xartrek.ServingConfig{
-		Name:     "burst",
-		Topo:     xartrek.ScaleOutTopology("rack8", 4, 4, 2),
-		Mode:     xartrek.ModeXarTrek,
-		Duration: time.Minute,
-		Seed:     2021,
-		Trace:    burst,
+
+	// The spec is data: this JSON, saved to a file, is exactly what
+	// `xarbench -campaign` executes.
+	js, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign spec: %d bytes of JSON\n", len(js))
+	if parsed, err := xartrek.ParseCampaign(strings.NewReader(string(js))); err != nil {
+		return err
+	} else if cells, err := parsed.Expand(); err != nil {
+		return err
+	} else {
+		fmt.Printf("  %d cells after grid expansion\n\n", len(cells))
+	}
+
+	// Cells fan across CPU cores; completed cells stream in spec order
+	// and a fixed seed makes the output byte-identical on any machine.
+	fmt.Printf("%-10s %-14s %-12s %8s %8s %8s %9s %9s %9s\n",
+		"cell", "mode", "policy", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)")
+	rep, err := xartrek.RunCampaign(arts, spec, xartrek.RunOpts{
+		OnCell: func(c xartrek.CellResult) {
+			r := c.Serving
+			fmt.Printf("%-10s %-14s %-12s %8d %8d %8.2f %9d %9d %9d\n",
+				r.Name, c.Mode, r.Policy, r.Offered, r.Completed, r.ThroughputPerSec,
+				r.P50.Milliseconds(), r.P95.Milliseconds(), r.P99.Milliseconds())
+		},
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ntrace-driven burst: %d offered, %d done, p99 %v\n",
-		res.Offered, res.Completed, res.P99)
 
-	// Bursty open-loop load without a recorded trace: a two-state MMPP
-	// (2 s bursts at 30 req/s, 8 s idle trickle) — non-Poisson arrival
-	// statistics whose tail reflects burst absorption.
-	mmpp, err := xartrek.BurstyTrace(2021, time.Minute, 30, 2*time.Second, 1, 8*time.Second)
-	if err != nil {
-		return err
+	// The unified report carries a flat metrics map per cell alongside
+	// the typed payload — handy for generic tooling.
+	var reconfigs float64
+	for _, c := range rep.Cells {
+		reconfigs += c.Metrics["reconfigs_started"]
 	}
-	res, err = xartrek.RunServing(arts, xartrek.ServingConfig{
-		Name:     "mmpp",
-		Topo:     xartrek.ScaleOutTopology("rack8", 4, 4, 2),
-		Mode:     xartrek.ModeXarTrek,
-		Duration: time.Minute,
-		Seed:     2021,
-		Trace:    mmpp,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("MMPP bursty:        %d offered, %d done, p99 %v\n",
-		res.Offered, res.Completed, res.P99)
-
-	// Placement policies: on a topology with a slow cross-rack hop the
-	// scheduler's placement rule is swappable per run. Per-kernel
-	// images (BuildSplitImages) make the FPGA fleet reconfigure under
-	// contention, so the affinity policy has churn to cut; link-aware
-	// placement stops paying the 100 Mbps uplink on every second ARM
-	// migration.
-	splitArts, err := xartrek.BuildSplitImages(apps)
-	if err != nil {
-		return err
-	}
-	comparison, err := xartrek.RunPolicyComparison(splitArts, xartrek.ServingConfig{
-		Topo:       xartrek.PolicyComparisonTopology(),
-		Mode:       xartrek.ModeXarTrek,
-		RatePerSec: 48,
-		Duration:   time.Minute,
-		Seed:       2021,
-	}, xartrek.Policies())
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\n%-12s %8s %9s %9s %9s\n", "policy", "tput/s", "p99(ms)", "reconfigs", "to-ARM")
-	for _, r := range comparison {
-		fmt.Printf("%-12s %8.2f %9d %9d %9d\n",
-			r.Policy, r.ThroughputPerSec, r.P99.Milliseconds(),
-			r.Sched.ReconfigsStarted, r.Sched.ToARM)
-	}
+	fmt.Printf("\n%d cells, %.0f scheduler-issued reconfigurations in total\n",
+		len(rep.Cells), reconfigs)
 	return nil
 }

@@ -1,0 +1,489 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/popcorn"
+)
+
+// Campaign cell kinds. Every Run* entry point of the package is a thin
+// adapter over a one-cell campaign of the matching kind; new scenarios
+// are added as spec data, not API surface.
+const (
+	// KindSet is a fixed-workload measurement (RunSet, Figures 3-5).
+	KindSet = "set"
+	// KindThroughput is a multi-image face-detection throughput run
+	// (RunThroughput, Figure 6).
+	KindThroughput = "throughput"
+	// KindWaves is the periodic wave workload (RunWaves, Figure 7).
+	KindWaves = "waves"
+	// KindServing is one open-loop serving run (RunServing).
+	KindServing = "serving"
+	// KindPolicyComparison is a serving run repeated once per placement
+	// policy with everything else held fixed (RunPolicyComparison). With
+	// no explicit policy axis it expands to every built-in policy on the
+	// canonical cross-rack topology.
+	KindPolicyComparison = "policy-comparison"
+)
+
+// Duration is a time.Duration that serializes as its human-readable
+// string form ("60s", "1m30s"). Bare JSON numbers are accepted as
+// seconds on input.
+type Duration time.Duration
+
+// String implements fmt.Stringer.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON emits the time.ParseDuration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "90s"-style strings or a number of seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("exper: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("exper: duration must be a string like \"60s\" or a number of seconds, got %s", b)
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
+// NetSpec is the serializable form of a point-to-point interconnect
+// model (popcorn.NetModel): round-trip latency plus bandwidth in
+// bytes/second.
+type NetSpec struct {
+	RTT          Duration `json:"rtt"`
+	BandwidthBps float64  `json:"bandwidth_bps"`
+}
+
+// model materialises the interconnect model.
+func (n NetSpec) model() popcorn.NetModel {
+	return popcorn.NetModel{LatencyRTT: time.Duration(n.RTT), BandwidthBps: n.BandwidthBps}
+}
+
+// TopologySpec selects a cluster topology by builder name and
+// parameters, so a campaign cell can name its testbed instead of
+// constructing it in Go. The zero value (and a nil pointer) selects the
+// paper testbed.
+type TopologySpec struct {
+	// Kind selects the builder: "paper" (default), "scale-out",
+	// "cross-rack" or "policy-comparison".
+	Kind string `json:"kind"`
+	// Name labels the built topology; required for scale-out and
+	// cross-rack (the builders use it for report rows).
+	Name string `json:"name,omitempty"`
+	// X86 / ARM / FPGAs parameterize "scale-out".
+	X86   int `json:"x86,omitempty"`
+	ARM   int `json:"arm,omitempty"`
+	FPGAs int `json:"fpgas,omitempty"`
+	// ARMNear / ARMFar split the ARM fleet of "cross-rack".
+	ARMNear int `json:"arm_near,omitempty"`
+	ARMFar  int `json:"arm_far,omitempty"`
+	// Cross overrides the cross-rack interconnect; nil selects
+	// SlowCrossRackNet (100 Mbps, 2 ms RTT).
+	Cross *NetSpec `json:"cross,omitempty"`
+}
+
+// Build materialises the selected topology and validates it.
+// Parameters a builder does not consume are rejected, not ignored —
+// the same reject-ignored-knobs rule the cell validator applies.
+func (ts *TopologySpec) Build() (cluster.Topology, error) {
+	if ts == nil {
+		return cluster.PaperTopology(), nil
+	}
+	var topo cluster.Topology
+	switch ts.Kind {
+	case "", "paper", "policy-comparison":
+		if ts.Name != "" || ts.X86 != 0 || ts.ARM != 0 || ts.FPGAs != 0 ||
+			ts.ARMNear != 0 || ts.ARMFar != 0 || ts.Cross != nil {
+			return cluster.Topology{}, fmt.Errorf("exper: %s topology is fixed and takes no parameters", ts.Kind)
+		}
+		if ts.Kind == "policy-comparison" {
+			return PolicyComparisonTopology(), nil
+		}
+		return cluster.PaperTopology(), nil
+	case "scale-out":
+		if ts.Name == "" {
+			return cluster.Topology{}, fmt.Errorf("exper: scale-out topology needs a name")
+		}
+		if ts.ARMNear != 0 || ts.ARMFar != 0 || ts.Cross != nil {
+			return cluster.Topology{}, fmt.Errorf("exper: scale-out topology does not take arm_near/arm_far/cross (use arm)")
+		}
+		topo = cluster.ScaleOutTopology(ts.Name, ts.X86, ts.ARM, ts.FPGAs)
+	case "cross-rack":
+		if ts.Name == "" {
+			return cluster.Topology{}, fmt.Errorf("exper: cross-rack topology needs a name")
+		}
+		if ts.ARM != 0 {
+			return cluster.Topology{}, fmt.Errorf("exper: cross-rack topology does not take arm (use arm_near/arm_far)")
+		}
+		cross := SlowCrossRackNet()
+		if ts.Cross != nil {
+			cross = ts.Cross.model()
+		}
+		topo = cluster.CrossRackTopology(ts.Name, ts.X86, ts.ARMNear, ts.ARMFar, ts.FPGAs, cross)
+	default:
+		return cluster.Topology{}, fmt.Errorf("exper: unknown topology kind %q (want paper, scale-out, cross-rack or policy-comparison)", ts.Kind)
+	}
+	if err := topo.Validate(); err != nil {
+		return cluster.Topology{}, err
+	}
+	return topo, nil
+}
+
+// MMPPStateSpec is the serializable form of one MMPPState regime.
+type MMPPStateSpec struct {
+	RatePerSec  float64  `json:"rate_per_sec"`
+	MeanSojourn Duration `json:"mean_sojourn"`
+}
+
+// CellSpec declares one experiment cell of a campaign. Kind selects the
+// experiment; the grid axes (Rates, Modes, Policies, Seeds) expand into
+// one concrete cell per combination, so a rates × policies sweep is one
+// spec entry instead of a hand-rolled loop. Scalar and axis forms of
+// the same knob are mutually exclusive.
+type CellSpec struct {
+	// Name labels the cell's rows in reports; serving cells default to
+	// the topology name.
+	Name string `json:"name,omitempty"`
+	// Kind is one of KindSet, KindThroughput, KindWaves, KindServing,
+	// KindPolicyComparison.
+	Kind string `json:"kind"`
+	// Topology selects the testbed of serving-class cells; nil is the
+	// paper testbed (PolicyComparisonTopology for policy-comparison
+	// cells). Set/throughput/waves cells always run the paper testbed,
+	// as their figures do.
+	Topology *TopologySpec `json:"topology,omitempty"`
+
+	// Mode / Modes select the execution regime(s): "xar-trek" (default),
+	// "vanilla-x86", "vanilla-fpga", "vanilla-arm".
+	Mode  string   `json:"mode,omitempty"`
+	Modes []string `json:"modes,omitempty"`
+	// Policy / Policies select the placement policy axis ("default",
+	// "link-aware", "affinity"). A cell-level policy overrides
+	// Options.Policy (see resolvePolicy).
+	Policy   string   `json:"policy,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	// Rate / Rates are mean Poisson arrival rates (requests/second) for
+	// serving-class cells.
+	Rate  float64   `json:"rate,omitempty"`
+	Rates []float64 `json:"rates,omitempty"`
+	// Seed / Seeds drive every randomized draw of the cell; fixed seeds
+	// make cells byte-identical.
+	Seed  int64   `json:"seed,omitempty"`
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Duration is the serving injection horizon or the throughput run
+	// length.
+	Duration Duration `json:"duration,omitempty"`
+	// Trace lists explicit arrival offsets inline (serving cells).
+	Trace []Duration `json:"trace,omitempty"`
+	// TraceFile replays a recorded request log (one timestamp per line
+	// or CSV; see LoadTrace), resolved against RunOpts.BaseDir.
+	TraceFile string `json:"trace_file,omitempty"`
+	// TraceRescale multiplies the trace's arrival rate (2 = twice as
+	// fast); 0 and 1 replay it unchanged.
+	TraceRescale float64 `json:"trace_rescale,omitempty"`
+	// MMPP generates a bursty arrival trace from the given regimes
+	// (MMPPTrace) over the cell's duration and seed.
+	MMPP []MMPPStateSpec `json:"mmpp,omitempty"`
+	// SplitImages builds the cell's artifacts in step E's manual
+	// one-image-per-kernel mode (BuildArtifactsSplitImages) — the
+	// regime the affinity policy targets.
+	SplitImages bool `json:"split_images,omitempty"`
+	// Options carries the ablation switches; nil is the full system.
+	Options *Options `json:"options,omitempty"`
+
+	// Apps names the application set of a set cell (repeats allowed);
+	// SetSize draws a random set from the registry instead (seeded).
+	Apps    []string `json:"apps,omitempty"`
+	SetSize int      `json:"set_size,omitempty"`
+	// TotalLoad tops the set cell's x86 load up with MG-B background
+	// processes.
+	TotalLoad int `json:"total_load,omitempty"`
+
+	// App names the throughput cell's application; Load its background
+	// process count; MaxImages caps the processed images (0 = no cap).
+	App       string `json:"app,omitempty"`
+	Load      int    `json:"load,omitempty"`
+	MaxImages int    `json:"max_images,omitempty"`
+
+	// Waves/PerWave/Interval parameterize a waves cell.
+	Waves    int      `json:"waves,omitempty"`
+	PerWave  int      `json:"per_wave,omitempty"`
+	Interval Duration `json:"interval,omitempty"`
+
+	// Adapter-injected, pre-resolved arguments. The legacy Run*
+	// entry points route through RunCampaign by injecting their exact
+	// call arguments here, bypassing name resolution — which keeps
+	// their results byte-identical to the pre-campaign engine even for
+	// values a JSON spec cannot express (hand-built topologies,
+	// explicit app pointers).
+	servingCfg    *ServingConfig
+	setCfg        *setArgs
+	throughputCfg *throughputArgs
+	wavesCfg      *wavesArgs
+}
+
+// injected reports whether the cell carries adapter-resolved arguments
+// (which are validated by the runners themselves).
+func (c *CellSpec) injected() bool {
+	return c.servingCfg != nil || c.setCfg != nil || c.throughputCfg != nil || c.wavesCfg != nil
+}
+
+// CampaignSpec is a declarative, JSON-serializable experiment campaign:
+// a named list of cells, each expanding its grid axes into concrete
+// runs. RunCampaign executes it; ParseCampaign reads one from JSON.
+type CampaignSpec struct {
+	Name  string     `json:"name"`
+	Cells []CellSpec `json:"cells"`
+}
+
+// ParseCampaign reads and validates a JSON campaign spec. Unknown
+// fields are rejected, so typos in checked-in spec files fail parsing
+// instead of silently selecting defaults.
+func ParseCampaign(r io.Reader) (*CampaignSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec CampaignSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("exper: parse campaign: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Validate checks the structural invariants of the spec and every cell.
+func (s CampaignSpec) Validate() error {
+	if len(s.Cells) == 0 {
+		return fmt.Errorf("exper: campaign %q has no cells", s.Name)
+	}
+	for i := range s.Cells {
+		if err := s.Cells[i].validate(); err != nil {
+			return fmt.Errorf("exper: campaign %q cell %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one cell's declaration. Adapter-injected cells carry
+// already-validated runner arguments and skip the spec-level checks.
+func (c CellSpec) validate() error {
+	if c.injected() {
+		return nil
+	}
+	if c.Rate != 0 && len(c.Rates) > 0 {
+		return fmt.Errorf("rate and rates are mutually exclusive")
+	}
+	if c.Mode != "" && len(c.Modes) > 0 {
+		return fmt.Errorf("mode and modes are mutually exclusive")
+	}
+	if c.Policy != "" && len(c.Policies) > 0 {
+		return fmt.Errorf("policy and policies are mutually exclusive")
+	}
+	if c.Seed != 0 && len(c.Seeds) > 0 {
+		return fmt.Errorf("seed and seeds are mutually exclusive")
+	}
+	for _, p := range append([]string{c.Policy}, c.Policies...) {
+		switch p {
+		case "", PolicyDefault, PolicyLinkAware, PolicyAffinity:
+		default:
+			return fmt.Errorf("unknown policy %q (want %s, %s or %s)",
+				p, PolicyDefault, PolicyLinkAware, PolicyAffinity)
+		}
+	}
+	for _, m := range append([]string{c.Mode}, c.Modes...) {
+		if _, err := ParseMode(m); err != nil {
+			return err
+		}
+	}
+	if c.Topology != nil {
+		if _, err := c.Topology.Build(); err != nil {
+			return err
+		}
+	}
+	switch c.Kind {
+	case KindServing, KindPolicyComparison:
+		if c.Duration <= 0 {
+			return fmt.Errorf("%s cell needs a positive duration", c.Kind)
+		}
+		sources := 0
+		if len(c.Trace) > 0 {
+			sources++
+		}
+		if c.TraceFile != "" {
+			sources++
+		}
+		if len(c.MMPP) > 0 {
+			sources++
+		}
+		if sources > 1 {
+			return fmt.Errorf("trace, trace_file and mmpp are mutually exclusive")
+		}
+		if sources > 0 && (c.Rate != 0 || len(c.Rates) > 0) {
+			// A trace fully determines the arrivals; a rate axis next to
+			// one would replay identical simulations under misleading
+			// rate labels.
+			return fmt.Errorf("rate(s) and an explicit trace (trace, trace_file or mmpp) are mutually exclusive")
+		}
+		if c.TraceRescale != 0 && c.TraceFile == "" {
+			return fmt.Errorf("trace_rescale applies only to trace_file")
+		}
+		if sources == 0 {
+			if c.Rate <= 0 && len(c.Rates) == 0 {
+				return fmt.Errorf("%s cell needs rate(s), trace, trace_file or mmpp", c.Kind)
+			}
+			for _, r := range c.Rates {
+				if r <= 0 {
+					return fmt.Errorf("non-positive rate %v in rates", r)
+				}
+			}
+		}
+		for _, d := range c.Trace {
+			if d < 0 {
+				return fmt.Errorf("negative trace offset %v", time.Duration(d))
+			}
+		}
+	case KindSet:
+		if len(c.Apps) == 0 && c.SetSize <= 0 {
+			return fmt.Errorf("set cell needs apps or set_size")
+		}
+		if len(c.Apps) > 0 && c.SetSize > 0 {
+			return fmt.Errorf("apps and set_size are mutually exclusive")
+		}
+	case KindThroughput:
+		if c.App == "" {
+			return fmt.Errorf("throughput cell needs an app")
+		}
+		if c.Duration <= 0 {
+			return fmt.Errorf("throughput cell needs a positive duration")
+		}
+	case KindWaves:
+		if c.Waves <= 0 || c.PerWave <= 0 {
+			return fmt.Errorf("waves cell needs positive waves and per_wave")
+		}
+		if c.Interval <= 0 {
+			return fmt.Errorf("waves cell needs a positive interval")
+		}
+	case "":
+		return fmt.Errorf("cell has no kind")
+	default:
+		return fmt.Errorf("unknown cell kind %q (want %s, %s, %s, %s or %s)",
+			c.Kind, KindSet, KindThroughput, KindWaves, KindServing, KindPolicyComparison)
+	}
+	// Reject fields that do not apply to the kind: a silently ignored
+	// knob (a rates axis on a set cell, say) would expand into
+	// duplicate runs masquerading as a sweep.
+	if c.Kind != KindServing && c.Kind != KindPolicyComparison {
+		if c.Rate != 0 || len(c.Rates) > 0 {
+			return fmt.Errorf("%s cell does not take rate(s)", c.Kind)
+		}
+		if len(c.Trace) > 0 || c.TraceFile != "" || c.TraceRescale != 0 || len(c.MMPP) > 0 {
+			return fmt.Errorf("%s cell does not take a trace", c.Kind)
+		}
+		if c.Topology != nil {
+			return fmt.Errorf("%s cell runs the paper testbed and does not take a topology", c.Kind)
+		}
+		if c.SplitImages {
+			// The figure-class experiments are defined on the combined
+			// artifact set; split images would silently diverge from
+			// the pinned figures.
+			return fmt.Errorf("%s cell does not take split_images", c.Kind)
+		}
+	}
+	if c.Kind != KindSet && (len(c.Apps) > 0 || c.SetSize != 0 || c.TotalLoad != 0) {
+		return fmt.Errorf("%s cell does not take apps/set_size/total_load", c.Kind)
+	}
+	if c.Kind != KindThroughput && (c.App != "" || c.Load != 0 || c.MaxImages != 0) {
+		return fmt.Errorf("%s cell does not take app/load/max_images", c.Kind)
+	}
+	if c.Kind != KindWaves && (c.Waves != 0 || c.PerWave != 0 || c.Interval != 0) {
+		return fmt.Errorf("%s cell does not take waves/per_wave/interval", c.Kind)
+	}
+	if (c.Kind == KindSet || c.Kind == KindWaves) && c.Duration != 0 {
+		return fmt.Errorf("%s cell does not take a duration", c.Kind)
+	}
+	// Seeds drive randomized draws; a cell with nothing random (a
+	// throughput run, a set with an explicit app list) would expand a
+	// seed axis into byte-identical duplicates.
+	if c.Seed != 0 || len(c.Seeds) > 0 {
+		if c.Kind == KindThroughput {
+			return fmt.Errorf("throughput cell has no randomness and does not take seed(s)")
+		}
+		if c.Kind == KindSet && len(c.Apps) > 0 {
+			return fmt.Errorf("set cell with an explicit app list has no randomness and does not take seed(s)")
+		}
+	}
+	return nil
+}
+
+// Expand flattens every cell's grid axes into scalar cells: for each
+// spec entry, Rates × Modes × Policies × Seeds, nested outer to inner
+// in that order, preserving spec order across entries. The expansion is
+// deterministic, so cell indices — and therefore report rows and
+// streamed progress — are a pure function of the spec. A
+// policy-comparison cell with no policy axis expands to every built-in
+// policy (Policies()).
+func (s CampaignSpec) Expand() ([]CellSpec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []CellSpec
+	for _, c := range s.Cells {
+		if c.injected() {
+			out = append(out, c)
+			continue
+		}
+		rates := c.Rates
+		if len(rates) == 0 {
+			rates = []float64{c.Rate}
+		}
+		modes := c.Modes
+		if len(modes) == 0 {
+			modes = []string{c.Mode}
+		}
+		policies := c.Policies
+		if len(policies) == 0 {
+			if c.Kind == KindPolicyComparison && c.Policy == "" {
+				policies = Policies()
+			} else {
+				policies = []string{c.Policy}
+			}
+		}
+		seeds := c.Seeds
+		if len(seeds) == 0 {
+			seeds = []int64{c.Seed}
+		}
+		for _, rate := range rates {
+			for _, mode := range modes {
+				for _, policy := range policies {
+					for _, seed := range seeds {
+						cell := c
+						cell.Rate, cell.Rates = rate, nil
+						cell.Mode, cell.Modes = mode, nil
+						cell.Policy, cell.Policies = policy, nil
+						cell.Seed, cell.Seeds = seed, nil
+						out = append(out, cell)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

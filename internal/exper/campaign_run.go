@@ -1,0 +1,426 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/par"
+	"xartrek/internal/workloads"
+)
+
+// CellResult is the unified per-cell report: common identity fields, a
+// flat numeric metrics map (stable across kinds, for generic tooling),
+// and the kind's typed payload (exactly one of Serving, Set,
+// Throughput, Waves is non-nil).
+type CellResult struct {
+	// Index is the cell's position in the expanded campaign; results
+	// and streamed progress are always in index order.
+	Index int `json:"index"`
+	// Name, Kind, Topology, Mode, Policy, RatePerSec and Seed identify
+	// the cell; fields that do not apply to the kind are zero.
+	Name       string  `json:"name,omitempty"`
+	Kind       string  `json:"kind"`
+	Topology   string  `json:"topology,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	// Metrics flattens the payload's headline numbers (counts, ms
+	// percentiles, throughputs) for kind-agnostic consumers.
+	Metrics map[string]float64 `json:"metrics"`
+
+	Serving    *ServingResult    `json:"serving,omitempty"`
+	Set        *SetResult        `json:"set,omitempty"`
+	Throughput *ThroughputResult `json:"throughput,omitempty"`
+	Waves      *WaveResult       `json:"waves,omitempty"`
+}
+
+// Report is one campaign's full output: every cell's result in
+// expansion order. It serializes to JSON (map keys sorted), so a fixed
+// seed makes the marshalled report byte-identical across machines.
+type Report struct {
+	Campaign string       `json:"campaign"`
+	Cells    []CellResult `json:"cells"`
+}
+
+// RunOpts carries the execution options of RunCampaign.
+type RunOpts struct {
+	// BaseDir resolves relative CellSpec.TraceFile paths (typically the
+	// spec file's directory); empty means the working directory.
+	BaseDir string
+	// OnCell, when non-nil, streams completed cells. Delivery is in
+	// cell-index order — a finished cell is held until every earlier
+	// cell has been delivered — so streamed output is deterministic
+	// regardless of GOMAXPROCS, while still reporting progress as the
+	// campaign's prefix completes.
+	OnCell func(CellResult)
+}
+
+// adapter-injected argument bundles (see CellSpec): the exact
+// signatures of the legacy entry points.
+type setArgs struct {
+	set       []*workloads.App
+	mode      Mode
+	totalLoad int
+	opts      Options
+}
+
+type throughputArgs struct {
+	app       *workloads.App
+	mode      Mode
+	load      int
+	duration  time.Duration
+	maxImages int
+	opts      Options
+}
+
+type wavesArgs struct {
+	mode     Mode
+	waves    int
+	perWave  int
+	interval time.Duration
+	seed     int64
+	opts     Options
+}
+
+// runnableCell is one fully resolved campaign cell: topology built,
+// mode parsed, trace loaded, applications looked up — everything that
+// can fail before simulation does so during resolution, so the
+// parallel fan only executes.
+type runnableCell struct {
+	index int
+	spec  CellSpec
+	mode  Mode
+	opts  Options
+	topo  cluster.Topology
+	trace []time.Duration
+	apps  []*workloads.App
+	app   *workloads.App
+}
+
+// resolveCell turns one expanded (scalar) cell spec into a runnable
+// cell. Adapter-injected cells pass through untouched. traces caches
+// loaded/generated arrival traces across the campaign's cells, so a
+// grid axis over one trace_file parses the log once (the cached slice
+// is shared — safe, the serving engine never mutates cfg.Trace).
+func resolveCell(index int, spec CellSpec, arts *Artifacts, baseDir string, traces map[string][]time.Duration) (*runnableCell, error) {
+	c := &runnableCell{index: index, spec: spec}
+	if spec.injected() {
+		return c, nil
+	}
+	if spec.Options != nil {
+		c.opts = *spec.Options
+	}
+	mode, err := ParseMode(spec.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("cell %d: %w", index, err)
+	}
+	c.mode = mode
+	switch spec.Kind {
+	case KindServing, KindPolicyComparison:
+		if spec.Topology == nil && spec.Kind == KindPolicyComparison {
+			c.topo = PolicyComparisonTopology()
+		} else {
+			c.topo, err = spec.Topology.Build()
+			if err != nil {
+				return nil, fmt.Errorf("cell %d: %w", index, err)
+			}
+		}
+		c.trace, err = resolveTrace(spec, baseDir, traces)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", index, err)
+		}
+	case KindSet:
+		if len(spec.Apps) > 0 {
+			for _, name := range spec.Apps {
+				app, err := findApp(arts.Apps, name)
+				if err != nil {
+					return nil, fmt.Errorf("cell %d: %w", index, err)
+				}
+				c.apps = append(c.apps, app)
+			}
+		} else {
+			c.apps = RandomSet(rand.New(rand.NewSource(spec.Seed)), arts.Apps, spec.SetSize)
+		}
+	case KindThroughput:
+		c.app, err = findApp(arts.Apps, spec.App)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d: %w", index, err)
+		}
+	}
+	return c, nil
+}
+
+// resolveTrace materialises a serving cell's arrival trace: inline
+// offsets, a recorded log file, or a generated MMPP trace. Poisson
+// cells return nil. File loads and MMPP draws are memoised in the
+// cache so grid expansion does not multiply the work.
+func resolveTrace(spec CellSpec, baseDir string, cache map[string][]time.Duration) ([]time.Duration, error) {
+	switch {
+	case len(spec.Trace) > 0:
+		out := make([]time.Duration, len(spec.Trace))
+		for i, d := range spec.Trace {
+			out[i] = time.Duration(d)
+		}
+		return out, nil
+	case spec.TraceFile != "":
+		path := spec.TraceFile
+		if !filepath.IsAbs(path) && baseDir != "" {
+			path = filepath.Join(baseDir, path)
+		}
+		key := fmt.Sprintf("file|%s|%v", path, spec.TraceRescale)
+		if trace, ok := cache[key]; ok {
+			return trace, nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		trace, err := LoadTrace(f, spec.TraceRescale)
+		if err != nil {
+			return nil, fmt.Errorf("trace file %s: %w", path, err)
+		}
+		if len(trace) == 0 {
+			// An empty trace would fall through to the Poisson branch
+			// and fail later with a misleading rate error.
+			return nil, fmt.Errorf("trace file %s: no arrivals", path)
+		}
+		cache[key] = trace
+		return trace, nil
+	case len(spec.MMPP) > 0:
+		key := fmt.Sprintf("mmpp|%d|%v|%v", spec.Seed, spec.Duration, spec.MMPP)
+		if trace, ok := cache[key]; ok {
+			return trace, nil
+		}
+		states := make([]MMPPState, len(spec.MMPP))
+		for i, s := range spec.MMPP {
+			states[i] = MMPPState{RatePerSec: s.RatePerSec, MeanSojourn: time.Duration(s.MeanSojourn)}
+		}
+		trace, err := MMPPTrace(spec.Seed, time.Duration(spec.Duration), states)
+		if err != nil {
+			return nil, err
+		}
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("mmpp generated no arrivals within %v", time.Duration(spec.Duration))
+		}
+		cache[key] = trace
+		return trace, nil
+	}
+	return nil, nil
+}
+
+// run executes one resolved cell. Cells with SplitImages use the
+// per-kernel-image artifact set.
+func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
+	use := arts
+	if c.spec.SplitImages {
+		use = splitArts
+	}
+	res := CellResult{Index: c.index, Name: c.spec.Name, Kind: c.spec.Kind, Seed: c.spec.Seed}
+	switch {
+	case c.spec.servingCfg != nil || c.spec.Kind == KindServing || c.spec.Kind == KindPolicyComparison:
+		cfg := ServingConfig{
+			Name:       c.spec.Name,
+			Topo:       c.topo,
+			Mode:       c.mode,
+			RatePerSec: c.spec.Rate,
+			Duration:   time.Duration(c.spec.Duration),
+			Seed:       c.spec.Seed,
+			Trace:      c.trace,
+			Policy:     c.spec.Policy,
+			Opts:       c.opts,
+		}
+		if c.spec.servingCfg != nil {
+			cfg = *c.spec.servingCfg
+		}
+		r, err := runServing(use, cfg)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res.Name = r.Name
+		res.Topology = cfg.Topo.Name
+		res.Mode = cfg.Mode.String()
+		res.Policy = r.Policy
+		res.RatePerSec = cfg.RatePerSec
+		res.Seed = cfg.Seed
+		res.Metrics = servingMetrics(r)
+		res.Serving = &r
+	case c.spec.setCfg != nil || c.spec.Kind == KindSet:
+		set, mode, totalLoad, opts := c.apps, c.mode, c.spec.TotalLoad, c.opts
+		if a := c.spec.setCfg; a != nil {
+			set, mode, totalLoad, opts = a.set, a.mode, a.totalLoad, a.opts
+		} else {
+			opts.Policy = resolvePolicy(c.spec.Policy, opts.Policy)
+		}
+		r, err := runSet(use, set, mode, totalLoad, opts)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res.Mode = mode.String()
+		res.Metrics = setMetrics(r)
+		res.Set = &r
+	case c.spec.throughputCfg != nil || c.spec.Kind == KindThroughput:
+		var app *workloads.App
+		var mode Mode
+		var load, maxImages int
+		var duration time.Duration
+		var opts Options
+		if a := c.spec.throughputCfg; a != nil {
+			app, mode, load, duration, maxImages, opts = a.app, a.mode, a.load, a.duration, a.maxImages, a.opts
+		} else {
+			app, mode, load, duration, opts = c.app, c.mode, c.spec.Load, time.Duration(c.spec.Duration), c.opts
+			opts.Policy = resolvePolicy(c.spec.Policy, opts.Policy)
+			maxImages = c.spec.MaxImages
+			if maxImages <= 0 {
+				maxImages = 1 << 30
+			}
+		}
+		r, err := runThroughput(use, app, mode, load, duration, maxImages, opts)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res.Mode = mode.String()
+		res.Metrics = throughputMetrics(r)
+		res.Throughput = &r
+	case c.spec.wavesCfg != nil || c.spec.Kind == KindWaves:
+		mode, waves, perWave := c.mode, c.spec.Waves, c.spec.PerWave
+		interval, seed, opts := time.Duration(c.spec.Interval), c.spec.Seed, c.opts
+		if a := c.spec.wavesCfg; a != nil {
+			mode, waves, perWave, interval, seed, opts = a.mode, a.waves, a.perWave, a.interval, a.seed, a.opts
+		} else {
+			opts.Policy = resolvePolicy(c.spec.Policy, opts.Policy)
+		}
+		r, err := runWaves(use, mode, waves, perWave, interval, seed, opts)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res.Mode = mode.String()
+		res.Seed = seed
+		res.Metrics = wavesMetrics(r)
+		res.Waves = &r
+	default:
+		return CellResult{}, fmt.Errorf("cell %d: unknown kind %q", c.index, c.spec.Kind)
+	}
+	return res, nil
+}
+
+// RunCampaign executes a declarative campaign: it expands the spec's
+// grid axes, resolves every cell (topologies, traces, applications —
+// all failures surface before any simulation starts), builds the
+// split-image artifact set once if any cell asks for it, and fans the
+// cells across the bounded worker pool. Results land in expansion
+// order and a fixed spec yields byte-identical output regardless of
+// GOMAXPROCS; RunOpts.OnCell streams completed cells in that same
+// order. Every legacy Run* entry point is a thin adapter over a
+// one-cell (or one-cell-per-config) invocation of this runner.
+func RunCampaign(arts *Artifacts, spec CampaignSpec, ropts RunOpts) (*Report, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	resolved := make([]*runnableCell, len(cells))
+	needSplit := false
+	traces := make(map[string][]time.Duration)
+	for i, cs := range cells {
+		rc, err := resolveCell(i, cs, arts, ropts.BaseDir, traces)
+		if err != nil {
+			return nil, fmt.Errorf("exper: campaign %q: %w", spec.Name, err)
+		}
+		resolved[i] = rc
+		if cs.SplitImages {
+			needSplit = true
+		}
+	}
+	splitArts := arts
+	if needSplit {
+		splitArts, err = BuildArtifactsSplitImages(arts.Apps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]CellResult, len(resolved))
+	var mu sync.Mutex
+	delivered := 0
+	completed := make([]bool, len(resolved))
+	err = par.ForEach(len(resolved), func(i int) error {
+		r, err := resolved[i].run(arts, splitArts)
+		if err != nil {
+			if resolved[i].spec.injected() {
+				// Adapter path: surface the runner's error verbatim, as
+				// the legacy entry point would have.
+				return err
+			}
+			return fmt.Errorf("exper: campaign %q cell %d: %w", spec.Name, i, err)
+		}
+		results[i] = r
+		if ropts.OnCell != nil {
+			mu.Lock()
+			completed[i] = true
+			for delivered < len(completed) && completed[delivered] {
+				ropts.OnCell(results[delivered])
+				delivered++
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Campaign: spec.Name, Cells: results}, nil
+}
+
+// msFloat converts a latency to fractional milliseconds for the
+// metrics maps.
+func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// servingMetrics flattens a serving result's headline numbers.
+func servingMetrics(r ServingResult) map[string]float64 {
+	return map[string]float64{
+		"offered":            float64(r.Offered),
+		"completed":          float64(r.Completed),
+		"throughput_per_sec": r.ThroughputPerSec,
+		"p50_ms":             msFloat(r.P50),
+		"p95_ms":             msFloat(r.P95),
+		"p99_ms":             msFloat(r.P99),
+		"mean_host_load":     r.MeanHostLoad,
+		"sched_to_arm":       float64(r.Sched.ToARM),
+		"sched_to_fpga":      float64(r.Sched.ToFPGA),
+		"reconfigs_started":  float64(r.Sched.ReconfigsStarted),
+		"fpga_reconfigs":     float64(r.FPGAReconfigs),
+	}
+}
+
+// setMetrics flattens a set result.
+func setMetrics(r SetResult) map[string]float64 {
+	return map[string]float64{
+		"set_size": float64(r.SetSize),
+		"load":     float64(r.Load),
+		"runs":     float64(len(r.Runs)),
+		"avg_ms":   msFloat(r.Average),
+	}
+}
+
+// throughputMetrics flattens a throughput result.
+func throughputMetrics(r ThroughputResult) map[string]float64 {
+	return map[string]float64{
+		"load":           float64(r.Load),
+		"images":         float64(r.Images),
+		"images_per_sec": r.PerSecond,
+	}
+}
+
+// wavesMetrics flattens a waves result.
+func wavesMetrics(r WaveResult) map[string]float64 {
+	return map[string]float64{
+		"runs":      float64(r.Runs),
+		"avg_ms":    msFloat(r.Average),
+		"peak_load": float64(r.PeakLoad),
+	}
+}

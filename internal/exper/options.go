@@ -39,22 +39,37 @@ type Options struct {
 	// X86FIFO replaces the x86 server's processor-sharing run queue
 	// with FIFO cores: a process occupies one core exclusively until
 	// it finishes. Ablation 1.
-	X86FIFO bool
+	X86FIFO bool `json:"x86_fifo,omitempty"`
 	// NoPreconfig drops the instrumentation-inserted FPGA
 	// pre-configuration call at main start. Ablation 3.
-	NoPreconfig bool
+	NoPreconfig bool `json:"no_preconfig,omitempty"`
 	// BlockOnReconfig makes a function whose kernel is being
 	// configured wait for the FPGA instead of continuing on a CPU —
 	// disabling Algorithm 2's latency hiding (lines 9-18).
 	// Ablation 2.
-	BlockOnReconfig bool
+	BlockOnReconfig bool `json:"block_on_reconfig,omitempty"`
 	// StaticThresholds disables Algorithm 1: the threshold table
 	// stays as step G estimated it. Ablation 4.
-	StaticThresholds bool
+	StaticThresholds bool `json:"static_thresholds,omitempty"`
 	// Policy selects the placement policy of the scheduler fleet:
 	// PolicyDefault (also the empty string), PolicyLinkAware or
 	// PolicyAffinity. Unknown names fail platform construction.
-	Policy string
+	Policy string `json:"policy,omitempty"`
+}
+
+// resolvePolicy collapses the layered placement-policy selection into
+// one name: the first non-empty layer wins, and everything empty means
+// PolicyDefault. Callers list layers from most to least specific —
+// campaign cell, then serving config, then ablation options — so the
+// precedence is cell > config > options > default, in one place,
+// for both the campaign runner and platform construction.
+func resolvePolicy(layers ...string) string {
+	for _, l := range layers {
+		if l != "" {
+			return l
+		}
+	}
+	return PolicyDefault
 }
 
 // NewPlatformOpts is NewPlatform with ablation options on the paper
@@ -105,7 +120,7 @@ func NewPlatformTopo(arts *Artifacts, topo cluster.Topology, opts Options) (*Pla
 	for _, a := range arts.Apps {
 		p.appByName[a.Name] = a
 	}
-	policy, pins, err := p.placementPolicy(opts.Policy, images)
+	policy, pins, err := p.placementPolicy(resolvePolicy(opts.Policy), images)
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,24 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode parses a mode's String form ("xar-trek", "vanilla-x86",
+// "vanilla-fpga", "vanilla-arm"); the empty string selects ModeXarTrek.
+// It is the inverse of Mode.String for every valid mode, which campaign
+// specs rely on to round-trip.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "xar-trek":
+		return ModeXarTrek, nil
+	case "vanilla-x86":
+		return ModeVanillaX86, nil
+	case "vanilla-fpga":
+		return ModeVanillaFPGA, nil
+	case "vanilla-arm":
+		return ModeVanillaARM, nil
+	}
+	return 0, fmt.Errorf("exper: unknown mode %q (want xar-trek, vanilla-x86, vanilla-fpga or vanilla-arm)", s)
+}
+
 // Artifacts bundles everything the compiler pipeline produces once per
 // application set and every experiment platform then shares: compiled
 // binaries, XCLBIN images, and the estimated threshold table. Building

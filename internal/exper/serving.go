@@ -8,7 +8,6 @@ import (
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
-	"xartrek/internal/par"
 	"xartrek/internal/workloads"
 )
 
@@ -127,8 +126,20 @@ func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
 	}
 }
 
-// RunServing executes one open-loop serving run.
+// RunServing executes one open-loop serving run. It is a thin adapter
+// over RunCampaign: the config becomes a one-cell campaign, so the
+// serving engine has exactly one execution path.
 func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
+	rep, err := RunCampaign(arts, CampaignSpec{Cells: []CellSpec{{Kind: KindServing, servingCfg: &cfg}}}, RunOpts{})
+	if err != nil {
+		return ServingResult{}, err
+	}
+	return *rep.Cells[0].Serving, nil
+}
+
+// runServing is the serving engine behind the RunServing adapter and
+// the campaign runner's serving/policy-comparison cells.
+func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.Topo.Name
 	}
@@ -137,9 +148,7 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 		return ServingResult{}, err
 	}
 	opts := cfg.Opts
-	if cfg.Policy != "" {
-		opts.Policy = cfg.Policy
-	}
+	opts.Policy = resolvePolicy(cfg.Policy, opts.Policy)
 	p, err := NewPlatformTopo(arts, cfg.Topo, opts)
 	if err != nil {
 		return ServingResult{}, err
@@ -217,18 +226,24 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 // RunServingSweep fans a serving campaign across the worker pool: each
 // config is an isolated simulation, results land in config order, and
 // a fixed seed yields byte-identical output regardless of GOMAXPROCS.
+// It is a thin adapter over RunCampaign with one serving cell per
+// config.
 func RunServingSweep(arts *Artifacts, cfgs []ServingConfig) ([]ServingResult, error) {
-	out := make([]ServingResult, len(cfgs))
-	err := par.ForEach(len(cfgs), func(i int) error {
-		r, err := RunServing(arts, cfgs[i])
-		if err != nil {
-			return err
-		}
-		out[i] = r
-		return nil
-	})
+	if len(cfgs) == 0 {
+		return make([]ServingResult, 0), nil
+	}
+	cells := make([]CellSpec, len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		cells[i] = CellSpec{Kind: KindServing, servingCfg: &cfg}
+	}
+	rep, err := RunCampaign(arts, CampaignSpec{Cells: cells}, RunOpts{})
 	if err != nil {
 		return nil, err
+	}
+	out := make([]ServingResult, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = *c.Serving
 	}
 	return out, nil
 }

@@ -1,0 +1,156 @@
+package exper
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadTraceSecondsOffsets(t *testing.T) {
+	trace, err := LoadTrace(strings.NewReader("0\n0.25\n1.5\n\n# comment\n3\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 250 * time.Millisecond, 1500 * time.Millisecond, 3 * time.Second}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestLoadTraceCSVTimestampsAnchored(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "requests.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := LoadTrace(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{
+		0,
+		250 * time.Millisecond,
+		time.Second,
+		2500 * time.Millisecond,
+		4 * time.Second,
+		6 * time.Second,
+		9 * time.Second,
+		12 * time.Second,
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestLoadTraceRescalesArrivalRate(t *testing.T) {
+	// rescale 2 = twice the rate = offsets halved.
+	trace, err := LoadTrace(strings.NewReader("1\n3\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	// rescale 0.5 = half the rate = offsets doubled.
+	trace, err = LoadTrace(strings.NewReader("1\n"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0] != 2*time.Second {
+		t.Fatalf("trace = %v, want [2s]", trace)
+	}
+}
+
+func TestLoadTraceSortsOutOfOrderLogs(t *testing.T) {
+	trace, err := LoadTrace(strings.NewReader("5\n1\n3\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	// An unanchored earliest timestamp mid-log still becomes offset 0.
+	trace, err = LoadTrace(strings.NewReader(
+		"2021-12-06T10:00:05Z\n2021-12-06T10:00:00Z\n2021-12-06T10:00:02Z\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []time.Duration{0, 2 * time.Second, 5 * time.Second}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestLoadTraceAnchorsEpochSecondsLogs(t *testing.T) {
+	// Numeric timestamps that are clearly Unix epoch seconds anchor to
+	// the earliest entry instead of replaying as ~51-year offsets that
+	// every horizon would silently drop.
+	trace, err := LoadTrace(strings.NewReader(
+		"1638784800.25,/detect\n1638784800,/detect\n1638784803.5,/classify\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 250 * time.Millisecond, 3500 * time.Millisecond}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	// Small offsets keep their lead-in: no anchoring below the cutoff.
+	trace, err = LoadTrace(strings.NewReader("5\n7\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0] != 5*time.Second {
+		t.Fatalf("trace = %v, want lead-in preserved", trace)
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		in      string
+		rescale float64
+		want    string
+	}{
+		{"garbage\n", 1, "neither a seconds offset"},
+		{"-1\n", 1, "negative offset"},
+		{"1\n", -2, "negative rescale"},
+		{"1\n2021-12-06T10:00:00Z\n", 1, "mixes numeric and RFC 3339"},
+		{"NaN\n", 1, "neither a seconds offset"},
+		{"+Inf\n", 1, "neither a seconds offset"},
+	}
+	for i, tc := range cases {
+		_, err := LoadTrace(strings.NewReader(tc.in), tc.rescale)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err = %v, want containing %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestLoadTraceAcceptsLongLogLines(t *testing.T) {
+	// A line longer than bufio.Scanner's default 64 KiB token limit
+	// (huge URL / user-agent after the timestamp) must not reject the
+	// log — only the first CSV field matters.
+	long := "1.5," + strings.Repeat("x", 1<<17) + "\n"
+	trace, err := LoadTrace(strings.NewReader("0.5,/a\n"+long), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestLoadTraceEmptyLogIsEmptyTrace(t *testing.T) {
+	trace, err := LoadTrace(strings.NewReader("# only comments\n\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 0 {
+		t.Fatalf("trace = %v, want empty", trace)
+	}
+}

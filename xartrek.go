@@ -21,11 +21,31 @@
 //
 // # Quickstart
 //
+// Experiments are described declaratively: a CampaignSpec is plain,
+// JSON-serializable data (cells with grid axes like rates × policies ×
+// seeds) and RunCampaign executes it with deterministic, streamed
+// per-cell results:
+//
 //	apps, _ := xartrek.Benchmarks()
 //	arts, _ := xartrek.Build(apps)
-//	set := []*xartrek.App{apps[0], apps[3]}
-//	res, _ := xartrek.RunSet(arts, set, xartrek.ModeXarTrek, 60)
-//	fmt.Println(res.Average)
+//	rep, _ := xartrek.RunCampaign(arts, xartrek.CampaignSpec{
+//		Name: "quickstart",
+//		Cells: []xartrek.CellSpec{{
+//			Kind:     xartrek.KindServing,
+//			Topology: &xartrek.TopologySpec{Kind: "scale-out", Name: "rack8", X86: 4, ARM: 4, FPGAs: 2},
+//			Rates:    []float64{2, 8},
+//			Modes:    []string{"xar-trek", "vanilla-x86"},
+//			Duration: xartrek.Duration(30 * time.Second),
+//			Seed:     2021,
+//		}},
+//	}, xartrek.RunOpts{})
+//	fmt.Println(rep.Cells[0].Metrics["p99_ms"])
+//
+// The same spec runs from a JSON file via ParseCampaign or
+// `xarbench -campaign spec.json`; see examples/campaigns. Every
+// classic Run* entry point (RunSet, RunThroughput, RunWaves,
+// RunServing, RunServingSweep, RunPolicyComparison) is a documented
+// thin adapter over a one-cell campaign.
 package xartrek
 
 import (
@@ -74,6 +94,40 @@ type (
 	SetResult = exper.SetResult
 	// ThroughputResult is a Figure 6/8 measurement.
 	ThroughputResult = exper.ThroughputResult
+	// WaveResult is Figure 7's periodic-wave measurement.
+	WaveResult = exper.WaveResult
+	// Options disables individual design decisions for ablations.
+	Options = exper.Options
+	// CampaignSpec is a declarative, JSON-serializable experiment
+	// campaign: named cells whose grid axes (rates × modes × policies ×
+	// seeds) expand into concrete runs.
+	CampaignSpec = exper.CampaignSpec
+	// CellSpec declares one campaign cell (kind, topology, load, axes).
+	CellSpec = exper.CellSpec
+	// TopologySpec selects a cluster topology by builder name and
+	// parameters inside a campaign cell.
+	TopologySpec = exper.TopologySpec
+	// NetSpec is the serializable interconnect model of a TopologySpec.
+	NetSpec = exper.NetSpec
+	// MMPPStateSpec is one serializable regime of a bursty arrival
+	// generator inside a campaign cell.
+	MMPPStateSpec = exper.MMPPStateSpec
+	// Duration is a time.Duration that serializes as "90s"-style
+	// strings in campaign specs.
+	Duration = exper.Duration
+	// Report is one campaign's full output in expansion order.
+	Report = exper.Report
+	// CellResult is the unified per-cell report: identity fields, a
+	// flat metrics map, and the kind's typed payload.
+	CellResult = exper.CellResult
+	// RunOpts carries RunCampaign's execution options (trace base
+	// directory, streamed per-cell callback).
+	RunOpts = exper.RunOpts
+	// SchedTCPServer is the TCP transport wrapping a Scheduler (what
+	// ListenAndServe returns; the xarsched daemon's listener).
+	SchedTCPServer = sched.TCPServer
+	// SchedTCPClient is the client transport DialScheduler returns.
+	SchedTCPClient = sched.TCPClient
 	// PowerModel is the platform power model of the energy-aware
 	// extension (the paper's Section 5 future work).
 	PowerModel = power.Model
@@ -132,6 +186,36 @@ const (
 	PolicyLinkAware = exper.PolicyLinkAware
 	PolicyAffinity  = exper.PolicyAffinity
 )
+
+// Campaign cell kinds for CellSpec.Kind.
+const (
+	KindSet              = exper.KindSet
+	KindThroughput       = exper.KindThroughput
+	KindWaves            = exper.KindWaves
+	KindServing          = exper.KindServing
+	KindPolicyComparison = exper.KindPolicyComparison
+)
+
+// RunCampaign executes a declarative campaign spec: grid axes expand
+// deterministically into cells, cells fan across CPU cores, results
+// land in expansion order (byte-identical for a fixed spec regardless
+// of GOMAXPROCS), and RunOpts.OnCell streams completed cells in that
+// order. Every Run* entry point below is a thin adapter over it.
+func RunCampaign(arts *Artifacts, spec CampaignSpec, opts RunOpts) (*Report, error) {
+	return exper.RunCampaign(arts, spec, opts)
+}
+
+// ParseCampaign reads and validates a JSON campaign spec (unknown
+// fields are rejected).
+func ParseCampaign(r io.Reader) (*CampaignSpec, error) { return exper.ParseCampaign(r) }
+
+// LoadTrace parses a recorded request log (one timestamp per line, or
+// CSV with the timestamp first; numeric seconds offsets or RFC 3339
+// times) into arrival offsets for ServingConfig.Trace, rescaling the
+// arrival rate by rescale (0 and 1 replay unchanged).
+func LoadTrace(r io.Reader, rescale float64) ([]time.Duration, error) {
+	return exper.LoadTrace(r, rescale)
+}
 
 // Benchmarks returns the paper's five Table 1 applications (CG-A,
 // FaceDet320, FaceDet640, Digit500, Digit2000), freshly constructed
@@ -223,6 +307,8 @@ func BurstyTrace(seed int64, horizon time.Duration, burstRate float64, burstLen 
 // RunPolicyComparison runs one serving configuration once per named
 // placement policy (see Policies) with everything else held fixed,
 // attributing tail-latency and churn differences to placement alone.
+// It is a thin adapter over RunCampaign (one serving cell per policy;
+// spec files express the same sweep as one KindPolicyComparison cell).
 func RunPolicyComparison(arts *Artifacts, cfg ServingConfig, policies []string) ([]ServingResult, error) {
 	return exper.RunPolicyComparison(arts, cfg, policies)
 }
@@ -232,13 +318,15 @@ func Policies() []string { return exper.Policies() }
 
 // RunServing executes one open-loop serving run: Poisson (or
 // trace-driven) request arrivals against a chosen topology, reporting
-// throughput and p50/p95/p99 completion latency.
+// throughput and p50/p95/p99 completion latency. It is a thin adapter
+// over RunCampaign (one KindServing cell).
 func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	return exper.RunServing(arts, cfg)
 }
 
 // RunServingSweep fans a serving campaign across CPU cores with
-// deterministic, GOMAXPROCS-independent output.
+// deterministic, GOMAXPROCS-independent output. It is a thin adapter
+// over RunCampaign (one KindServing cell per config).
 func RunServingSweep(arts *Artifacts, cfgs []ServingConfig) ([]ServingResult, error) {
 	return exper.RunServingSweep(arts, cfgs)
 }
@@ -256,16 +344,17 @@ func EstimateThresholds(apps []*App) (*ThresholdTable, error) {
 
 // ListenAndServe exposes a scheduler server over TCP (the xarsched
 // daemon's core).
-func ListenAndServe(addr string, srv *Scheduler) (*sched.TCPServer, error) {
+func ListenAndServe(addr string, srv *Scheduler) (*SchedTCPServer, error) {
 	return sched.ListenAndServe(addr, srv)
 }
 
 // DialScheduler connects a client transport to a TCP scheduler.
-func DialScheduler(addr string) (*sched.TCPClient, error) { return sched.Dial(addr) }
+func DialScheduler(addr string) (*SchedTCPClient, error) { return sched.Dial(addr) }
 
 // RunSet launches an application set at time zero under the mode with
 // background load topped up to totalLoad processes, returning the
-// set's average execution time (Figures 3-5's measurement).
+// set's average execution time (Figures 3-5's measurement). It is a
+// thin adapter over RunCampaign (one KindSet cell).
 func RunSet(arts *Artifacts, set []*App, mode Mode, totalLoad int) (SetResult, error) {
 	return exper.RunSet(arts, set, mode, totalLoad)
 }
@@ -276,13 +365,15 @@ func RandomSet(rng *rand.Rand, pool []*App, n int) []*App {
 }
 
 // RunThroughput measures multi-image face-detection throughput under a
-// fixed background load (Figure 6).
+// fixed background load (Figure 6). It is a thin adapter over
+// RunCampaign (one KindThroughput cell).
 func RunThroughput(arts *Artifacts, app *App, mode Mode, load int, duration time.Duration, maxImages int) (ThroughputResult, error) {
 	return exper.RunThroughput(arts, app, mode, load, duration, maxImages)
 }
 
-// RunWaves runs the periodic wave workload (Figure 7).
-func RunWaves(arts *Artifacts, mode Mode, waves, perWave int, interval time.Duration, seed int64) (exper.WaveResult, error) {
+// RunWaves runs the periodic wave workload (Figure 7). It is a thin
+// adapter over RunCampaign (one KindWaves cell).
+func RunWaves(arts *Artifacts, mode Mode, waves, perWave int, interval time.Duration, seed int64) (WaveResult, error) {
 	return exper.RunWaves(arts, mode, waves, perWave, interval, seed)
 }
 
