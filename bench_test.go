@@ -23,6 +23,7 @@ import (
 	"xartrek/internal/core/sched"
 	"xartrek/internal/core/threshold"
 	"xartrek/internal/exper"
+	"xartrek/internal/faults"
 	"xartrek/internal/mir"
 	"xartrek/internal/simtime"
 	"xartrek/internal/workloads"
@@ -597,3 +598,74 @@ var (
 func BenchmarkServingPolicyDefault(b *testing.B)   { benchmarkServingPolicy(b, exper.PolicyDefault) }
 func BenchmarkServingPolicyLinkAware(b *testing.B) { benchmarkServingPolicy(b, exper.PolicyLinkAware) }
 func BenchmarkServingPolicyAffinity(b *testing.B)  { benchmarkServingPolicy(b, exper.PolicyAffinity) }
+
+// BenchmarkFaultInjectionTimeline measures expanding a churn-heavy
+// fault spec into a sorted event timeline — the per-cell setup cost a
+// fault campaign pays before its serving run starts.
+func BenchmarkFaultInjectionTimeline(b *testing.B) {
+	fsec := func(n int) faults.Duration { return faults.Duration(time.Duration(n) * time.Second) }
+	targets := make([]string, 24)
+	for i := range targets {
+		targets[i] = "arm-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	spec := &faults.Spec{
+		Events: []faults.Event{
+			{At: fsec(5), Kind: faults.NodeDown, Node: "x86-01"},
+			{At: fsec(15), Kind: faults.NodeUp, Node: "x86-01"},
+		},
+		Churn: []faults.Churn{
+			{Kind: "node", Targets: targets, MTBF: fsec(30), MTTR: fsec(3)},
+			{Kind: "fpga", Targets: []string{"fpga-00", "fpga-01"}, MTBF: fsec(60), MTTR: fsec(5)},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		tl, err := spec.Timeline(benchSeed, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = len(tl)
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkServingWithChurn measures a rack-scale serving run with
+// live fault injection — crashes, a card failure, and node churn —
+// against the same topology BenchmarkServingRack32Low runs fault-free,
+// so the overhead of request tracking, kill sweeps, and failure-aware
+// placement stays visible as the delta between the two.
+func BenchmarkServingWithChurn(b *testing.B) {
+	arts := benchArtifacts(b)
+	fsec := func(n int) faults.Duration { return faults.Duration(time.Duration(n) * time.Second) }
+	cfg := exper.ServingConfig{
+		Topo:       cluster.ScaleOutTopology("rack32", 8, 24, 4),
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: 16,
+		Duration:   30 * time.Second,
+		Seed:       benchSeed,
+		Faults: &faults.Spec{
+			Events: []faults.Event{
+				{At: fsec(5), Kind: faults.NodeDown, Node: "x86-03"},
+				{At: fsec(12), Kind: faults.NodeUp, Node: "x86-03"},
+				{At: fsec(8), Kind: faults.FPGADown, FPGA: "fpga-01"},
+				{At: fsec(20), Kind: faults.FPGAUp, FPGA: "fpga-01"},
+			},
+			Churn: []faults.Churn{
+				{Kind: "node", Targets: []string{"arm-10", "arm-11"}, MTBF: fsec(15), MTTR: fsec(3)},
+			},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = r.Faults.Availability
+	}
+	b.ReportMetric(avail, "availability")
+}

@@ -171,9 +171,14 @@ func printCell(out io.Writer, c exper.CellResult, total int) {
 	switch {
 	case c.Serving != nil:
 		r := c.Serving
-		fmt.Fprintf(out, "%s %-10s %-12s %-10s r=%-6.1f offered=%-6d done=%-6d tput=%.2f/s p50=%dms p95=%dms p99=%dms\n",
+		fmt.Fprintf(out, "%s %-10s %-12s %-10s r=%-6.1f offered=%-6d done=%-6d tput=%.2f/s p50=%dms p95=%dms p99=%dms",
 			id, r.Name, c.Mode, r.Policy, c.RatePerSec, r.Offered, r.Completed,
 			r.ThroughputPerSec, ms(r.P50), ms(r.P95), ms(r.P99))
+		if f := r.Faults; f != nil {
+			fmt.Fprintf(out, " avail=%.4f disrupted=%d retried=%d lost=%d fpga_fallback=%d recovery_p99=%dms",
+				f.Availability, f.RequestsDisrupted, f.RequestsRetried, f.RequestsLost, f.FPGAFallbacks, ms(f.RecoveryP99))
+		}
+		fmt.Fprintln(out)
 	case c.Set != nil:
 		r := c.Set
 		fmt.Fprintf(out, "%s %-10s %-12s set=%d load=%d avg=%dms\n",

@@ -55,6 +55,32 @@ type Fleet struct {
 	// decision; nil selects DefaultPolicy, which keeps the server
 	// bit-identical to the pre-policy scheduler.
 	Policy PlacementPolicy
+	// NodeAvailable, when non-nil, reports whether a node named in
+	// ARMNodes currently accepts new placements — it is up, not
+	// draining, and reachable from this server's entry node. nil means
+	// every listed node is always available. Fault-injection campaigns
+	// flip this dynamically, giving the fleet elastic membership
+	// without rebuilding the server: policies skip unavailable
+	// candidates, and a fully unavailable ARM class degrades to the
+	// empty-fleet rule (the ARM threshold acts as Never).
+	NodeAvailable func(id int) bool
+	// DeviceAvailable is NodeAvailable for the device fleet: whether
+	// Devices[i] is currently powered and usable. nil means always.
+	// A kernel whose only resident card is unavailable is treated as
+	// not configured, so Algorithm 2 degrades it to CPU execution.
+	DeviceAvailable func(i int) bool
+}
+
+// NodeUp reports whether an ARM candidate currently accepts
+// placements (true when no availability surface is wired).
+func (f *Fleet) NodeUp(id int) bool {
+	return f.NodeAvailable == nil || f.NodeAvailable(id)
+}
+
+// DeviceUp reports whether Devices[i] is currently usable (true when
+// no availability surface is wired).
+func (f *Fleet) DeviceUp(i int) bool {
+	return f.DeviceAvailable == nil || f.DeviceAvailable(i)
 }
 
 // NewFleetServer assembles a scheduler server over a generalized
@@ -76,6 +102,12 @@ func (s *Server) Policy() PlacementPolicy {
 		return s.fleet.Policy
 	}
 	return DefaultPolicy{}
+}
+
+// deviceUp reports device availability through the fleet surface
+// (always true for the fixed-testbed NewServer wiring).
+func (s *Server) deviceUp(i int) bool {
+	return s.fleet == nil || s.fleet.DeviceUp(i)
 }
 
 // devices returns the device fleet: the configured Fleet's list, or the

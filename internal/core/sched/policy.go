@@ -73,37 +73,42 @@ var _ PlacementPolicy = DefaultPolicy{}
 // Name implements PlacementPolicy.
 func (DefaultPolicy) Name() string { return "default" }
 
-// PickARMNode implements PlacementPolicy: least loaded, ties toward
-// fleet order.
+// PickARMNode implements PlacementPolicy: least loaded among the
+// available candidates, ties toward fleet order. With every candidate
+// unavailable it rejects the ARM class.
 func (DefaultPolicy) PickARMNode(_ PlacementContext, f *Fleet) (int, bool) {
-	best := f.ARMNodes[0]
-	if f.NodeLoad == nil {
-		return best, true
-	}
-	bestLoad := f.NodeLoad(best)
-	for _, id := range f.ARMNodes[1:] {
-		if l := f.NodeLoad(id); l < bestLoad {
-			best, bestLoad = id, l
+	best, bestLoad, found := 0, 0, false
+	for _, id := range f.ARMNodes {
+		if !f.NodeUp(id) {
+			continue
+		}
+		l := 0
+		if f.NodeLoad != nil {
+			l = f.NodeLoad(id)
+		}
+		if !found || l < bestLoad {
+			best, bestLoad, found = id, l, true
 		}
 	}
-	return best, true
+	return best, found
 }
 
-// PickDevice implements PlacementPolicy: lowest-indexed card with the
-// kernel resident.
+// PickDevice implements PlacementPolicy: lowest-indexed available card
+// with the kernel resident.
 func (DefaultPolicy) PickDevice(ctx PlacementContext, f *Fleet) (int, bool) {
 	for i, d := range f.Devices {
-		if d.HasKernel(ctx.Kernel) {
+		if f.DeviceUp(i) && d.HasKernel(ctx.Kernel) {
 			return i, true
 		}
 	}
 	return 0, false
 }
 
-// ReconfigOrder implements PlacementPolicy: idle cards in index order.
+// ReconfigOrder implements PlacementPolicy: idle available cards in
+// index order.
 func (DefaultPolicy) ReconfigOrder(_ PlacementContext, f *Fleet, buf []int) []int {
 	for i, d := range f.Devices {
-		if d.Reconfiguring() {
+		if !f.DeviceUp(i) || d.Reconfiguring() {
 			continue
 		}
 		buf = append(buf, i)
@@ -139,16 +144,19 @@ var _ PlacementPolicy = LinkAwarePolicy{}
 // Name implements PlacementPolicy.
 func (LinkAwarePolicy) Name() string { return "link-aware" }
 
-// PickARMNode implements PlacementPolicy.
+// PickARMNode implements PlacementPolicy. Unavailable candidates are
+// skipped; with every candidate unavailable the ARM class is rejected.
 func (LinkAwarePolicy) PickARMNode(ctx PlacementContext, f *Fleet) (int, bool) {
-	best := f.ARMNodes[0]
-	bestScore := linkAwareScore(ctx, f, best)
-	for _, id := range f.ARMNodes[1:] {
-		if s := linkAwareScore(ctx, f, id); s < bestScore {
-			best, bestScore = id, s
+	best, bestScore, found := 0, 0.0, false
+	for _, id := range f.ARMNodes {
+		if !f.NodeUp(id) {
+			continue
+		}
+		if s := linkAwareScore(ctx, f, id); !found || s < bestScore {
+			best, bestScore, found = id, s, true
 		}
 	}
-	return best, true
+	return best, found
 }
 
 // linkAwareScore estimates the time-to-result of migrating onto one
@@ -233,25 +241,26 @@ func (p *AffinityPolicy) PickARMNode(ctx PlacementContext, f *Fleet) (int, bool)
 	return DefaultPolicy{}.PickARMNode(ctx, f)
 }
 
-// PickDevice implements PlacementPolicy: the pinned card when it has
-// the kernel resident, else any resident card (lowest index).
+// PickDevice implements PlacementPolicy: the pinned card when it is
+// available with the kernel resident, else any available resident card
+// (lowest index).
 func (p *AffinityPolicy) PickDevice(ctx PlacementContext, f *Fleet) (int, bool) {
-	if dev, ok := p.pin[ctx.Kernel]; ok && dev >= 0 && dev < len(f.Devices) && f.Devices[dev].HasKernel(ctx.Kernel) {
+	if dev, ok := p.pin[ctx.Kernel]; ok && dev >= 0 && dev < len(f.Devices) && f.DeviceUp(dev) && f.Devices[dev].HasKernel(ctx.Kernel) {
 		return dev, true
 	}
 	return DefaultPolicy{}.PickDevice(ctx, f)
 }
 
 // ReconfigOrder implements PlacementPolicy: only the pinned card takes
-// the download; a busy pinned card defers the reconfiguration rather
-// than churning another kernel's card. Unpinned kernels fall back to
-// the default order.
+// the download; a busy or unavailable pinned card defers the
+// reconfiguration rather than churning another kernel's card. Unpinned
+// kernels fall back to the default order.
 func (p *AffinityPolicy) ReconfigOrder(ctx PlacementContext, f *Fleet, buf []int) []int {
 	dev, ok := p.pin[ctx.Kernel]
 	if !ok {
 		return DefaultPolicy{}.ReconfigOrder(ctx, f, buf)
 	}
-	if dev >= 0 && dev < len(f.Devices) && !f.Devices[dev].Reconfiguring() {
+	if dev >= 0 && dev < len(f.Devices) && f.DeviceUp(dev) && !f.Devices[dev].Reconfiguring() {
 		buf = append(buf, dev)
 	}
 	return buf

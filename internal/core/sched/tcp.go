@@ -41,10 +41,25 @@ type wireResponse struct {
 	ARMThr  int `json:"armThr,omitempty"`
 }
 
+// Wire-robustness defaults. Clients bound every round trip with an I/O
+// deadline and retry transport failures (never application errors) with
+// exponential backoff over a fresh connection; the server drains live
+// connections on Close before force-closing stragglers.
+const (
+	DefaultIOTimeout    = 5 * time.Second
+	DefaultDialRetries  = 2
+	DefaultDialBackoff  = 50 * time.Millisecond
+	DefaultDrainTimeout = 5 * time.Second
+)
+
 // TCPServer exposes a Server over a TCP listener.
 type TCPServer struct {
 	srv *Server
 	ln  net.Listener
+
+	// DrainTimeout bounds how long Close waits for in-flight frames
+	// before force-closing connections. Zero means DefaultDrainTimeout.
+	DrainTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -78,8 +93,10 @@ func (t *TCPServer) Conns() int {
 	return len(t.conns)
 }
 
-// Close stops the listener, closes live connections, and waits for
-// every connection goroutine to exit.
+// Close stops the listener and drains live connections: requests
+// already in flight get their responses, idle readers are unblocked by
+// an immediate read deadline, and any connection still busy past the
+// drain timeout is force-closed and abandoned.
 func (t *TCPServer) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -88,11 +105,33 @@ func (t *TCPServer) Close() error {
 	}
 	t.closed = true
 	err := t.ln.Close()
+	// Nudge idle decoders off their blocking reads; connections mid-
+	// handle still write their response before noticing the deadline.
 	for c := range t.conns {
-		c.Close()
+		c.SetReadDeadline(time.Now())
+	}
+	timeout := t.DrainTimeout
+	if timeout <= 0 {
+		timeout = DefaultDrainTimeout
 	}
 	t.mu.Unlock()
-	t.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Abandon stragglers: their goroutines exit as soon as the
+		// in-flight handler returns and hits the dead socket.
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+	}
 	return err
 }
 
@@ -161,44 +200,144 @@ func (t *TCPServer) handle(req wireRequest) wireResponse {
 	}
 }
 
+// DialConfig tunes the client's robustness knobs. The zero value of
+// any field selects the package default.
+type DialConfig struct {
+	// Timeout bounds every round trip (write + read) and every redial.
+	// Negative disables deadlines entirely.
+	Timeout time.Duration
+	// MaxRetries is how many times a transport failure is retried over
+	// a fresh connection. Negative disables retries.
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent attempt.
+	Backoff time.Duration
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultIOTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultDialRetries
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultDialBackoff
+	}
+	return cfg
+}
+
 // TCPClient is the socket-backed Requester used by application
 // processes on other machines (or other processes on the host).
 type TCPClient struct {
+	addr string
+	cfg  DialConfig
+
 	mu   sync.Mutex
 	conn net.Conn
 	dec  *json.Decoder
 	enc  *json.Encoder
 }
 
-// Dial connects to a scheduler server.
+// Dial connects to a scheduler server with default robustness knobs.
 func Dial(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("sched: dial %s: %w", addr, err)
+	return DialConfigured(addr, DialConfig{})
+}
+
+// DialConfigured connects to a scheduler server with explicit deadline
+// and retry behavior.
+func DialConfigured(addr string, cfg DialConfig) (*TCPClient, error) {
+	c := &TCPClient{addr: addr, cfg: cfg.withDefaults()}
+	if err := c.redial(); err != nil {
+		return nil, err
 	}
-	return &TCPClient{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	return c, nil
+}
+
+// redial replaces the connection; callers hold c.mu (or own c solely,
+// as in DialConfigured).
+func (c *TCPClient) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	timeout := c.cfg.Timeout
+	if timeout < 0 {
+		timeout = 0 // net.DialTimeout: zero means no timeout
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
+	if err != nil {
+		return fmt.Errorf("sched: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
 }
 
 // Close shuts the connection.
-func (c *TCPClient) Close() error { return c.conn.Close() }
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
-// roundTrip sends one frame and reads one response.
+// roundTrip sends one frame and reads one response under the I/O
+// deadline, retrying transport failures over a fresh connection with
+// exponential backoff. Application-level errors (resp.Error) are never
+// retried: the frame reached the scheduler and was answered. Note a
+// retried report whose response was lost in transit may be counted
+// twice by the server; the threshold table tolerates duplicate samples.
 func (c *TCPClient) roundTrip(req wireRequest) (wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Backoff << (attempt - 1))
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.exchange(req)
+		if err == nil {
+			if resp.Error != "" {
+				return wireResponse{}, errors.New(resp.Error)
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	if c.cfg.MaxRetries > 0 {
+		return wireResponse{}, fmt.Errorf("sched: after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+	}
+	return wireResponse{}, lastErr
+}
+
+// exchange performs one send/recv on the current connection.
+func (c *TCPClient) exchange(req wireRequest) (wireResponse, error) {
+	if c.conn == nil {
+		return wireResponse{}, errors.New("sched: client closed")
+	}
+	if c.cfg.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return wireResponse{}, fmt.Errorf("sched: send: %w", err)
 	}
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
 		return wireResponse{}, fmt.Errorf("sched: recv: %w", err)
-	}
-	if resp.Error != "" {
-		return wireResponse{}, errors.New(resp.Error)
 	}
 	return resp, nil
 }

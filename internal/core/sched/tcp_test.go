@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -151,6 +153,175 @@ func TestTCPServerCloseIdempotent(t *testing.T) {
 	}
 	if err := ts.Close(); err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestTCPClientTimeout(t *testing.T) {
+	// A listener that accepts and never answers: the round trip must
+	// fail on the I/O deadline instead of hanging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+
+	c, err := DialConfigured(ln.Addr().String(), DialConfig{
+		Timeout:    100 * time.Millisecond,
+		MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Decide("app", "KNL")
+	if err == nil {
+		t.Fatal("decide against a mute server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timed out after %v, deadline not applied", elapsed)
+	}
+}
+
+func TestTCPClientRetryReconnects(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	srv := NewServer(testTable(t), func() int { return 40 }, dev, nil)
+	ts := startTCP(t, srv)
+
+	c, err := DialConfigured(ts.Addr(), DialConfig{
+		Timeout:    time.Second,
+		MaxRetries: 2,
+		Backoff:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Decide("app", "KNL"); err != nil {
+		t.Fatalf("first decide: %v", err)
+	}
+
+	// Sever the connection from the server side; the client's next
+	// round trip must redial transparently.
+	ts.mu.Lock()
+	for conn := range ts.conns {
+		conn.Close()
+	}
+	ts.mu.Unlock()
+
+	d, err := c.Decide("app", "KNL")
+	if err != nil {
+		t.Fatalf("decide after server-side drop: %v", err)
+	}
+	if d.Target != threshold.TargetFPGA {
+		t.Fatalf("target = %v, want fpga", d.Target)
+	}
+}
+
+func TestTCPClientRetriesExhausted(t *testing.T) {
+	// Point at a dead address: every redial fails and the error names
+	// the attempt count.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := NewServer(testTable(t), func() int { return 1 }, nil, nil)
+	ts := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	ts.wg.Add(1)
+	go ts.acceptLoop()
+
+	c, err := DialConfigured(addr, DialConfig{
+		Timeout:    200 * time.Millisecond,
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ts.Close()
+
+	_, err = c.Decide("app", "K")
+	if err == nil {
+		t.Fatal("decide against a closed server succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want attempt count", err)
+	}
+}
+
+func TestTCPServerCloseDrainsInFlight(t *testing.T) {
+	dev := &fakeDevice{kernels: map[string]bool{"KNL": true}}
+	// A slow load sampler keeps the decide in flight while Close runs.
+	slow := func() int { time.Sleep(200 * time.Millisecond); return 40 }
+	srv := NewServer(testTable(t), slow, dev, nil)
+	ts, err := ListenAndServe("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialTCP(t, ts.Addr())
+
+	type result struct {
+		d   Decision
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		d, err := c.Decide("app", "KNL")
+		got <- result{d, err}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the frame reach the server
+	if err := ts.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight decide dropped by Close: %v", r.err)
+	}
+	if r.d.Target != threshold.TargetFPGA {
+		t.Fatalf("target = %v, want fpga", r.d.Target)
+	}
+	if n := ts.Conns(); n != 0 {
+		t.Fatalf("%d connections survived Close", n)
+	}
+}
+
+func TestTCPServerCloseForceClosesStuckConns(t *testing.T) {
+	slow := func() int { time.Sleep(2 * time.Second); return 1 }
+	srv := NewServer(testTable(t), slow, nil, nil)
+	ts, err := ListenAndServe("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.DrainTimeout = 50 * time.Millisecond
+	c := dialTCP(t, ts.Addr())
+
+	go c.Decide("app", "K") // will be cut off mid-handle
+	time.Sleep(30 * time.Millisecond)
+
+	start := time.Now()
+	if err := ts.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("close took %v, drain timeout not enforced", elapsed)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xartrek/internal/cluster"
+	"xartrek/internal/faults"
 	"xartrek/internal/popcorn"
 )
 
@@ -32,35 +33,9 @@ const (
 
 // Duration is a time.Duration that serializes as its human-readable
 // string form ("60s", "1m30s"). Bare JSON numbers are accepted as
-// seconds on input.
-type Duration time.Duration
-
-// String implements fmt.Stringer.
-func (d Duration) String() string { return time.Duration(d).String() }
-
-// MarshalJSON emits the time.ParseDuration string form.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// UnmarshalJSON accepts "90s"-style strings or a number of seconds.
-func (d *Duration) UnmarshalJSON(b []byte) error {
-	var s string
-	if err := json.Unmarshal(b, &s); err == nil {
-		v, err := time.ParseDuration(s)
-		if err != nil {
-			return fmt.Errorf("exper: bad duration %q: %w", s, err)
-		}
-		*d = Duration(v)
-		return nil
-	}
-	var secs float64
-	if err := json.Unmarshal(b, &secs); err != nil {
-		return fmt.Errorf("exper: duration must be a string like \"60s\" or a number of seconds, got %s", b)
-	}
-	*d = Duration(secs * float64(time.Second))
-	return nil
-}
+// seconds on input. It is an alias of faults.Duration so campaign
+// specs and the fault specs embedded in them share one wire format.
+type Duration = faults.Duration
 
 // NetSpec is the serializable form of a point-to-point interconnect
 // model (popcorn.NetModel): round-trip latency plus bandwidth in
@@ -207,6 +182,13 @@ type CellSpec struct {
 	SplitImages bool `json:"split_images,omitempty"`
 	// Options carries the ablation switches; nil is the full system.
 	Options *Options `json:"options,omitempty"`
+	// Faults is the cell's declarative fault plan (serving-class cells
+	// only): node crashes/recoveries, FPGA failures, link degradation
+	// and maintenance drains injected on the sim timeline, expanded
+	// deterministically from the cell seed. nil — or an empty spec —
+	// injects nothing and leaves the run byte-identical to a fault-free
+	// cell.
+	Faults *faults.Spec `json:"faults,omitempty"`
 
 	// Apps names the application set of a set cell (repeats allowed);
 	// SetSize draws a random set from the registry instead (seeded).
@@ -318,6 +300,11 @@ func (c CellSpec) validate() error {
 			return err
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	switch c.Kind {
 	case KindServing, KindPolicyComparison:
 		if c.Duration <= 0 {
@@ -405,6 +392,12 @@ func (c CellSpec) validate() error {
 			// artifact set; split images would silently diverge from
 			// the pinned figures.
 			return fmt.Errorf("%s cell does not take split_images", c.Kind)
+		}
+		if c.Faults != nil {
+			// The figure-class experiments reproduce the paper's
+			// fault-free testbed; fault injection is a serving-campaign
+			// regime.
+			return fmt.Errorf("%s cell does not take faults", c.Kind)
 		}
 	}
 	if c.Kind != KindSet && (len(c.Apps) > 0 || c.SetSize != 0 || c.TotalLoad != 0) {

@@ -235,6 +235,7 @@ func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
 			Trace:      c.trace,
 			Policy:     c.spec.Policy,
 			Opts:       c.opts,
+			Faults:     c.spec.Faults,
 		}
 		if c.spec.servingCfg != nil {
 			cfg = *c.spec.servingCfg
@@ -380,9 +381,11 @@ func RunCampaign(arts *Artifacts, spec CampaignSpec, ropts RunOpts) (*Report, er
 // metrics maps.
 func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// servingMetrics flattens a serving result's headline numbers.
+// servingMetrics flattens a serving result's headline numbers. Fault
+// metrics appear only on fault-injected cells, so fault-free reports
+// keep their exact pre-fault key set.
 func servingMetrics(r ServingResult) map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		"offered":            float64(r.Offered),
 		"completed":          float64(r.Completed),
 		"throughput_per_sec": r.ThroughputPerSec,
@@ -395,6 +398,8 @@ func servingMetrics(r ServingResult) map[string]float64 {
 		"reconfigs_started":  float64(r.Sched.ReconfigsStarted),
 		"fpga_reconfigs":     float64(r.FPGAReconfigs),
 	}
+	faultMetrics(m, r.Faults)
+	return m
 }
 
 // setMetrics flattens a set result.

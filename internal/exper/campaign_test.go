@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xartrek/internal/cluster"
+	"xartrek/internal/faults"
 	"xartrek/internal/workloads"
 )
 
@@ -62,6 +63,25 @@ func testSpec() CampaignSpec {
 			},
 			{Name: "inline", Kind: KindServing, Duration: Duration(time.Minute),
 				Trace: []Duration{0, Duration(time.Second)}},
+			{
+				Name:     "churn",
+				Kind:     KindServing,
+				Topology: &TopologySpec{Kind: "scale-out", Name: "rack8", X86: 4, ARM: 4, FPGAs: 2},
+				Rate:     8,
+				Duration: Duration(30 * time.Second),
+				Seed:     2021,
+				Faults: &faults.Spec{
+					Events: []faults.Event{
+						{At: faults.Duration(5 * time.Second), Kind: faults.NodeDown, Node: "arm-01"},
+						{At: faults.Duration(10 * time.Second), Kind: faults.NodeUp, Node: "arm-01"},
+						{At: faults.Duration(12 * time.Second), Kind: faults.LinkDegrade, A: "x86-00", B: "arm-00", Factor: 2},
+					},
+					Churn: []faults.Churn{{Kind: "fpga", Targets: []string{"fpga-00"},
+						MTBF: faults.Duration(20 * time.Second), MTTR: faults.Duration(2 * time.Second)}},
+					MaxRetries:   2,
+					RetryBackoff: faults.Duration(5 * time.Millisecond),
+				},
+			},
 			{Name: "named-set", Kind: KindSet, Apps: []string{"CG-A", "Digit2000"}, TotalLoad: 60},
 			{Name: "random-set", Kind: KindSet, SetSize: 5, Seed: 7, TotalLoad: 120},
 			{Name: "tput", Kind: KindThroughput, App: "FaceDet320", Load: 25,
@@ -175,6 +195,14 @@ func TestCampaignValidation(t *testing.T) {
 		{CellSpec{Kind: KindSet, Apps: []string{"CG-A"}, Seed: 7}, "does not take seed"},
 		{CellSpec{Kind: KindSet, Apps: []string{"CG-A"}, SplitImages: true}, "does not take split_images"},
 		{CellSpec{Kind: KindServing, Duration: Duration(time.Second), Trace: []Duration{Duration(-time.Second)}}, "negative trace offset"},
+		// Fault specs validate structurally at spec time, and only
+		// serving-class cells take them.
+		{CellSpec{Kind: KindServing, Duration: Duration(time.Second), Rate: 1,
+			Faults: &faults.Spec{Events: []faults.Event{{Kind: "bogus"}}}}, "unknown kind"},
+		{CellSpec{Kind: KindServing, Duration: Duration(time.Second), Rate: 1,
+			Faults: &faults.Spec{Events: []faults.Event{{Kind: faults.NodeDown}}}}, "needs a node"},
+		{CellSpec{Kind: KindSet, Apps: []string{"CG-A"},
+			Faults: &faults.Spec{}}, "does not take faults"},
 	}
 	for i, tc := range cases {
 		err := CampaignSpec{Name: "v", Cells: []CellSpec{tc.cell}}.Validate()

@@ -1,0 +1,314 @@
+package exper
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/faults"
+)
+
+// fsec builds a faults.Duration from seconds.
+func fsec(n int) faults.Duration { return faults.Duration(time.Duration(n) * time.Second) }
+
+// churnConfig is a serving run with enough failure variety to exercise
+// every fault path: entry-node crash, ARM crash, card failure, drain,
+// degradation and churn.
+func churnConfig() ServingConfig {
+	return ServingConfig{
+		Name:       "churn",
+		Topo:       cluster.ScaleOutTopology("rack8", 4, 4, 2),
+		Mode:       ModeXarTrek,
+		RatePerSec: 16,
+		Duration:   30 * time.Second,
+		Seed:       2021,
+		Faults: &faults.Spec{
+			Events: []faults.Event{
+				{At: fsec(3), Kind: faults.NodeDown, Node: "x86-02"},
+				{At: fsec(8), Kind: faults.NodeUp, Node: "x86-02"},
+				{At: fsec(5), Kind: faults.NodeDown, Node: "arm-01"},
+				{At: fsec(12), Kind: faults.NodeUp, Node: "arm-01"},
+				{At: fsec(6), Kind: faults.FPGADown, FPGA: "fpga-00"},
+				{At: fsec(14), Kind: faults.FPGAUp, FPGA: "fpga-00"},
+				{At: fsec(10), Kind: faults.NodeDrain, Node: "x86-03"},
+				{At: fsec(20), Kind: faults.NodeUndrain, Node: "x86-03"},
+				{At: fsec(15), Kind: faults.LinkDegrade, A: "x86-00", B: "arm-00", Factor: 4},
+				{At: fsec(22), Kind: faults.LinkRestore, A: "x86-00", B: "arm-00"},
+			},
+			Churn: []faults.Churn{
+				{Kind: "node", Targets: []string{"arm-02"}, MTBF: fsec(10), MTTR: fsec(2)},
+			},
+		},
+	}
+}
+
+func TestZeroFaultSpecByteIdenticalToBaseline(t *testing.T) {
+	arts := testArtifacts(t)
+	base := ServingConfig{
+		Topo: cluster.ScaleOutTopology("rack8", 4, 4, 2), Mode: ModeXarTrek,
+		RatePerSec: 8, Duration: 20 * time.Second, Seed: 2021,
+	}
+	plain, err := RunServing(arts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := base
+	empty.Faults = &faults.Spec{MaxRetries: 5, RetryBackoff: faults.Duration(time.Second)}
+	withEmpty, err := RunServing(arts, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withEmpty) {
+		t.Fatalf("empty fault spec changed the run:\n%+v\n%+v", plain, withEmpty)
+	}
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(withEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("empty-spec JSON diverged from baseline:\n%s\n%s", a, b)
+	}
+	if withEmpty.Faults != nil {
+		t.Fatal("empty fault spec produced a fault report")
+	}
+	if strings.Contains(string(a), "Faults") {
+		t.Fatalf("fault-free JSON mentions Faults: %s", a)
+	}
+}
+
+func TestFaultInjectionDisruptsAndRecovers(t *testing.T) {
+	arts := testArtifacts(t)
+	r, err := RunServing(arts, churnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Faults
+	if f == nil {
+		t.Fatal("fault-injected run has no fault report")
+	}
+	if f.Events == 0 {
+		t.Fatal("no fault events applied")
+	}
+	if f.RequestsDisrupted == 0 {
+		t.Fatal("no requests disrupted despite entry-node crashes")
+	}
+	if f.RequestsRetried == 0 {
+		t.Fatal("no requests retried")
+	}
+	if f.Availability >= 1 {
+		t.Fatalf("availability = %v, want < 1 under churn", f.Availability)
+	}
+	if f.Availability <= 0 {
+		t.Fatalf("availability = %v, the cluster should still mostly serve", f.Availability)
+	}
+	if f.NodeDownSeconds <= 0 {
+		t.Fatalf("node down-seconds = %v, want > 0", f.NodeDownSeconds)
+	}
+	if f.DeviceDownSeconds <= 0 {
+		t.Fatalf("device down-seconds = %v, want > 0", f.DeviceDownSeconds)
+	}
+	if f.RecoveryP99 <= 0 {
+		t.Fatalf("recovery p99 = %v, want > 0 with disrupted-but-completed requests", f.RecoveryP99)
+	}
+	if f.RecoveryP50 > f.RecoveryP99 {
+		t.Fatalf("recovery p50 %v > p99 %v", f.RecoveryP50, f.RecoveryP99)
+	}
+	if len(f.ClassP99) == 0 {
+		t.Fatal("no per-class p99 under churn")
+	}
+	// Lost + completed cannot exceed offered.
+	if r.Completed+f.RequestsLost > r.Offered {
+		t.Fatalf("completed %d + lost %d > offered %d", r.Completed, f.RequestsLost, r.Offered)
+	}
+}
+
+func TestFaultRunDeterministicAcrossRunsAndGOMAXPROCS(t *testing.T) {
+	arts := testArtifacts(t)
+	spec := CampaignSpec{Name: "fault-det", Cells: []CellSpec{{
+		Name:     "churn",
+		Kind:     KindServing,
+		Topology: &TopologySpec{Kind: "scale-out", Name: "rack8", X86: 4, ARM: 4, FPGAs: 2},
+		Mode:     "xar-trek",
+		Rate:     16,
+		Duration: Duration(20 * time.Second),
+		Seeds:    []int64{2021, 7},
+		Faults: &faults.Spec{
+			Events: []faults.Event{
+				{At: fsec(3), Kind: faults.NodeDown, Node: "x86-02"},
+				{At: fsec(8), Kind: faults.NodeUp, Node: "x86-02"},
+			},
+			Churn: []faults.Churn{
+				{Kind: "node", Targets: []string{"arm-00", "arm-01"}, MTBF: fsec(6), MTTR: fsec(2)},
+				{Kind: "fpga", Targets: []string{"fpga-00"}, MTBF: fsec(8), MTTR: fsec(2)},
+			},
+		},
+	}}}
+	var par1, par8 *Report
+	withGOMAXPROCS(1, func() {
+		var err error
+		par1, err = RunCampaign(arts, spec, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withGOMAXPROCS(8, func() {
+		var err error
+		par8, err = RunCampaign(arts, spec, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	a, err := json.Marshal(par1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(par8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("fault campaign not byte-identical across GOMAXPROCS")
+	}
+	// Different seeds expand different churn: the two cells must not be
+	// identical, or the seed is not reaching the fault timeline.
+	if reflect.DeepEqual(par1.Cells[0].Serving.Faults, par1.Cells[1].Serving.Faults) {
+		t.Fatal("different seeds produced identical fault reports")
+	}
+}
+
+func TestFaultsCampaignFileAcceptance(t *testing.T) {
+	arts := testArtifacts(t)
+	path := filepath.Join("..", "..", "examples", "campaigns", "faults.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := ParseCampaign(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunCampaign(arts, *spec, RunOpts{BaseDir: filepath.Dir(path)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		fr := c.Serving.Faults
+		if fr == nil {
+			t.Fatalf("cell %d has no fault report", c.Index)
+		}
+		if fr.Availability >= 1 {
+			t.Fatalf("cell %d availability = %v, want < 1", c.Index, fr.Availability)
+		}
+		if fr.RequestsRetried == 0 {
+			t.Fatalf("cell %d retried nothing", c.Index)
+		}
+		if c.Metrics["availability"] != fr.Availability {
+			t.Fatalf("cell %d availability metric %v != report %v",
+				c.Index, c.Metrics["availability"], fr.Availability)
+		}
+		if c.Metrics["requests_retried"] != float64(fr.RequestsRetried) {
+			t.Fatalf("cell %d requests_retried metric diverged", c.Index)
+		}
+		if _, ok := c.Metrics["recovery_time_p99_ms"]; !ok {
+			t.Fatalf("cell %d missing recovery_time_p99_ms metric", c.Index)
+		}
+	}
+}
+
+func TestFPGAFailureFallsBackToCPU(t *testing.T) {
+	arts := testArtifacts(t)
+	// Always-FPGA serving with the only card failing mid-run: in-flight
+	// invocations degrade to CPU and later arrivals wait for recovery.
+	r, err := RunServing(arts, ServingConfig{
+		Name: "card-loss", Topo: cluster.ScaleOutTopology("rack2", 1, 1, 1),
+		Mode: ModeVanillaFPGA, RatePerSec: 40, Duration: 10 * time.Second, Seed: 2021,
+		Faults: &faults.Spec{Events: []faults.Event{
+			{At: faults.Duration(2500 * time.Millisecond), Kind: faults.FPGADown, FPGA: "fpga-00"},
+			{At: fsec(6), Kind: faults.FPGAUp, FPGA: "fpga-00"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Faults
+	if f == nil {
+		t.Fatal("no fault report")
+	}
+	if f.FPGAFallbacks == 0 {
+		t.Fatal("card failure caused no CPU fallbacks")
+	}
+	if f.DeviceDownSeconds < 3 || f.DeviceDownSeconds > 4 {
+		t.Fatalf("device down-seconds = %v, want ~3.5", f.DeviceDownSeconds)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestFaultTargetResolutionErrors(t *testing.T) {
+	arts := testArtifacts(t)
+	base := ServingConfig{
+		Topo: cluster.ScaleOutTopology("rack4", 2, 2, 1), Mode: ModeXarTrek,
+		RatePerSec: 2, Duration: 5 * time.Second, Seed: 1,
+	}
+	cases := []struct {
+		ev   faults.Event
+		want string
+	}{
+		{faults.Event{At: fsec(1), Kind: faults.NodeDown, Node: "nope"}, "unknown node"},
+		{faults.Event{At: fsec(1), Kind: faults.FPGADown, FPGA: "nope"}, "unknown fpga"},
+		{faults.Event{At: fsec(1), Kind: faults.LinkPartition, A: "x86-00", B: "nope"}, "unknown node"},
+		// The scheduler host is the control plane: crashing it is
+		// rejected, draining it is allowed.
+		{faults.Event{At: fsec(1), Kind: faults.NodeDown, Node: "x86-00"}, "cannot crash the scheduler host"},
+	}
+	for i, tc := range cases {
+		cfg := base
+		cfg.Faults = &faults.Spec{Events: []faults.Event{tc.ev}}
+		_, err := RunServing(arts, cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err = %v, want containing %q", i, err, tc.want)
+		}
+	}
+	// Draining the host is fine.
+	cfg := base
+	cfg.Faults = &faults.Spec{Events: []faults.Event{
+		{At: fsec(1), Kind: faults.NodeDrain, Node: "x86-00"},
+	}}
+	if _, err := RunServing(arts, cfg); err != nil {
+		t.Errorf("draining the host rejected: %v", err)
+	}
+}
+
+func TestLinkPartitionExcludesARMPlacement(t *testing.T) {
+	arts := testArtifacts(t)
+	// Partition the only x86 node from the only ARM node for the whole
+	// run: the scheduler must never place the ARM class across the dead
+	// pair, so every request stays on x86 (or FPGA).
+	r, err := RunServing(arts, ServingConfig{
+		Name: "partition", Topo: cluster.ScaleOutTopology("rack2", 1, 1, 0),
+		Mode: ModeXarTrek, RatePerSec: 20, Duration: 10 * time.Second, Seed: 2021,
+		Faults: &faults.Spec{Events: []faults.Event{
+			{At: 0, Kind: faults.LinkPartition, A: "x86-00", B: "arm-00"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.ToARM != 0 {
+		t.Fatalf("scheduler placed %d requests across a partitioned link", r.Sched.ToARM)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed under partition")
+	}
+}

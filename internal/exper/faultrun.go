@@ -1,0 +1,594 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/faults"
+	"xartrek/internal/simtime"
+)
+
+// FaultResult is the resilience report of one serving run under fault
+// injection: what the timeline did, what it cost, and how fast the
+// system recovered. It is nil on fault-free runs, keeping their JSON
+// byte-identical to pre-fault output.
+type FaultResult struct {
+	// Events is the number of timeline events applied within the
+	// horizon.
+	Events int `json:"events"`
+	// RequestsLost counts requests dropped after exhausting the retry
+	// budget.
+	RequestsLost int `json:"requests_lost"`
+	// RequestsRetried counts re-placement attempts scheduled (one
+	// disrupted request may retry several times).
+	RequestsRetried int `json:"requests_retried"`
+	// RequestsDisrupted counts distinct requests hit by at least one
+	// fault.
+	RequestsDisrupted int `json:"requests_disrupted"`
+	// FPGAFallbacks counts hardware invocations degraded to CPU
+	// execution because their card failed (at invoke time or
+	// mid-invocation).
+	FPGAFallbacks int `json:"fpga_fallbacks"`
+	// Availability is completed/offered over the horizon.
+	Availability float64 `json:"availability"`
+	// RecoveryP50 and RecoveryP99 are percentiles of the disruption-to-
+	// completion time over disrupted requests that still completed:
+	// how long a request hit by a fault took to finish from the moment
+	// it was first disrupted.
+	RecoveryP50 time.Duration `json:"recovery_p50"`
+	RecoveryP99 time.Duration `json:"recovery_p99"`
+	// NodeDownSeconds and DeviceDownSeconds integrate crashed-node and
+	// failed-card counts over the horizon (drains do not count — a
+	// draining node still serves its resident work).
+	NodeDownSeconds   float64 `json:"node_down_seconds"`
+	DeviceDownSeconds float64 `json:"device_down_seconds"`
+	// ClassP99 is the per-application p99 completion latency under
+	// churn — the per-class tail the availability table reports.
+	ClassP99 map[string]time.Duration `json:"class_p99,omitempty"`
+}
+
+// Request phases a retry can re-enter: the entry-node prologue or the
+// kernel dispatch (which re-consults the scheduler, so a retried
+// request is re-placed through the active placement policy).
+const (
+	phasePrologue = iota
+	phaseKernel
+)
+
+// reqCtx is the fault-tracking context of one in-flight request. It
+// exists only when a fault runtime is installed; every execution-path
+// function accepts a nil reqCtx and then behaves exactly as the
+// pre-fault engine did.
+type reqCtx struct {
+	rt *faultRuntime
+	// entry is the request's current entry node; a retry may move it.
+	entry *cluster.Node
+	// attempts counts disruptions so far; the retry budget bounds it.
+	attempts int
+	// disruptedAt is the virtual time of the first disruption, -1
+	// until one happens.
+	disruptedAt time.Duration
+	// lost marks a request dropped after exhausting its retries.
+	lost bool
+	// tokens are the request's live cancellable segments.
+	tokens []*segToken
+	// prologue and kernel re-enter the respective phase on the
+	// (possibly re-chosen) entry node — the retry continuations.
+	prologue func()
+	kernel   func()
+}
+
+// segToken registers one cancellable work segment (a PS job on a node,
+// a transfer on a link, or an FPGA invocation) with the fault runtime,
+// so a fault event can kill exactly the work resident on its target.
+type segToken struct {
+	rq    *reqCtx
+	phase int
+	// job is the cancellable PS job; nil for device invocations,
+	// whose completion callback checks dead instead.
+	job *simtime.PSJob
+	// node is the owning registry: the segment's node index, or the
+	// device index for dev tokens.
+	node int
+	// other is the far endpoint of a link transfer (-1 for compute).
+	other  int
+	onLink bool
+	// slot is the token's position in its registry slice.
+	slot int
+	dead bool
+}
+
+// linkPair is an unordered node-index pair.
+type linkPair struct{ lo, hi int }
+
+func pairOf(a, b int) linkPair {
+	if a > b {
+		a, b = b, a
+	}
+	return linkPair{lo: a, hi: b}
+}
+
+// faultRuntime executes one cell's fault timeline against a platform:
+// it tracks node/device/link health, registers in-flight work, kills
+// and re-places it when its substrate fails, and accumulates the
+// resilience metrics. One runtime belongs to one platform (and one
+// simulator), so no locking is needed — campaign parallelism is
+// across cells, never within one.
+type faultRuntime struct {
+	p          *Platform
+	maxRetries int
+	backoff    time.Duration
+	horizon    time.Duration
+
+	nodeDown     []bool
+	nodeDraining []bool
+	devDown      []bool
+	// downSince / devDownSince record when a target went down (-1
+	// while up), for the down-seconds integrals.
+	downSince    []time.Duration
+	devDownSince []time.Duration
+	linkFactor   map[linkPair]float64
+	partitioned  map[linkPair]bool
+
+	// nodeTokens[i] holds the live segments resident on node i
+	// (compute jobs, plus transfers whose destination is i);
+	// devTokens[i] the in-flight invocations on card i.
+	nodeTokens [][]*segToken
+	devTokens  [][]*segToken
+
+	res      FaultResult
+	recovery []time.Duration
+	classLat map[string][]time.Duration
+}
+
+// newFaultRuntime resolves the spec's targets against the platform's
+// topology, expands the timeline from (spec, seed) and schedules every
+// event on the simulator. The scheduler host must stay alive — it is
+// the control plane every request consults — so crashing it (by event
+// or by crash churn) is rejected; draining it is allowed.
+func newFaultRuntime(p *Platform, spec *faults.Spec, seed int64, horizon time.Duration) (*faultRuntime, error) {
+	timeline, err := spec.Timeline(seed, horizon)
+	if err != nil {
+		return nil, err
+	}
+	nodeByName := make(map[string]int, len(p.Cluster.Nodes))
+	for i, n := range p.Cluster.Nodes {
+		nodeByName[n.Name] = i
+	}
+	fpgaByName := make(map[string]int, len(p.Cluster.Topo.FPGAs))
+	for i, f := range p.Cluster.Topo.FPGAs {
+		fpgaByName[f.Name] = i
+	}
+	rt := &faultRuntime{
+		p:            p,
+		maxRetries:   spec.Retries(),
+		backoff:      spec.Backoff(),
+		horizon:      horizon,
+		nodeDown:     make([]bool, len(p.Cluster.Nodes)),
+		nodeDraining: make([]bool, len(p.Cluster.Nodes)),
+		devDown:      make([]bool, len(p.Devices)),
+		downSince:    make([]time.Duration, len(p.Cluster.Nodes)),
+		devDownSince: make([]time.Duration, len(p.Devices)),
+		linkFactor:   make(map[linkPair]float64),
+		partitioned:  make(map[linkPair]bool),
+		nodeTokens:   make([][]*segToken, len(p.Cluster.Nodes)),
+		devTokens:    make([][]*segToken, len(p.Devices)),
+		classLat:     make(map[string][]time.Duration),
+	}
+	host := p.Cluster.X86.Name
+	type resolved struct {
+		ev   faults.Event
+		node int
+		dev  int
+		pair linkPair
+	}
+	events := make([]resolved, 0, len(timeline))
+	for i, ev := range timeline {
+		r := resolved{ev: ev, node: -1, dev: -1}
+		switch ev.Kind {
+		case faults.NodeDown, faults.NodeUp, faults.NodeDrain, faults.NodeUndrain:
+			idx, ok := nodeByName[ev.Node]
+			if !ok {
+				return nil, fmt.Errorf("faults: event %d: unknown node %q in topology %s", i, ev.Node, p.Cluster.Topo.Name)
+			}
+			if ev.Kind == faults.NodeDown && ev.Node == host {
+				return nil, fmt.Errorf("faults: event %d: cannot crash the scheduler host %q (drain it instead)", i, host)
+			}
+			r.node = idx
+		case faults.FPGADown, faults.FPGAUp:
+			idx, ok := fpgaByName[ev.FPGA]
+			if !ok {
+				return nil, fmt.Errorf("faults: event %d: unknown fpga %q in topology %s", i, ev.FPGA, p.Cluster.Topo.Name)
+			}
+			if idx >= len(p.Devices) {
+				// CPU-only artifact sets materialise no devices; the
+				// event then has nothing to act on.
+				return nil, fmt.Errorf("faults: event %d: fpga %q has no materialised device", i, ev.FPGA)
+			}
+			r.dev = idx
+		case faults.LinkDegrade, faults.LinkPartition, faults.LinkRestore:
+			a, ok := nodeByName[ev.A]
+			if !ok {
+				return nil, fmt.Errorf("faults: event %d: unknown node %q in topology %s", i, ev.A, p.Cluster.Topo.Name)
+			}
+			b, ok := nodeByName[ev.B]
+			if !ok {
+				return nil, fmt.Errorf("faults: event %d: unknown node %q in topology %s", i, ev.B, p.Cluster.Topo.Name)
+			}
+			r.pair = pairOf(a, b)
+		}
+		events = append(events, r)
+	}
+	for _, r := range events {
+		r := r
+		p.Sim.At(time.Duration(r.ev.At), func() { rt.apply(r.ev, r.node, r.dev, r.pair) })
+	}
+	return rt, nil
+}
+
+// newRequest opens fault tracking for one launched request.
+func (rt *faultRuntime) newRequest(entry *cluster.Node) *reqCtx {
+	return &reqCtx{rt: rt, entry: entry, disruptedAt: -1}
+}
+
+// apply executes one timeline event at its firing time.
+func (rt *faultRuntime) apply(ev faults.Event, node, dev int, pair linkPair) {
+	rt.res.Events++
+	now := rt.p.Sim.Now()
+	switch ev.Kind {
+	case faults.NodeDown:
+		if rt.nodeDown[node] {
+			return
+		}
+		rt.nodeDown[node] = true
+		rt.downSince[node] = now
+		rt.killNode(node)
+	case faults.NodeUp:
+		if !rt.nodeDown[node] {
+			return
+		}
+		rt.nodeDown[node] = false
+		rt.res.NodeDownSeconds += (now - rt.downSince[node]).Seconds()
+	case faults.NodeDrain:
+		rt.nodeDraining[node] = true
+	case faults.NodeUndrain:
+		rt.nodeDraining[node] = false
+	case faults.FPGADown:
+		if rt.devDown[dev] {
+			return
+		}
+		rt.devDown[dev] = true
+		rt.devDownSince[dev] = now
+		rt.killDevice(dev)
+	case faults.FPGAUp:
+		if !rt.devDown[dev] {
+			return
+		}
+		// The card reloads its last configuration from flash, so
+		// HasKernel answers as before the failure; only the fleet
+		// availability bit flips back.
+		rt.devDown[dev] = false
+		rt.res.DeviceDownSeconds += (now - rt.devDownSince[dev]).Seconds()
+	case faults.LinkDegrade:
+		rt.linkFactor[pair] = ev.Factor
+	case faults.LinkPartition:
+		if rt.partitioned[pair] {
+			return
+		}
+		rt.partitioned[pair] = true
+		rt.killLink(pair)
+	case faults.LinkRestore:
+		delete(rt.linkFactor, pair)
+		delete(rt.partitioned, pair)
+	}
+}
+
+// --- health queries -------------------------------------------------
+
+// usableNode reports whether a node can keep executing resident work
+// (draining nodes can; crashed ones cannot).
+func (rt *faultRuntime) usableNode(id int) bool { return !rt.nodeDown[id] }
+
+// placeable reports whether a node accepts new placements.
+func (rt *faultRuntime) placeable(id int) bool {
+	return !rt.nodeDown[id] && !rt.nodeDraining[id]
+}
+
+// reachableFrom is the scheduler fleet's NodeAvailable surface for one
+// entry node: the candidate accepts placements and the pair link is
+// not partitioned.
+func (rt *faultRuntime) reachableFrom(entry, id int) bool {
+	return rt.placeable(id) && !rt.partitioned[pairOf(entry, id)]
+}
+
+// pathOK reports whether a migration from a to b can proceed right
+// now: the destination is up and the pair is not partitioned.
+func (rt *faultRuntime) pathOK(a, b int) bool {
+	return rt.usableNode(b) && !rt.partitioned[pairOf(a, b)]
+}
+
+// deviceUp reports card availability.
+func (rt *faultRuntime) deviceUp(i int) bool {
+	return i >= 0 && i < len(rt.devDown) && !rt.devDown[i]
+}
+
+// scaleLink applies the pair's current degradation factor to an
+// uncontended transfer time.
+func (rt *faultRuntime) scaleLink(a, b int, base time.Duration) time.Duration {
+	if f, ok := rt.linkFactor[pairOf(a, b)]; ok && f > 1 {
+		return time.Duration(float64(base) * f)
+	}
+	return base
+}
+
+// --- token registry -------------------------------------------------
+
+// addToken registers a node-resident segment: compute on node, or a
+// transfer whose destination is node (other = far endpoint). The
+// caller sets tok.job once the PS job exists.
+func (rt *faultRuntime) addToken(rq *reqCtx, phase, node int, onLink bool, other int) *segToken {
+	tok := &segToken{rq: rq, phase: phase, node: node, other: other, onLink: onLink}
+	tok.slot = len(rt.nodeTokens[node])
+	rt.nodeTokens[node] = append(rt.nodeTokens[node], tok)
+	rq.tokens = append(rq.tokens, tok)
+	return tok
+}
+
+// addDevToken registers an in-flight FPGA invocation on card dev.
+func (rt *faultRuntime) addDevToken(rq *reqCtx, dev int) *segToken {
+	tok := &segToken{rq: rq, phase: phaseKernel, node: dev}
+	tok.slot = len(rt.devTokens[dev])
+	rt.devTokens[dev] = append(rt.devTokens[dev], tok)
+	rq.tokens = append(rq.tokens, tok)
+	return tok
+}
+
+// settle retires a token whose segment completed normally.
+func (rt *faultRuntime) settle(tok *segToken) {
+	if tok.dead {
+		return
+	}
+	tok.dead = true
+	rt.dropFrom(&rt.nodeTokens[tok.node], tok)
+}
+
+// settleDev retires a completed device token.
+func (rt *faultRuntime) settleDev(tok *segToken) {
+	if tok.dead {
+		return
+	}
+	tok.dead = true
+	rt.dropFrom(&rt.devTokens[tok.node], tok)
+}
+
+// dropFrom swap-removes a token from its registry slice.
+func (rt *faultRuntime) dropFrom(reg *[]*segToken, tok *segToken) {
+	s := *reg
+	i := tok.slot
+	if i < 0 || i >= len(s) || s[i] != tok {
+		return
+	}
+	last := len(s) - 1
+	s[i] = s[last]
+	s[i].slot = i
+	s[last] = nil
+	*reg = s[:last]
+}
+
+// compact rebuilds a registry without its dead tokens after a kill
+// sweep, fixing slots.
+func (rt *faultRuntime) compact(reg *[]*segToken) {
+	s := *reg
+	live := s[:0]
+	for _, t := range s {
+		if t.dead {
+			continue
+		}
+		t.slot = len(live)
+		live = append(live, t)
+	}
+	for i := len(live); i < len(s); i++ {
+		s[i] = nil
+	}
+	*reg = live
+}
+
+// killNode crashes node idx: every resident segment is cancelled and
+// its request disrupted (re-placed or lost). Iteration is in slot
+// order, which is deterministic — the whole simulation is
+// single-threaded.
+func (rt *faultRuntime) killNode(idx int) {
+	toks := rt.nodeTokens[idx]
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t == nil || t.dead {
+			continue
+		}
+		rt.disrupt(t.rq, t.phase)
+	}
+	rt.compact(&rt.nodeTokens[idx])
+}
+
+// killDevice fails card idx: in-flight invocations are lost and their
+// requests re-placed — which re-consults the scheduler with the card
+// now unavailable, so the kernel degrades to ARM/x86 execution.
+func (rt *faultRuntime) killDevice(idx int) {
+	toks := rt.devTokens[idx]
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t == nil || t.dead {
+			continue
+		}
+		rt.res.FPGAFallbacks++
+		rt.disrupt(t.rq, t.phase)
+	}
+	rt.compact(&rt.devTokens[idx])
+}
+
+// killLink partitions the pair: in-flight transfers crossing it are
+// cancelled and their requests re-placed.
+func (rt *faultRuntime) killLink(pair linkPair) {
+	for _, idx := range [2]int{pair.lo, pair.hi} {
+		toks := rt.nodeTokens[idx]
+		for i := 0; i < len(toks); i++ {
+			t := toks[i]
+			if t == nil || t.dead || !t.onLink {
+				continue
+			}
+			if pairOf(t.node, t.other) != pair {
+				continue
+			}
+			rt.disrupt(t.rq, t.phase)
+		}
+		rt.compact(&rt.nodeTokens[idx])
+	}
+}
+
+// disrupt handles one request losing its substrate: every live segment
+// of the request is cancelled (a request can hold several — an ARM
+// kernel and its DSM transfer run concurrently), then a single retry
+// is scheduled with exponential backoff, re-entering the killed phase
+// on a freshly chosen entry node — which re-consults the placement
+// policy over the surviving fleet. Beyond the retry budget the request
+// is lost.
+func (rt *faultRuntime) disrupt(rq *reqCtx, phase int) {
+	for _, t := range rq.tokens {
+		if t.dead {
+			continue
+		}
+		t.dead = true
+		if t.job != nil {
+			t.job.Cancel()
+		}
+	}
+	rq.tokens = rq.tokens[:0]
+	if rq.disruptedAt < 0 {
+		rq.disruptedAt = rt.p.Sim.Now()
+		rt.res.RequestsDisrupted++
+	}
+	rq.attempts++
+	if rq.attempts > rt.maxRetries {
+		rq.lost = true
+		rt.res.RequestsLost++
+		return
+	}
+	rt.res.RequestsRetried++
+	delay := rt.backoff << uint(rq.attempts-1)
+	retry := rq.kernel
+	if phase == phasePrologue {
+		retry = rq.prologue
+	}
+	rt.p.Sim.After(delay, func() {
+		rq.entry = rt.p.leastLoadedX86(nil)
+		retry()
+	})
+}
+
+// completed records a finished request (called from the launch
+// lifecycle's finish closure).
+func (rt *faultRuntime) completed(rq *reqCtx) {
+	if rq.disruptedAt >= 0 {
+		rt.recovery = append(rt.recovery, rt.p.Sim.Now()-rq.disruptedAt)
+	}
+}
+
+// observeClass collects the per-application completion latency.
+func (rt *faultRuntime) observeClass(app string, lat time.Duration) {
+	rt.classLat[app] = append(rt.classLat[app], lat)
+}
+
+// finalize closes the books at the horizon and returns the report.
+func (rt *faultRuntime) finalize(offered, completed int) *FaultResult {
+	for i, down := range rt.nodeDown {
+		if down {
+			rt.res.NodeDownSeconds += (rt.horizon - rt.downSince[i]).Seconds()
+		}
+	}
+	for i, down := range rt.devDown {
+		if down {
+			rt.res.DeviceDownSeconds += (rt.horizon - rt.devDownSince[i]).Seconds()
+		}
+	}
+	if offered > 0 {
+		rt.res.Availability = float64(completed) / float64(offered)
+	}
+	sort.Slice(rt.recovery, func(i, j int) bool { return rt.recovery[i] < rt.recovery[j] })
+	rt.res.RecoveryP50 = percentile(rt.recovery, 50)
+	rt.res.RecoveryP99 = percentile(rt.recovery, 99)
+	if len(rt.classLat) > 0 {
+		rt.res.ClassP99 = make(map[string]time.Duration, len(rt.classLat))
+		for app, lats := range rt.classLat {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			rt.res.ClassP99[app] = percentile(lats, 99)
+		}
+	}
+	return &rt.res
+}
+
+// --- platform hooks -------------------------------------------------
+
+// faultNodeAvailable is the fleet NodeAvailable closure surface for
+// one entry node (nil-runtime means everything is available).
+func (p *Platform) faultNodeAvailable(entry *cluster.Node, id int) bool {
+	return p.faults == nil || p.faults.reachableFrom(entry.Index, id)
+}
+
+// deviceUp reports whether device i is currently usable.
+func (p *Platform) deviceUp(i int) bool {
+	return p.faults == nil || p.faults.deviceUp(i)
+}
+
+// entryEligible reports whether an x86 node accepts new arrivals.
+func (p *Platform) entryEligible(n *cluster.Node) bool {
+	return p.faults == nil || p.faults.placeable(n.Index)
+}
+
+// linkWork applies any active degradation to an uncontended transfer
+// time on the a-b pair link.
+func (p *Platform) linkWork(a, b *cluster.Node, base time.Duration) time.Duration {
+	if p.faults == nil {
+		return base
+	}
+	return p.faults.scaleLink(a.Index, b.Index, base)
+}
+
+// entryExecReq is entryExec with fault tracking: compute on a
+// non-host entry node registers a cancellable segment so a crash of
+// that node kills and re-places the request. The scheduler host never
+// crashes (validated at runtime construction), so host-routed work —
+// including the FIFO-ablation gate — needs no token.
+func (p *Platform) entryExecReq(rq *reqCtx, phase int, entry *cluster.Node, work time.Duration, done func()) {
+	if rq == nil || entry == nil || entry == p.Cluster.X86 {
+		p.entryExec(entry, work, done)
+		return
+	}
+	tok := rq.rt.addToken(rq, phase, entry.Index, false, -1)
+	tok.job = entry.Exec(work, func() {
+		rq.rt.settle(tok)
+		done()
+	})
+}
+
+// faultMetrics folds the fault report into a serving cell's flat
+// metrics map (fault-free cells add nothing, keeping goldens
+// byte-identical).
+func faultMetrics(m map[string]float64, f *FaultResult) {
+	if f == nil {
+		return
+	}
+	m["fault_events"] = float64(f.Events)
+	m["requests_lost"] = float64(f.RequestsLost)
+	m["requests_retried"] = float64(f.RequestsRetried)
+	m["requests_disrupted"] = float64(f.RequestsDisrupted)
+	m["fpga_fallbacks"] = float64(f.FPGAFallbacks)
+	m["availability"] = f.Availability
+	m["recovery_time_p50_ms"] = msFloat(f.RecoveryP50)
+	m["recovery_time_p99_ms"] = msFloat(f.RecoveryP99)
+	m["node_down_seconds"] = f.NodeDownSeconds
+	m["device_down_seconds"] = f.DeviceDownSeconds
+	for app, p99 := range f.ClassP99 {
+		m["p99_under_churn_ms_"+app] = msFloat(p99)
+	}
+}

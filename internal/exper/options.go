@@ -155,6 +155,11 @@ func NewPlatformTopo(arts *Artifacts, topo cluster.Topology, opts Options) (*Pla
 			},
 			Devices: fleetDevs,
 			Policy:  policy,
+			// Availability routes through the fault runtime; without one
+			// every candidate is always available, so the closures are
+			// behaviourally identical to leaving them nil.
+			NodeAvailable:   func(id int) bool { return p.faultNodeAvailable(node, id) },
+			DeviceAvailable: func(i int) bool { return p.deviceUp(i) },
 		}
 		p.servers[node.Index] = sched.NewFleetServer(table, func() int { return p.nodeLoad(node) }, fleet, images)
 	}

@@ -181,6 +181,10 @@ type Platform struct {
 	opts Options
 	// fifo is the FIFO-core admission gate of the X86FIFO ablation.
 	fifo *fifoGate
+	// faults is the fault-injection runtime of a churn campaign; nil on
+	// fault-free runs, and every fault hook no-ops on nil so fault-free
+	// output stays byte-identical to the pre-fault engine.
+	faults *faultRuntime
 }
 
 // NewPlatform instantiates the paper testbed for one experiment run.

@@ -58,22 +58,54 @@ func (p *Platform) LaunchAppOn(entry *cluster.Node, app *workloads.App, mode Mod
 		if mode == ModeXarTrek && !p.opts.NoPreconfig {
 			p.preconfigure(app)
 		}
+		// Under fault injection the request carries a tracking context:
+		// its in-flight segments are registered so a failing node, card
+		// or link can kill and re-place them, and a retry may move the
+		// request to a new entry node (rq.entry supersedes entry).
+		var rq *reqCtx
+		if p.faults != nil {
+			rq = p.faults.newRequest(entry)
+		}
 		finish := func(target threshold.Target) {
-			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target, Entry: entry.Index}
+			e := entry
+			if rq != nil {
+				e = rq.entry
+			}
+			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target, Entry: e.Index}
 			if mode == ModeXarTrek && app.Migratable && !p.opts.StaticThresholds {
 				// __xar_sched_fini: report the run so Algorithm 1
 				// refines the thresholds. Errors mean the app has no
 				// threshold row (background load); ignore per the
 				// paper's design (MG-B is not instrumented).
-				_, _ = p.serverFor(entry).Report(app.Name, target, res.Elapsed())
+				_, _ = p.serverFor(e).Report(app.Name, target, res.Elapsed())
+			}
+			if rq != nil {
+				p.faults.completed(rq)
 			}
 			if done != nil {
 				done(res)
 			}
 		}
-		p.runPrologue(entry, app, func() {
-			p.runKernel(entry, app, mode, finish)
-		})
+		kernel := func() {
+			e := entry
+			if rq != nil {
+				e = rq.entry
+			}
+			p.runKernel(rq, e, app, mode, finish)
+		}
+		prologue := func() {
+			e := entry
+			if rq != nil {
+				e = rq.entry
+			}
+			p.runPrologue(rq, e, app, kernel)
+		}
+		if rq != nil {
+			// The retry continuations: a disrupted request re-enters
+			// the phase it was killed in, on a freshly chosen entry.
+			rq.prologue, rq.kernel = prologue, kernel
+		}
+		prologue()
 	})
 }
 
@@ -124,16 +156,16 @@ func (p *Platform) images(app *workloads.App) (*xclbin.XCLBIN, bool) {
 }
 
 // runPrologue executes the app's non-kernel part on the entry node.
-func (p *Platform) runPrologue(entry *cluster.Node, app *workloads.App, then func()) {
+func (p *Platform) runPrologue(rq *reqCtx, entry *cluster.Node, app *workloads.App, then func()) {
 	if app.NonKernel <= 0 {
 		then()
 		return
 	}
-	p.entryExec(entry, app.NonKernel, then)
+	p.entryExecReq(rq, phasePrologue, entry, app.NonKernel, then)
 }
 
 // runKernel executes the selected function once on the mode's target.
-func (p *Platform) runKernel(entry *cluster.Node, app *workloads.App, mode Mode, finish func(threshold.Target)) {
+func (p *Platform) runKernel(rq *reqCtx, entry *cluster.Node, app *workloads.App, mode Mode, finish func(threshold.Target)) {
 	if p.traceHook != nil {
 		inner := finish
 		finish = func(t threshold.Target) {
@@ -143,21 +175,21 @@ func (p *Platform) runKernel(entry *cluster.Node, app *workloads.App, mode Mode,
 	}
 	switch mode {
 	case ModeVanillaX86:
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 	case ModeVanillaARM:
-		p.execVanillaARM(app, finish)
+		p.execVanillaARM(rq, app, finish)
 	case ModeVanillaFPGA:
-		p.execVanillaFPGA(entry, app, finish)
+		p.execVanillaFPGA(rq, entry, app, finish)
 	case ModeXarTrek:
-		p.execXarTrek(entry, app, finish)
+		p.execXarTrek(rq, entry, app, finish)
 	default:
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 	}
 }
 
 // execX86 runs the kernel on the entry node's CPU model.
-func (p *Platform) execX86(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
-	p.entryExec(entry, app.X86KernelTime(), func() { finish(threshold.TargetX86) })
+func (p *Platform) execX86(rq *reqCtx, entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+	p.entryExecReq(rq, phaseKernel, entry, app.X86KernelTime(), func() { finish(threshold.TargetX86) })
 }
 
 // armNode resolves a fleet node identifier to its cluster node,
@@ -179,6 +211,9 @@ func (p *Platform) leastLoadedX86(extra []int) *cluster.Node {
 	var best *cluster.Node
 	bestLoad := 0
 	for _, n := range p.Cluster.NodesOfArch(isa.X86_64) {
+		if !p.entryEligible(n) {
+			continue
+		}
 		l := p.nodeLoad(n)
 		if extra != nil {
 			l += extra[n.Index]
@@ -186,6 +221,12 @@ func (p *Platform) leastLoadedX86(extra []int) *cluster.Node {
 		if best == nil || l < bestLoad {
 			best, bestLoad = n, l
 		}
+	}
+	if best == nil {
+		// Every x86 node is crashed or draining: the scheduler host
+		// (which fault validation keeps alive) absorbs arrivals even
+		// while draining, so the front end never wedges.
+		return p.Cluster.X86
 	}
 	return best
 }
@@ -196,6 +237,9 @@ func (p *Platform) leastLoadedX86(extra []int) *cluster.Node {
 func (p *Platform) leastLoadedARM() *cluster.Node {
 	var best *cluster.Node
 	for _, n := range p.Cluster.NodesOfArch(isa.ARM64) {
+		if p.faults != nil && !p.faults.placeable(n.Index) {
+			continue
+		}
 		if best == nil || n.Load() < best.Load() {
 			best = n
 		}
@@ -211,26 +255,75 @@ func (p *Platform) leastLoadedARM() *cluster.Node {
 // the relief the paper exploits. With many migrated pointer-chasing
 // instances a 1 Gbps link serialises and ARM migration stops paying
 // off (Section 4.4's profitability cliff).
-func (p *Platform) execARM(entry *cluster.Node, app *workloads.App, node *cluster.Node, finish func(threshold.Target)) {
+func (p *Platform) execARM(rq *reqCtx, entry *cluster.Node, app *workloads.App, node *cluster.Node, finish func(threshold.Target)) {
 	if node == nil {
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 		return
 	}
 	link := p.Cluster.Link(entry, node)
+	if rq == nil {
+		p.Sim.After(app.StateTransformTime(), func() {
+			link.Submit(link.Net.TransferTime(app.WorkingSetBytes), func() {
+				pending := 2
+				part := func(threshold.Target) {
+					pending--
+					if pending == 0 {
+						finish(threshold.TargetARM)
+					}
+				}
+				node.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
+				if dsm := app.DSMLinkWork(); dsm > 0 {
+					link.Submit(dsm, func() { part(threshold.TargetARM) })
+				} else {
+					part(threshold.TargetARM)
+				}
+			})
+		})
+		return
+	}
+	// Fault-tracked migration. State transformation runs on the entry
+	// node; its token has no cancellable job (After timers cannot be
+	// killed), so the timer itself checks for a mid-transform
+	// disruption. The working-set transfer and the DSM stream register
+	// on the destination node as link segments (killed by a destination
+	// crash or a pair partition); the kernel registers as destination
+	// compute. Link degradation stretches new transfers via linkWork.
+	rt := rq.rt
+	st := rt.addToken(rq, phaseKernel, entry.Index, false, -1)
 	p.Sim.After(app.StateTransformTime(), func() {
-		link.Submit(link.Net.TransferTime(app.WorkingSetBytes), func() {
+		if st.dead {
+			return
+		}
+		rt.settle(st)
+		if !rt.pathOK(entry.Index, node.Index) {
+			// The destination crashed or the pair partitioned during
+			// state transformation: the migration cannot land.
+			rt.disrupt(rq, phaseKernel)
+			return
+		}
+		xfer := rt.addToken(rq, phaseKernel, node.Index, true, entry.Index)
+		xfer.job = link.Submit(p.linkWork(entry, node, link.Net.TransferTime(app.WorkingSetBytes)), func() {
+			rt.settle(xfer)
 			pending := 2
-			part := func(threshold.Target) {
+			part := func() {
 				pending--
 				if pending == 0 {
 					finish(threshold.TargetARM)
 				}
 			}
-			node.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
+			exec := rt.addToken(rq, phaseKernel, node.Index, false, -1)
+			exec.job = node.Exec(app.ARMKernelTime(), func() {
+				rt.settle(exec)
+				part()
+			})
 			if dsm := app.DSMLinkWork(); dsm > 0 {
-				link.Submit(dsm, func() { part(threshold.TargetARM) })
+				dt := rt.addToken(rq, phaseKernel, node.Index, true, entry.Index)
+				dt.job = link.Submit(p.linkWork(entry, node, dsm), func() {
+					rt.settle(dt)
+					part()
+				})
 			} else {
-				part(threshold.TargetARM)
+				part()
 			}
 		})
 	})
@@ -241,29 +334,56 @@ func (p *Platform) execARM(entry *cluster.Node, app *workloads.App, node *cluste
 // already-executed prologue, which the baseline also pays on ARM's
 // slower cores — approximated by the kernel-derived slowdown ratio).
 // Topologies without ARM nodes fall back to the scheduler host.
-func (p *Platform) execVanillaARM(app *workloads.App, finish func(threshold.Target)) {
+func (p *Platform) execVanillaARM(rq *reqCtx, app *workloads.App, finish func(threshold.Target)) {
 	node := p.leastLoadedARM()
 	if node == nil {
-		p.execX86(p.Cluster.X86, app, finish)
+		p.execX86(rq, p.Cluster.X86, app, finish)
 		return
 	}
-	node.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
+	if rq == nil {
+		node.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
+		return
+	}
+	tok := rq.rt.addToken(rq, phaseKernel, node.Index, false, -1)
+	tok.job = node.Exec(app.ARMKernelTime(), func() {
+		rq.rt.settle(tok)
+		finish(threshold.TargetARM)
+	})
 }
 
 // execFPGAInvoke performs one hardware invocation on a device that
 // already has the kernel: host-side OpenCL setup on the entry node,
 // then PCIe in, pipeline, PCIe out.
-func (p *Platform) execFPGAInvoke(entry *cluster.Node, app *workloads.App, devIdx int, finish func(threshold.Target)) {
+func (p *Platform) execFPGAInvoke(rq *reqCtx, entry *cluster.Node, app *workloads.App, devIdx int, finish func(threshold.Target)) {
 	if devIdx < 0 || devIdx >= len(p.Devices) {
 		devIdx = 0
 	}
 	dev := p.Devices[devIdx]
-	p.entryExec(entry, app.FPGAFixedOverhead, func() {
+	p.entryExecReq(rq, phaseKernel, entry, app.FPGAFixedOverhead, func() {
+		if rq != nil && !p.deviceUp(devIdx) {
+			// The card died between the decision and the invocation:
+			// degrade gracefully to CPU execution.
+			rq.rt.res.FPGAFallbacks++
+			p.execX86(rq, entry, app, finish)
+			return
+		}
+		var tok *segToken
+		if rq != nil {
+			tok = rq.rt.addDevToken(rq, devIdx)
+		}
 		dev.Invoke(app.KernelName, app.Trips, app.BytesIn, app.BytesOut, func(err error) {
+			if tok != nil {
+				if tok.dead {
+					// The card failed mid-invocation; the disruption
+					// already re-placed the request.
+					return
+				}
+				rq.rt.settleDev(tok)
+			}
 			if err != nil {
 				// Kernel vanished (reconfiguration race): fall back
 				// to the CPU, as the real runtime would.
-				p.execX86(entry, app, finish)
+				p.execX86(rq, entry, app, finish)
 				return
 			}
 			finish(threshold.TargetFPGA)
@@ -278,36 +398,36 @@ func (p *Platform) execFPGAInvoke(entry *cluster.Node, app *workloads.App, devId
 // context. With a device fleet the invocation uses the lowest-indexed
 // card carrying the kernel and configures the lowest-indexed idle card
 // otherwise.
-func (p *Platform) execVanillaFPGA(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+func (p *Platform) execVanillaFPGA(rq *reqCtx, entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
 	if len(p.Devices) == 0 || !app.HWCapable {
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 		return
 	}
 	const retry = 10 * time.Millisecond
 	var attempt func()
 	attempt = func() {
 		for i, dev := range p.Devices {
-			if dev.HasKernel(app.KernelName) {
-				p.execFPGAInvoke(entry, app, i, finish)
+			if p.deviceUp(i) && dev.HasKernel(app.KernelName) {
+				p.execFPGAInvoke(rq, entry, app, i, finish)
 				return
 			}
 		}
-		for _, dev := range p.Devices {
+		for i, dev := range p.Devices {
 			// A download that will deliver this kernel is already in
-			// flight on some card: wait for it instead of duplicating
-			// the image onto another card.
-			if dev.KernelPending(app.KernelName) {
+			// flight on some card (and the card is usable): wait for it
+			// instead of duplicating the image onto another card.
+			if p.deviceUp(i) && dev.KernelPending(app.KernelName) {
 				p.Sim.After(retry, attempt)
 				return
 			}
 		}
 		img, ok := p.images(app)
 		if !ok {
-			p.execX86(entry, app, finish)
+			p.execX86(rq, entry, app, finish)
 			return
 		}
-		for _, dev := range p.Devices {
-			if dev.Reconfiguring() {
+		for i, dev := range p.Devices {
+			if !p.deviceUp(i) || dev.Reconfiguring() {
 				continue
 			}
 			if err := dev.Program(img, attempt); err == nil {
@@ -323,9 +443,9 @@ func (p *Platform) execVanillaFPGA(entry *cluster.Node, app *workloads.App, fini
 
 // execXarTrek consults the entry node's scheduler server (Algorithm 2)
 // and runs the kernel on the decided target and placement.
-func (p *Platform) execXarTrek(entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+func (p *Platform) execXarTrek(rq *reqCtx, entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
 	if !app.Migratable {
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 		return
 	}
 	// The requesting process is itself resident on its entry node
@@ -335,7 +455,7 @@ func (p *Platform) execXarTrek(entry *cluster.Node, app *workloads.App, finish f
 	d, err := p.serverFor(entry).Decide(app.Name, app.KernelName)
 	p.deciding[entry.Index]--
 	if err != nil {
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 		return
 	}
 	if p.opts.BlockOnReconfig && d.ReconfigStarted {
@@ -343,15 +463,15 @@ func (p *Platform) execXarTrek(entry *cluster.Node, app *workloads.App, finish f
 		// on a CPU (Algorithm 2 lines 9-18), the process blocks until
 		// the kernel is resident and then runs in hardware — the
 		// traditional accelerator flow's behaviour.
-		p.execVanillaFPGA(entry, app, finish)
+		p.execVanillaFPGA(rq, entry, app, finish)
 		return
 	}
 	switch d.Target {
 	case threshold.TargetARM:
-		p.execARM(entry, app, p.armNode(d.ARMNode), finish)
+		p.execARM(rq, entry, app, p.armNode(d.ARMNode), finish)
 	case threshold.TargetFPGA:
-		p.execFPGAInvoke(entry, app, d.Device, finish)
+		p.execFPGAInvoke(rq, entry, app, d.Device, finish)
 	default:
-		p.execX86(entry, app, finish)
+		p.execX86(rq, entry, app, finish)
 	}
 }

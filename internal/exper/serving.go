@@ -8,6 +8,7 @@ import (
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
+	"xartrek/internal/faults"
 	"xartrek/internal/workloads"
 )
 
@@ -44,6 +45,11 @@ type ServingConfig struct {
 	Policy string
 	// Opts carries the ablation switches.
 	Opts Options
+	// Faults, when non-empty, injects the spec's failure timeline into
+	// the run (expanded deterministically from Seed) and makes the
+	// scheduler fleet failure-aware. nil or an empty spec leaves the
+	// run byte-identical to the pre-fault engine.
+	Faults *faults.Spec
 }
 
 // ServingResult is one serving run's report: offered vs completed
@@ -75,6 +81,10 @@ type ServingResult struct {
 	// fleet performed, from any path (scheduler, preconfiguration,
 	// affinity preload) — the churn the affinity policy cuts.
 	FPGAReconfigs int
+	// Faults is the resilience report of a fault-injected run; nil on
+	// fault-free runs (omitted from JSON, keeping fault-free reports
+	// byte-identical to pre-fault output).
+	Faults *FaultResult `json:",omitempty"`
 }
 
 // arrival is one pre-drawn request: when it enters and what it runs.
@@ -153,6 +163,16 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if err != nil {
 		return ServingResult{}, err
 	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+		}
+		rt, err := newFaultRuntime(p, cfg.Faults, cfg.Seed, cfg.Duration)
+		if err != nil {
+			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+		}
+		p.faults = rt
+	}
 	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Offered: len(reqs), Policy: p.PolicyName()}
 	var latencies []time.Duration
 	// A request placed on a node becomes visible in the node's run
@@ -201,6 +221,9 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 			assigned[entry.Index]++
 			p.LaunchAppOn(entry, req.app, cfg.Mode, p.Sim.Now(), func(run RunResult) {
 				latencies = append(latencies, run.Elapsed())
+				if p.faults != nil {
+					p.faults.observeClass(run.App, run.Elapsed())
+				}
 			})
 		}
 		if j < len(reqs) {
@@ -220,6 +243,9 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	res.MeanHostLoad = p.Cluster.X86.Pool.JobSeconds() / cfg.Duration.Seconds()
 	res.Sched = p.SchedStats()
 	res.FPGAReconfigs = p.DeviceReconfigs()
+	if p.faults != nil {
+		res.Faults = p.faults.finalize(res.Offered, res.Completed)
+	}
 	return res, nil
 }
 

@@ -41,6 +41,9 @@ func LoadTrace(r io.Reader, rescale float64) ([]time.Duration, error) {
 	}
 	var seconds []float64
 	var absolutes []time.Time
+	// First line of each format, for the mixed-format diagnostic.
+	var firstNumLine, firstAbsLine int
+	var firstNumField, firstAbsField string
 	sc := bufio.NewScanner(r)
 	// Real request logs carry arbitrarily long payload fields after the
 	// timestamp; the scanner's default 64 KiB token limit would reject
@@ -64,6 +67,9 @@ func LoadTrace(r io.Reader, rescale float64) ([]time.Duration, error) {
 			if secs < 0 {
 				return nil, fmt.Errorf("exper: trace line %d: negative offset %v", lineno, secs)
 			}
+			if len(seconds) == 0 {
+				firstNumLine, firstNumField = lineno, field
+			}
 			seconds = append(seconds, secs)
 			continue
 		}
@@ -71,13 +77,18 @@ func LoadTrace(r io.Reader, rescale float64) ([]time.Duration, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exper: trace line %d: %q is neither a seconds offset nor an RFC 3339 timestamp", lineno, field)
 		}
+		if len(absolutes) == 0 {
+			firstAbsLine, firstAbsField = lineno, field
+		}
 		absolutes = append(absolutes, t)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("exper: trace: %w", err)
+		return nil, fmt.Errorf("exper: trace near line %d: %w", lineno+1, err)
 	}
 	if len(seconds) > 0 && len(absolutes) > 0 {
-		return nil, fmt.Errorf("exper: trace mixes numeric and RFC 3339 timestamps (%d and %d lines); one log must use one format", len(seconds), len(absolutes))
+		return nil, fmt.Errorf(
+			"exper: trace mixes numeric and RFC 3339 timestamps (%d and %d lines, e.g. %q on line %d vs %q on line %d); one log must use one format",
+			len(seconds), len(absolutes), firstNumField, firstNumLine, firstAbsField, firstAbsLine)
 	}
 	// Numeric timestamps that all sit far from zero are epoch seconds,
 	// not offsets: anchor them to the earliest entry like RFC 3339

@@ -121,6 +121,12 @@ func TestLoadTraceRejectsBadInput(t *testing.T) {
 		{"1\n2021-12-06T10:00:00Z\n", 1, "mixes numeric and RFC 3339"},
 		{"NaN\n", 1, "neither a seconds offset"},
 		{"+Inf\n", 1, "neither a seconds offset"},
+		// Errors carry the line number and the offending field so a
+		// bad row in a million-line log is findable.
+		{"# header\n1\n2\noops\n", 1, `trace line 4: "oops"`},
+		{"0\n# comment\n-3,/x\n", 1, "line 3: negative offset -3"},
+		{"# log\n2021-12-06T10:00:00Z\n\n7,/a\n", 1,
+			`"7" on line 4 vs "2021-12-06T10:00:00Z" on line 2`},
 	}
 	for i, tc := range cases {
 		_, err := LoadTrace(strings.NewReader(tc.in), tc.rescale)
