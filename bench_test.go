@@ -669,3 +669,50 @@ func BenchmarkServingWithChurn(b *testing.B) {
 	}
 	b.ReportMetric(avail, "availability")
 }
+
+// benchmarkServingSketch measures the sketch-latency-mode serving
+// engine: lazily generated Poisson arrivals into a GK quantile sketch,
+// the million-request configuration. req/wall-s is the headline
+// requests-per-wall-second trajectory BENCH.md tracks; the alloc
+// figures pin the O(in-flight) memory claim (bytes/op must not scale
+// with the request count).
+func benchmarkServingSketch(b *testing.B, topo cluster.Topology, rate float64, dur time.Duration) {
+	arts := benchArtifacts(b)
+	cfg := exper.ServingConfig{
+		Topo:       topo,
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: rate,
+		Duration:   dur,
+		Seed:       benchSeed,
+		Opts:       exper.Options{LatencyMode: exper.LatencySketch},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var offered int
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offered = r.Offered
+	}
+	wall := time.Since(start).Seconds()
+	b.ReportMetric(float64(offered*b.N)/wall, "req/wall-s")
+	b.ReportMetric(float64(offered), "offered")
+}
+
+// BenchmarkServingSketchRack32 is the sketch-mode twin of
+// BenchmarkServingRack32Low (~480 requests): the delta against the
+// exact-mode benchmark is the sketch bookkeeping overhead at a scale
+// where both run comfortably.
+func BenchmarkServingSketchRack32(b *testing.B) {
+	benchmarkServingSketch(b, cluster.ScaleOutTopology("rack32", 8, 24, 4), 16, 30*time.Second)
+}
+
+// BenchmarkServingSketchRack64Dense drives ~61k requests through a
+// 64-node rack — dense enough that requests-per-wall-second reflects
+// the steady-state event-engine cost rather than setup.
+func BenchmarkServingSketchRack64Dense(b *testing.B) {
+	benchmarkServingSketch(b, cluster.ScaleOutTopology("rack64", 16, 48, 8), 2048, 30*time.Second)
+}

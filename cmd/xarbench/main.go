@@ -11,6 +11,7 @@
 //	xarbench -serving -policy affinity # …under one placement policy
 //	xarbench -all -runs 3              # cheaper randomized experiments
 //	xarbench -campaign spec.json       # run a declarative campaign spec
+//	xarbench -campaign spec.json -checkpoint dir/  # resumable campaign
 //
 // The serving campaign drives the standard Poisson grid, then a
 // placement-policy comparison (default vs link-aware vs affinity on a
@@ -22,6 +23,11 @@
 // cells. The built-in campaigns are checked in as spec files under
 // examples/campaigns. Cells fan across CPU cores; completed cells
 // stream in deterministic spec order.
+//
+// -checkpoint persists each completed cell into the given directory as
+// the campaign runs. Re-running the same spec with the same directory
+// after an interruption (crash, kill, ^C) resumes from the completed
+// prefix and produces the same output an uninterrupted run would have.
 //
 // Absolute times come from this repository's calibrated models, not
 // the authors' hardware; EXPERIMENTS.md records paper-vs-measured for
@@ -58,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	serving := fs.Bool("serving", false, "run the open-loop serving campaign")
 	policy := fs.String("policy", "", "placement policy for the serving grid (default, link-aware, affinity)")
 	campaign := fs.String("campaign", "", "execute a JSON campaign spec file (see examples/campaigns)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint directory for -campaign (resume an interrupted run)")
 	all := fs.Bool("all", false, "regenerate everything")
 	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
 	if err := fs.Parse(args); err != nil {
@@ -129,9 +136,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *campaign != "" {
 		matched = true
-		if err := runCampaignFile(out, arts, *campaign); err != nil {
+		if err := runCampaignFile(out, arts, *campaign, *checkpoint); err != nil {
 			return fmt.Errorf("campaign: %w", err)
 		}
+	} else if *checkpoint != "" {
+		return fmt.Errorf("-checkpoint requires -campaign")
 	}
 	if !matched {
 		return fmt.Errorf("no experiment matches the requested table/figure")
@@ -143,7 +152,7 @@ func run(args []string, out io.Writer) error {
 // completed cell as a report line. Relative trace_file paths resolve
 // against the spec file's directory, so checked-in campaigns carry
 // their fixtures with them.
-func runCampaignFile(out io.Writer, arts *exper.Artifacts, path string) error {
+func runCampaignFile(out io.Writer, arts *exper.Artifacts, path, checkpoint string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -159,8 +168,9 @@ func runCampaignFile(out io.Writer, arts *exper.Artifacts, path string) error {
 	}
 	fmt.Fprintf(out, "\n== campaign %s (%d cells) ==\n", spec.Name, len(cells))
 	_, err = exper.RunCampaign(arts, *spec, exper.RunOpts{
-		BaseDir: filepath.Dir(path),
-		OnCell:  func(c exper.CellResult) { printCell(out, c, len(cells)) },
+		BaseDir:    filepath.Dir(path),
+		OnCell:     func(c exper.CellResult) { printCell(out, c, len(cells)) },
+		Checkpoint: checkpoint,
 	})
 	return err
 }

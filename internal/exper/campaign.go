@@ -300,6 +300,17 @@ func (c CellSpec) validate() error {
 			return err
 		}
 	}
+	if c.Options != nil && c.Options.LatencyMode != "" {
+		if _, err := parseLatencyMode(c.Options.LatencyMode); err != nil {
+			return err
+		}
+		if c.Kind != KindServing && c.Kind != KindPolicyComparison {
+			// The figure-class experiments report means and totals, not
+			// latency percentiles; a latency-mode switch there would be
+			// a silently ignored knob.
+			return fmt.Errorf("%s cell does not take options.latency_mode", c.Kind)
+		}
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return err

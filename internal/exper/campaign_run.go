@@ -57,8 +57,18 @@ type RunOpts struct {
 	// cell-index order — a finished cell is held until every earlier
 	// cell has been delivered — so streamed output is deterministic
 	// regardless of GOMAXPROCS, while still reporting progress as the
-	// campaign's prefix completes.
+	// campaign's prefix completes. On a resumed run, checkpointed cells
+	// stream first (in order), then freshly run ones.
 	OnCell func(CellResult)
+	// Checkpoint, when non-empty, names a directory where every
+	// completed cell's result is persisted as the campaign runs (see
+	// checkpoint.go). If the directory already holds a checkpoint of
+	// this exact campaign, the completed cells are loaded instead of
+	// recomputed and only the remainder runs — the final report is
+	// byte-identical to an uninterrupted run's. A checkpoint written by
+	// a different campaign is refused. Requires a declarative spec
+	// (adapter-injected cells are rejected).
+	Checkpoint string
 }
 
 // adapter-injected argument bundles (see CellSpec): the exact
@@ -345,11 +355,39 @@ func RunCampaign(arts *Artifacts, spec CampaignSpec, ropts RunOpts) (*Report, er
 			return nil, err
 		}
 	}
+	var ck *checkpoint
+	var loaded []*CellResult
+	if ropts.Checkpoint != "" {
+		ck, loaded, err = openCheckpoint(ropts.Checkpoint, spec.Name, cells)
+		if err != nil {
+			return nil, fmt.Errorf("exper: campaign %q: %w", spec.Name, err)
+		}
+	}
 	results := make([]CellResult, len(resolved))
 	var mu sync.Mutex
 	delivered := 0
 	completed := make([]bool, len(resolved))
+	for i, r := range loaded {
+		if r != nil {
+			results[i] = *r
+			completed[i] = true
+		}
+	}
+	deliver := func() {
+		for delivered < len(completed) && completed[delivered] {
+			ropts.OnCell(results[delivered])
+			delivered++
+		}
+	}
+	if ropts.OnCell != nil {
+		// Stream the checkpointed prefix before any worker starts, so
+		// resumed output is the same in-order cell sequence.
+		deliver()
+	}
 	err = par.ForEach(len(resolved), func(i int) error {
+		if loaded != nil && loaded[i] != nil {
+			return nil
+		}
 		r, err := resolved[i].run(arts, splitArts)
 		if err != nil {
 			if resolved[i].spec.injected() {
@@ -359,14 +397,18 @@ func RunCampaign(arts *Artifacts, spec CampaignSpec, ropts RunOpts) (*Report, er
 			}
 			return fmt.Errorf("exper: campaign %q cell %d: %w", spec.Name, i, err)
 		}
+		if ck != nil {
+			// Persist before announcing completion: a kill after this
+			// point loses no finished cell.
+			if err := ck.saveCell(r); err != nil {
+				return fmt.Errorf("exper: campaign %q cell %d: checkpoint: %w", spec.Name, i, err)
+			}
+		}
 		results[i] = r
 		if ropts.OnCell != nil {
 			mu.Lock()
 			completed[i] = true
-			for delivered < len(completed) && completed[delivered] {
-				ropts.OnCell(results[delivered])
-				delivered++
-			}
+			deliver()
 			mu.Unlock()
 		}
 		return nil

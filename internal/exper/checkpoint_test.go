@@ -1,0 +1,234 @@
+package exper
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/faults"
+)
+
+// ckptSpec is a small multi-cell campaign for the checkpoint tests: a
+// serving grid (4 expanded cells) plus a fault-bearing churn cell, so
+// resume is exercised across both fault-free and fault-injected kinds.
+func ckptSpec() CampaignSpec {
+	return CampaignSpec{
+		Name: "ckpt",
+		Cells: []CellSpec{
+			{
+				Name:     "grid",
+				Kind:     KindServing,
+				Topology: &TopologySpec{Kind: "scale-out", Name: "rack4", X86: 2, ARM: 2, FPGAs: 1},
+				Rates:    []float64{2, 4},
+				Modes:    []string{"xar-trek", "vanilla-x86"},
+				Duration: Duration(10 * time.Second),
+				Seed:     2021,
+			},
+			{
+				Name:     "churn",
+				Kind:     KindServing,
+				Topology: &TopologySpec{Kind: "scale-out", Name: "rack8", X86: 4, ARM: 4, FPGAs: 2},
+				Rate:     8,
+				Duration: Duration(20 * time.Second),
+				Seed:     2021,
+				Faults: &faults.Spec{
+					Events: []faults.Event{
+						{At: faults.Duration(5 * time.Second), Kind: faults.NodeDown, Node: "arm-01"},
+						{At: faults.Duration(10 * time.Second), Kind: faults.NodeUp, Node: "arm-01"},
+					},
+					MaxRetries:   2,
+					RetryBackoff: faults.Duration(5 * time.Millisecond),
+				},
+			},
+		},
+	}
+}
+
+// reportJSON marshals a campaign report for byte-identity comparison.
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestCampaignCheckpointResumeByteIdentical is the kill/resume golden:
+// a checkpointed campaign killed after cell k (simulated by removing
+// the suffix of cell files — exactly the on-disk state the atomic
+// writes guarantee) resumes from the completed prefix and produces a
+// final report byte-identical to an uninterrupted run's, across
+// GOMAXPROCS settings, without recomputing the prefix.
+func TestCampaignCheckpointResumeByteIdentical(t *testing.T) {
+	arts := testArtifacts(t)
+	spec := ckptSpec()
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(cells)
+	if n != 5 {
+		t.Fatalf("expanded %d cells, want 5", n)
+	}
+
+	baseline, err := RunCampaign(arts, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, baseline)
+
+	dir := t.TempDir()
+	var first *Report
+	withGOMAXPROCS(4, func() {
+		first, err = RunCampaign(arts, spec, RunOpts{Checkpoint: dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, first); string(got) != string(want) {
+		t.Fatalf("checkpointed run diverged from plain run:\n%s\n%s", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(filepath.Join(dir, cellFileName(i))); err != nil {
+			t.Fatalf("cell file %d not written: %v", i, err)
+		}
+	}
+
+	// Kill after cell 2: cells 2..4 never hit the disk. A stray temp
+	// file emulates a kill mid-write; resume must ignore it.
+	for i := 2; i < n; i++ {
+		if err := os.Remove(filepath.Join(dir, cellFileName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, cellFileName(4)+".tmp"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := os.Stat(filepath.Join(dir, cellFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []int
+	var resumed *Report
+	withGOMAXPROCS(1, func() {
+		resumed, err = RunCampaign(arts, spec, RunOpts{
+			Checkpoint: dir,
+			OnCell:     func(c CellResult) { streamed = append(streamed, c.Index) },
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, resumed); string(got) != string(want) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n%s\n%s", got, want)
+	}
+	if len(streamed) != n {
+		t.Fatalf("streamed %d cells, want %d", len(streamed), n)
+	}
+	for i, idx := range streamed {
+		if idx != i {
+			t.Fatalf("streamed order %v, want in-index order", streamed)
+		}
+	}
+	after, err := os.Stat(filepath.Join(dir, cellFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(kept.ModTime()) {
+		t.Fatal("resume rewrote an already-checkpointed cell (prefix was recomputed)")
+	}
+
+	// A hole in the middle (not just a suffix) resumes the same way.
+	if err := os.Remove(filepath.Join(dir, cellFileName(1))); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err = RunCampaign(arts, spec, RunOpts{Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, resumed); string(got) != string(want) {
+		t.Fatal("resume with a mid-campaign hole diverged")
+	}
+}
+
+// cellFileName mirrors the checkpoint layout for test assertions.
+func cellFileName(i int) string {
+	ck := checkpoint{dir: ""}
+	return filepath.Base(ck.cellPath(i))
+}
+
+// TestCampaignCheckpointRefusesForeignDir pins the fingerprint gate: a
+// checkpoint directory written by one campaign cannot silently leak
+// results into a different one.
+func TestCampaignCheckpointRefusesForeignDir(t *testing.T) {
+	arts := testArtifacts(t)
+	spec := ckptSpec()
+	dir := t.TempDir()
+	if _, err := RunCampaign(arts, spec, RunOpts{Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other := ckptSpec()
+	other.Cells[0].Rates = []float64{2, 8} // different grid
+	_, err := RunCampaign(arts, other, RunOpts{Checkpoint: dir})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("foreign checkpoint dir not refused: %v", err)
+	}
+}
+
+// TestCampaignCheckpointRejectsInjectedCells pins that the legacy
+// adapter entry points cannot be checkpointed: their arguments live
+// outside the spec, so no fingerprint could validate a resume.
+func TestCampaignCheckpointRejectsInjectedCells(t *testing.T) {
+	arts := testArtifacts(t)
+	cfg := ServingConfig{Topo: cluster.ScaleOutTopology("rack4", 2, 2, 1), Mode: ModeXarTrek, RatePerSec: 2,
+		Duration: 5 * time.Second, Seed: 1}
+	_, err := RunCampaign(arts, CampaignSpec{Cells: []CellSpec{{Kind: KindServing, servingCfg: &cfg}}},
+		RunOpts{Checkpoint: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "adapter-injected") {
+		t.Fatalf("injected cell not rejected: %v", err)
+	}
+}
+
+// TestCampaignCheckpointSketchCells pins checkpoint/resume for
+// sketch-mode cells: the sketch-backed percentiles survive the
+// CellResult JSON round trip byte-identically too.
+func TestCampaignCheckpointSketchCells(t *testing.T) {
+	arts := testArtifacts(t)
+	spec := ckptSpec()
+	for i := range spec.Cells {
+		spec.Cells[i].Options = &Options{LatencyMode: LatencySketch}
+	}
+	baseline, err := RunCampaign(arts, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, baseline)
+	dir := t.TempDir()
+	if _, err := RunCampaign(arts, spec, RunOpts{Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 5; i++ {
+		if err := os.Remove(filepath.Join(dir, cellFileName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, err := RunCampaign(arts, spec, RunOpts{Checkpoint: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, resumed); string(got) != string(want) {
+		t.Fatal("resumed sketch-mode run diverged from uninterrupted run")
+	}
+	if resumed.Cells[0].Serving.LatencyMode != LatencySketch {
+		t.Fatal("restored cell lost its latency mode")
+	}
+}

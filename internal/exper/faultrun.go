@@ -2,7 +2,6 @@ package exper
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"xartrek/internal/cluster"
@@ -138,9 +137,12 @@ type faultRuntime struct {
 	nodeTokens [][]*segToken
 	devTokens  [][]*segToken
 
-	res      FaultResult
-	recovery []time.Duration
-	classLat map[string][]time.Duration
+	res FaultResult
+	// sketch selects GK-sketch accumulation for the recovery and
+	// per-class latency distributions (Options.LatencyMode).
+	sketch   bool
+	recovery *latDigest
+	classLat map[string]*latDigest
 }
 
 // newFaultRuntime resolves the spec's targets against the platform's
@@ -148,7 +150,7 @@ type faultRuntime struct {
 // event on the simulator. The scheduler host must stay alive — it is
 // the control plane every request consults — so crashing it (by event
 // or by crash churn) is rejected; draining it is allowed.
-func newFaultRuntime(p *Platform, spec *faults.Spec, seed int64, horizon time.Duration) (*faultRuntime, error) {
+func newFaultRuntime(p *Platform, spec *faults.Spec, seed int64, horizon time.Duration, sketch bool) (*faultRuntime, error) {
 	timeline, err := spec.Timeline(seed, horizon)
 	if err != nil {
 		return nil, err
@@ -175,7 +177,9 @@ func newFaultRuntime(p *Platform, spec *faults.Spec, seed int64, horizon time.Du
 		partitioned:  make(map[linkPair]bool),
 		nodeTokens:   make([][]*segToken, len(p.Cluster.Nodes)),
 		devTokens:    make([][]*segToken, len(p.Devices)),
-		classLat:     make(map[string][]time.Duration),
+		sketch:       sketch,
+		recovery:     newLatDigest(sketch),
+		classLat:     make(map[string]*latDigest),
 	}
 	host := p.Cluster.X86.Name
 	type resolved struct {
@@ -490,13 +494,18 @@ func (rt *faultRuntime) disrupt(rq *reqCtx, phase int) {
 // lifecycle's finish closure).
 func (rt *faultRuntime) completed(rq *reqCtx) {
 	if rq.disruptedAt >= 0 {
-		rt.recovery = append(rt.recovery, rt.p.Sim.Now()-rq.disruptedAt)
+		rt.recovery.add(rt.p.Sim.Now() - rq.disruptedAt)
 	}
 }
 
 // observeClass collects the per-application completion latency.
 func (rt *faultRuntime) observeClass(app string, lat time.Duration) {
-	rt.classLat[app] = append(rt.classLat[app], lat)
+	d, ok := rt.classLat[app]
+	if !ok {
+		d = newLatDigest(rt.sketch)
+		rt.classLat[app] = d
+	}
+	d.add(lat)
 }
 
 // finalize closes the books at the horizon and returns the report.
@@ -514,17 +523,27 @@ func (rt *faultRuntime) finalize(offered, completed int) *FaultResult {
 	if offered > 0 {
 		rt.res.Availability = float64(completed) / float64(offered)
 	}
-	sort.Slice(rt.recovery, func(i, j int) bool { return rt.recovery[i] < rt.recovery[j] })
-	rt.res.RecoveryP50 = percentile(rt.recovery, 50)
-	rt.res.RecoveryP99 = percentile(rt.recovery, 99)
+	rt.recovery.seal()
+	rt.res.RecoveryP50 = rt.recovery.percentile(50)
+	rt.res.RecoveryP99 = rt.recovery.percentile(99)
 	if len(rt.classLat) > 0 {
 		rt.res.ClassP99 = make(map[string]time.Duration, len(rt.classLat))
 		for app, lats := range rt.classLat {
-			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-			rt.res.ClassP99[app] = percentile(lats, 99)
+			lats.seal()
+			rt.res.ClassP99[app] = lats.percentile(99)
 		}
 	}
 	return &rt.res
+}
+
+// sinkExact feeds the runtime's sealed exact-mode distributions to the
+// test latency sink (see latency.go). Only called on exact runs, after
+// finalize.
+func (rt *faultRuntime) sinkExact(cell string) {
+	testLatencySink(cell, "recovery", rt.recovery.exact)
+	for app, d := range rt.classLat {
+		testLatencySink(cell, "class:"+app, d.exact)
+	}
 }
 
 // --- platform hooks -------------------------------------------------

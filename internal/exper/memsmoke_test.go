@@ -1,0 +1,92 @@
+package exper
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMillionRequestSketchMemorySmoke is the memory-regression gate
+// for the million-request regime: it runs the checked-in rack256 cell
+// (examples/campaigns/rack256.json — ~1M Poisson requests on a
+// 256-node rack in sketch latency mode) and asserts the peak heap
+// stays under a pinned budget. With lazy arrival generation and
+// sketch-backed percentiles the working set is O(in-flight), so the
+// budget is far below what materialising the stream (~48 B of arrival
+// plus ~8 B of latency per request, plus one heap event each) would
+// need. Gated behind XARTREK_MEM_SMOKE because the cell takes tens of
+// seconds; CI runs it as a dedicated job under GODEBUG=gctrace=1.
+func TestMillionRequestSketchMemorySmoke(t *testing.T) {
+	if os.Getenv("XARTREK_MEM_SMOKE") == "" {
+		t.Skip("set XARTREK_MEM_SMOKE=1 to run the million-request memory smoke")
+	}
+	arts := testArtifacts(t)
+	f, err := os.Open(filepath.Join(campaignsDir, "rack256.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseCampaign(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample peak heap while the campaign runs; ReadMemStats between
+	// GCs tracks live-plus-floating garbage, which is the budget that
+	// actually matters for not getting OOM-killed.
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+
+	start := time.Now()
+	rep, err := RunCampaign(arts, *spec, RunOpts{BaseDir: campaignsDir})
+	wall := time.Since(start)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rep.Cells[0].Serving
+	if r.LatencyMode != LatencySketch {
+		t.Fatalf("rack256 cell ran in %q latency mode, want sketch", r.LatencyMode)
+	}
+	if r.Offered < 1_000_000 {
+		t.Fatalf("offered %d requests, want >= 1M (spec drifted?)", r.Offered)
+	}
+	if r.Completed == 0 || r.P99 == 0 {
+		t.Fatalf("degenerate result: completed=%d p99=%v", r.Completed, r.P99)
+	}
+
+	// Budget: ~5x headroom over the measured ~25 MiB working set, and
+	// below what an O(total-requests) engine needs for this cell
+	// (materialising 1M arrivals, latencies and injector events costs
+	// well over 150 MiB). A regression that re-materialises the stream
+	// or the latency slice blows straight through it.
+	const heapBudget = 128 << 20
+	peakMB := float64(peak.Load()) / (1 << 20)
+	t.Logf("rack256-1m: offered=%d completed=%d p50=%v p99=%v", r.Offered, r.Completed, r.P50, r.P99)
+	t.Logf("rack256-1m: wall=%v rate=%.0f req/wall-s peak-heap=%.1f MiB", wall.Round(time.Millisecond),
+		float64(r.Offered)/wall.Seconds(), peakMB)
+	if peak.Load() > heapBudget {
+		t.Fatalf("peak heap %.1f MiB exceeds the %d MiB budget", peakMB, heapBudget>>20)
+	}
+}

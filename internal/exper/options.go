@@ -55,6 +55,16 @@ type Options struct {
 	// PolicyDefault (also the empty string), PolicyLinkAware or
 	// PolicyAffinity. Unknown names fail platform construction.
 	Policy string `json:"policy,omitempty"`
+	// LatencyMode selects how serving cells accumulate the
+	// completion-latency distribution: LatencyExact (also the empty
+	// string) retains every sample and reports exact nearest-rank
+	// percentiles; LatencySketch streams samples into a GK quantile
+	// sketch and generates Poisson arrivals lazily, bounding memory at
+	// O(in-flight) for million-request cells at the price of a
+	// quantile.DefaultEpsilon rank-error bound on the reported
+	// percentiles. Unknown names fail the run; only serving-class
+	// cells accept the switch.
+	LatencyMode string `json:"latency_mode,omitempty"`
 }
 
 // resolvePolicy collapses the layered placement-policy selection into

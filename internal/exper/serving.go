@@ -67,7 +67,13 @@ type ServingResult struct {
 	ThroughputPerSec float64
 	// P50, P95 and P99 are completion-latency percentiles
 	// (nearest-rank over completed requests; zero when none completed).
+	// Under Options.LatencyMode "sketch" they come from a GK quantile
+	// sketch and carry its rank-error bound instead of being exact.
 	P50, P95, P99 time.Duration
+	// LatencyMode is LatencySketch when the percentiles are
+	// sketch-backed; empty in the exact default, keeping exact-mode
+	// JSON byte-identical to pre-sketch output.
+	LatencyMode string `json:",omitempty"`
 	// MeanHostLoad is the scheduler host's average multiprogramming
 	// level over the horizon — the x86LOAD the thresholds react to.
 	MeanHostLoad float64
@@ -136,6 +142,128 @@ func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
 	}
 }
 
+// arrivalSource yields the request stream one arrival instant at a
+// time: next returns the instant, every request arriving at it (the
+// returned slice is only valid until the following next call), and
+// ok=false at end of stream. offered reports how many requests the
+// source has yielded so far.
+type arrivalSource interface {
+	next() (at time.Duration, apps []*workloads.App, ok bool)
+	offered() int
+}
+
+// sliceSource replays a pre-drawn arrival slice, grouping runs of
+// equal instants — the exact-mode source, byte-identical to the eager
+// per-request walk it replaces.
+type sliceSource struct {
+	reqs  []arrival
+	i     int
+	batch []*workloads.App
+}
+
+func (s *sliceSource) next() (time.Duration, []*workloads.App, bool) {
+	if s.i >= len(s.reqs) {
+		return 0, nil, false
+	}
+	at := s.reqs[s.i].at
+	s.batch = s.batch[:0]
+	for ; s.i < len(s.reqs) && s.reqs[s.i].at == at; s.i++ {
+		s.batch = append(s.batch, s.reqs[s.i].app)
+	}
+	return at, s.batch, true
+}
+
+func (s *sliceSource) offered() int { return s.i }
+
+// poissonSource draws the Poisson stream lazily, one arrival ahead of
+// the simulation clock, in exactly the RNG order arrivals() pre-draws
+// it (gap, then application, per arrival; the arrival past the horizon
+// consumes only its gap). A million-request cell therefore sees the
+// same stream as the exact path while holding O(1) arrival state.
+type poissonSource struct {
+	rng     *rand.Rand
+	rate    float64
+	horizon time.Duration
+	pool    []*workloads.App
+
+	t       time.Duration
+	primed  bool
+	more    bool
+	nextAt  time.Duration
+	nextApp *workloads.App
+	n       int
+	batch   []*workloads.App
+}
+
+// draw advances the stream by one arrival; ok=false past the horizon.
+func (s *poissonSource) draw() (time.Duration, *workloads.App, bool) {
+	gap := s.rng.ExpFloat64() / s.rate
+	s.t += time.Duration(gap * float64(time.Second))
+	if s.t >= s.horizon {
+		return 0, nil, false
+	}
+	return s.t, s.pool[s.rng.Intn(len(s.pool))], true
+}
+
+func (s *poissonSource) next() (time.Duration, []*workloads.App, bool) {
+	if !s.primed {
+		s.primed = true
+		s.nextAt, s.nextApp, s.more = s.draw()
+	}
+	if !s.more {
+		return 0, nil, false
+	}
+	at := s.nextAt
+	s.batch = append(s.batch[:0], s.nextApp)
+	// One-arrival look-ahead folds same-instant arrivals (gaps that
+	// round to zero) into one batch, as the Feed contract requires.
+	for {
+		a, app, ok := s.draw()
+		if !ok {
+			s.more = false
+			break
+		}
+		if a != at {
+			s.nextAt, s.nextApp = a, app
+			break
+		}
+		s.batch = append(s.batch, app)
+	}
+	s.n += len(s.batch)
+	return at, s.batch, true
+}
+
+func (s *poissonSource) offered() int { return s.n }
+
+// source builds the run's arrival source: pre-drawn (exact mode, and
+// always for traces — they are explicit and already materialised) or
+// streaming (sketch mode), with identical validation and an identical
+// resulting stream either way.
+func (cfg ServingConfig) source(pool []*workloads.App, sketch bool) (arrivalSource, error) {
+	if !sketch || len(cfg.Trace) > 0 {
+		reqs, err := cfg.arrivals(pool)
+		if err != nil {
+			return nil, err
+		}
+		return &sliceSource{reqs: reqs}, nil
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("exper: serving %q: non-positive duration %v", cfg.Name, cfg.Duration)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("exper: serving %q: empty application pool", cfg.Name)
+	}
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("exper: serving %q: non-positive rate %v", cfg.Name, cfg.RatePerSec)
+	}
+	return &poissonSource{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rate:    cfg.RatePerSec,
+		horizon: cfg.Duration,
+		pool:    pool,
+	}, nil
+}
+
 // RunServing executes one open-loop serving run. It is a thin adapter
 // over RunCampaign: the config becomes a one-cell campaign, so the
 // serving engine has exactly one execution path.
@@ -153,12 +281,16 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.Topo.Name
 	}
-	reqs, err := cfg.arrivals(arts.Apps)
+	opts := cfg.Opts
+	opts.Policy = resolvePolicy(cfg.Policy, opts.Policy)
+	sketch, err := parseLatencyMode(opts.LatencyMode)
+	if err != nil {
+		return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+	}
+	src, err := cfg.source(arts.Apps, sketch)
 	if err != nil {
 		return ServingResult{}, err
 	}
-	opts := cfg.Opts
-	opts.Policy = resolvePolicy(cfg.Policy, opts.Policy)
 	p, err := NewPlatformTopo(arts, cfg.Topo, opts)
 	if err != nil {
 		return ServingResult{}, err
@@ -167,51 +299,47 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 		if err := cfg.Faults.Validate(); err != nil {
 			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
-		rt, err := newFaultRuntime(p, cfg.Faults, cfg.Seed, cfg.Duration)
+		rt, err := newFaultRuntime(p, cfg.Faults, cfg.Seed, cfg.Duration, sketch)
 		if err != nil {
 			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		p.faults = rt
 	}
-	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Offered: len(reqs), Policy: p.PolicyName()}
-	var latencies []time.Duration
+	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Policy: p.PolicyName()}
+	if sketch {
+		res.LatencyMode = LatencySketch
+	}
+	lat := newLatDigest(sketch)
 	// A request placed on a node becomes visible in the node's run
 	// queue only when its launch event executes, which is after every
 	// arrival event of the same instant. assigned tracks same-instant
 	// placements so a burst of simultaneous arrivals spreads across
 	// the fleet instead of piling onto one node.
 	assigned := make([]int, len(p.Cluster.Nodes))
-	assignedAt := time.Duration(-1)
-	// Arrivals are injected lazily: one injector event per distinct
-	// arrival instant places every request of that instant and then
-	// schedules the next instant's injector, so the simulator's event
-	// heap holds O(in-flight) entries instead of the whole campaign's
-	// O(total requests) — at cluster scale the difference between a
-	// bounded working set and pre-pushing millions of events before
-	// the clock starts. Batching an instant into one event keeps the
-	// eager injector's same-instant order: every placement of the
-	// instant happens before any of its launch events executes, which
-	// the `assigned` bookkeeping relies on to spread a burst (chaining
-	// arrivals one event each would let the first launches interleave
-	// from the third same-instant arrival on). One ordering edge
-	// differs from eager injection — an unrelated event whose firing
-	// time lands on exactly an arrival instant's nanosecond now wins
-	// the tie; DESIGN.md §7 scopes the determinism contract
-	// accordingly.
-	var inject func(i int)
-	schedule := func(i int) {
-		p.Sim.At(reqs[i].at, func() { inject(i) })
-	}
-	inject = func(i int) {
-		if now := p.Sim.Now(); now != assignedAt {
-			assignedAt = now
-			for n := range assigned {
-				assigned[n] = 0
-			}
+	// Arrivals are injected lazily through simtime.Feed: one injector
+	// event per distinct arrival instant places every request of that
+	// instant and then pulls the next instant from the source, so the
+	// simulator's event heap holds O(in-flight) entries instead of the
+	// whole campaign's O(total requests) — and in sketch mode the
+	// Poisson stream itself is never materialised, so at cluster scale
+	// a million-request cell's working set stays bounded. Batching an
+	// instant into one event keeps the eager injector's same-instant
+	// order: every placement of the instant happens before any of its
+	// launch events executes, which the `assigned` bookkeeping relies
+	// on to spread a burst (chaining arrivals one event each would let
+	// the first launches interleave from the third same-instant arrival
+	// on). One ordering edge differs from eager injection — an
+	// unrelated event whose firing time lands on exactly an arrival
+	// instant's nanosecond now wins the tie; DESIGN.md §7 scopes the
+	// determinism contract accordingly.
+	inject := func(apps []*workloads.App) {
+		// Each Feed batch is a fresh distinct instant, so the
+		// same-instant placement counters always start clean.
+		for n := range assigned {
+			assigned[n] = 0
 		}
-		j := i
-		for ; j < len(reqs) && reqs[j].at == reqs[i].at; j++ {
-			req := reqs[j]
+		now := p.Sim.Now()
+		for _, app := range apps {
 			// Entry balancing: the front end places each arriving
 			// request on the least-loaded x86 node at its arrival
 			// instant (ties toward the lower index — deterministic),
@@ -219,32 +347,40 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 			// multiplexing over a server fleet.
 			entry := p.leastLoadedX86(assigned)
 			assigned[entry.Index]++
-			p.LaunchAppOn(entry, req.app, cfg.Mode, p.Sim.Now(), func(run RunResult) {
-				latencies = append(latencies, run.Elapsed())
+			p.LaunchAppOn(entry, app, cfg.Mode, now, func(run RunResult) {
+				lat.add(run.Elapsed())
 				if p.faults != nil {
 					p.faults.observeClass(run.App, run.Elapsed())
 				}
 			})
 		}
-		if j < len(reqs) {
-			schedule(j)
+	}
+	p.Sim.Feed(func() (time.Duration, func(), bool) {
+		at, apps, ok := src.next()
+		if !ok {
+			return 0, nil, false
 		}
-	}
-	if len(reqs) > 0 {
-		schedule(0)
-	}
+		return at, func() { inject(apps) }, true
+	})
 	p.RunFor(cfg.Duration)
-	res.Completed = len(latencies)
+	res.Offered = src.offered()
+	res.Completed = lat.count()
 	res.ThroughputPerSec = float64(res.Completed) / cfg.Duration.Seconds()
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	res.P50 = percentile(latencies, 50)
-	res.P95 = percentile(latencies, 95)
-	res.P99 = percentile(latencies, 99)
+	lat.seal()
+	res.P50 = lat.percentile(50)
+	res.P95 = lat.percentile(95)
+	res.P99 = lat.percentile(99)
 	res.MeanHostLoad = p.Cluster.X86.Pool.JobSeconds() / cfg.Duration.Seconds()
 	res.Sched = p.SchedStats()
 	res.FPGAReconfigs = p.DeviceReconfigs()
 	if p.faults != nil {
 		res.Faults = p.faults.finalize(res.Offered, res.Completed)
+	}
+	if testLatencySink != nil && !sketch {
+		testLatencySink(cfg.Name, "latency", lat.exact)
+		if p.faults != nil {
+			p.faults.sinkExact(cfg.Name)
+		}
 	}
 	return res, nil
 }
@@ -275,7 +411,21 @@ func RunServingSweep(arts *Artifacts, cfgs []ServingConfig) ([]ServingResult, er
 }
 
 // percentile is the nearest-rank percentile of an ascending-sorted
-// latency slice; zero for an empty slice.
+// latency slice: the sample at rank ceil(pct/100 · n), with the rank
+// clamped to [1, n].
+//
+// Edge conventions (pinned by TestPercentileNearestRank):
+//   - an empty (or nil) slice reports 0 for every pct;
+//   - a single sample is every percentile of itself;
+//   - pct=0 (and any negative pct) clamps to rank 1, the minimum —
+//     nearest-rank has no rank-0 sample;
+//   - pct=100 is exactly rank n, the maximum, and larger pct values
+//     clamp to it.
+//
+// The sketch-backed digest (latDigest) and the quantile package's
+// Quantile use the same ceil(q·n) rank so exact and sketch modes
+// answer the same rank query, differing only by the sketch's bounded
+// rank error.
 func percentile(sorted []time.Duration, pct int) time.Duration {
 	if len(sorted) == 0 {
 		return 0

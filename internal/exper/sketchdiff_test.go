@@ -1,0 +1,177 @@
+package exper
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// campaignsDir is the checked-in campaign spec library the differential
+// test sweeps.
+const campaignsDir = "../../examples/campaigns"
+
+// captureExactDists installs the test latency sink for one single-cell
+// exact run, returning the captured distributions keyed by kind
+// ("latency", "recovery", "class:<app>").
+func captureExactDists(t *testing.T) (map[string][]time.Duration, func()) {
+	t.Helper()
+	var mu sync.Mutex
+	dists := make(map[string][]time.Duration)
+	testLatencySink = func(cell, kind string, sorted []time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		dists[kind] = append([]time.Duration(nil), sorted...)
+	}
+	return dists, func() { testLatencySink = nil }
+}
+
+// sketchRankErr measures how far a reported value sits from the target
+// nearest-rank position in the exact sorted reference: zero when some
+// occurrence of the value holds the target rank, otherwise the distance
+// in ranks to the nearest occurrence.
+func sketchRankErr(sorted []time.Duration, v time.Duration, pct int) (errRanks, target int) {
+	n := len(sorted)
+	if n == 0 {
+		return 0, 0
+	}
+	target = (pct*n + 99) / 100
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	lo := sort.Search(n, func(i int) bool { return sorted[i] >= v })
+	hi := sort.Search(n, func(i int) bool { return sorted[i] > v })
+	switch {
+	case target >= lo+1 && target <= hi:
+		return 0, target
+	case target < lo+1:
+		return lo + 1 - target, target
+	default:
+		return target - hi, target
+	}
+}
+
+// TestSketchMatchesExactOnCampaignCells is the differential exactness
+// gate: every serving-class cell of every checked-in campaign spec runs
+// twice — once in the exact (default) latency mode, once in sketch mode
+// — and every sketch-reported percentile (p50/p95/p99, fault recovery
+// percentiles, per-class p99) must sit within 1% rank error of the
+// exact sorted distribution. Offered/completed counts must agree
+// exactly, pinning that the sketch path replays the identical
+// simulation. On failure the worst-offending quantile is reported.
+func TestSketchMatchesExactOnCampaignCells(t *testing.T) {
+	arts := testArtifacts(t)
+	entries, err := os.ReadDir(campaignsDir)
+	if err != nil {
+		t.Fatalf("read campaigns dir: %v", err)
+	}
+	var worstDesc string
+	worstRel := -1.0
+	checked := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(campaignsDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseCampaign(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		cells, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for ci, cell := range cells {
+			if cell.Kind != KindServing && cell.Kind != KindPolicyComparison {
+				continue
+			}
+			if cell.Options != nil && cell.Options.LatencyMode == LatencySketch {
+				// Sketch-native cells (the million-request regime) have
+				// no affordable exact twin; the bounded-rank-error
+				// property tests in internal/quantile cover that scale.
+				continue
+			}
+			cellID := fmt.Sprintf("%s cell %d (%s mode=%s rate=%g seed=%d)",
+				e.Name(), ci, cell.Name, cell.Mode, cell.Rate, cell.Seed)
+			one := func(c CellSpec) CellResult {
+				rep, err := RunCampaign(arts, CampaignSpec{Name: spec.Name, Cells: []CellSpec{c}},
+					RunOpts{BaseDir: campaignsDir})
+				if err != nil {
+					t.Fatalf("%s: %v", cellID, err)
+				}
+				return rep.Cells[0]
+			}
+			dists, uninstall := captureExactDists(t)
+			exact := one(cell)
+			uninstall()
+
+			sk := cell
+			var opts Options
+			if cell.Options != nil {
+				opts = *cell.Options
+			}
+			opts.LatencyMode = LatencySketch
+			sk.Options = &opts
+			sketched := one(sk)
+
+			er, sr := exact.Serving, sketched.Serving
+			if sr.LatencyMode != LatencySketch {
+				t.Fatalf("%s: sketch run did not report LatencyMode=%s", cellID, LatencySketch)
+			}
+			if sr.Offered != er.Offered || sr.Completed != er.Completed {
+				t.Fatalf("%s: sketch run diverged: offered %d/%d completed %d/%d",
+					cellID, sr.Offered, er.Offered, sr.Completed, er.Completed)
+			}
+			check := func(metric string, v time.Duration, pct int, dist []time.Duration) {
+				checked++
+				if len(dist) == 0 {
+					if v != 0 {
+						t.Errorf("%s: %s = %v with no exact samples", cellID, metric, v)
+					}
+					return
+				}
+				tol := (len(dist) + 99) / 100 // ceil(1% of n)
+				errRanks, target := sketchRankErr(dist, v, pct)
+				if rel := float64(errRanks) / float64(tol); rel > worstRel {
+					worstRel = rel
+					worstDesc = fmt.Sprintf("%s %s (p%d, rank %d of %d, off by %d ranks, tolerance %d)",
+						cellID, metric, pct, target, len(dist), errRanks, tol)
+				}
+				if errRanks > tol {
+					t.Errorf("%s: %s = %v misses target rank %d by %d ranks (tolerance %d of n=%d)",
+						cellID, metric, v, target, errRanks, tol, len(dist))
+				}
+			}
+			lat := dists["latency"]
+			check("P50", sr.P50, 50, lat)
+			check("P95", sr.P95, 95, lat)
+			check("P99", sr.P99, 99, lat)
+			if ef, sf := er.Faults, sr.Faults; ef != nil || sf != nil {
+				if (ef == nil) != (sf == nil) {
+					t.Fatalf("%s: fault report present in one mode only", cellID)
+				}
+				rec := dists["recovery"]
+				check("RecoveryP50", sf.RecoveryP50, 50, rec)
+				check("RecoveryP99", sf.RecoveryP99, 99, rec)
+				for app, p99 := range sf.ClassP99 {
+					check("ClassP99["+app+"]", p99, 99, dists["class:"+app])
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no serving-class campaign cells found under " + campaignsDir)
+	}
+	t.Logf("checked %d sketch percentiles; worst offender: %s", checked, worstDesc)
+}

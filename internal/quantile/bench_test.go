@@ -1,0 +1,60 @@
+package quantile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkQuantileAdd measures the amortized per-sample insertion
+// cost at the default epsilon — the hot path every sketch-mode serving
+// request takes once. Most inserts land in the sort buffer; the
+// periodic flush+compress is amortized across the buffer size.
+func BenchmarkQuantileAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	s := New(DefaultEpsilon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vals[i&(1<<16-1)])
+	}
+	b.ReportMetric(float64(s.TupleCount()), "tuples")
+}
+
+// BenchmarkQuantileQuery measures a percentile query against a sketch
+// holding a million samples.
+func BenchmarkQuantileQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(DefaultEpsilon)
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(rng.Int63())
+	}
+	s.Quantile(0.5) // flush outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(0.99)
+	}
+}
+
+// BenchmarkQuantileMerge measures merging two 100k-sample sketches.
+func BenchmarkQuantileMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *Sketch {
+		s := New(DefaultEpsilon)
+		for i := 0; i < 100_000; i++ {
+			s.Add(rng.Int63())
+		}
+		return s
+	}
+	left, right := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := New(DefaultEpsilon)
+		cp.Merge(left)
+		cp.Merge(right)
+	}
+}

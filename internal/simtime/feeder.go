@@ -1,0 +1,36 @@
+package simtime
+
+import "time"
+
+// Feed drives a lazily generated event stream into the simulator while
+// keeping exactly one of its events pending at a time: pull returns
+// the next firing instant and its callback (ok=false ends the stream),
+// Feed schedules it, and when it fires the callback runs and the next
+// instant is pulled and scheduled.
+//
+// This is the batch-injection hook the serving campaigns use for
+// million-request arrival streams: instead of pre-pushing one event
+// per arrival — O(total requests) heap entries and closures before the
+// clock even starts — the generator materialises one arrival instant
+// per pending event, so the heap holds O(in-flight) entries regardless
+// of campaign length, and the arrival schedule itself never needs to
+// exist as a slice.
+//
+// Instants must be nondecreasing (each pull's instant is scheduled
+// from the previous one's firing time; going backwards panics via At,
+// as any schedule-in-the-past does). All callbacks of one instant must
+// be folded into that instant's fn by the generator: Feed deliberately
+// fires a whole instant as one event so same-instant work cannot
+// interleave with events the callbacks themselves schedule — the
+// ordering contract the serving front end's burst spreading relies on
+// (DESIGN.md §7).
+func (s *Simulator) Feed(pull func() (time.Duration, func(), bool)) {
+	t, fn, ok := pull()
+	if !ok {
+		return
+	}
+	s.At(t, func() {
+		fn()
+		s.Feed(pull)
+	})
+}

@@ -1,0 +1,102 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFeedDeliversStreamInOrder(t *testing.T) {
+	sim := New()
+	instants := []time.Duration{0, time.Second, time.Second, 5 * time.Second}
+	// Group same-instant entries into one fn, as the contract requires.
+	i := 0
+	var fired []time.Duration
+	sim.Feed(func() (time.Duration, func(), bool) {
+		if i >= len(instants) {
+			return 0, nil, false
+		}
+		at := instants[i]
+		j := i
+		for j < len(instants) && instants[j] == at {
+			j++
+		}
+		count := j - i
+		i = j
+		return at, func() {
+			for k := 0; k < count; k++ {
+				fired = append(fired, sim.Now())
+			}
+		}, true
+	})
+	sim.Run()
+	want := []time.Duration{0, time.Second, time.Second, 5 * time.Second}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for k, at := range want {
+		if fired[k] != at {
+			t.Fatalf("event %d fired at %v, want %v", k, fired[k], at)
+		}
+	}
+}
+
+func TestFeedKeepsOnePendingEvent(t *testing.T) {
+	sim := New()
+	const n = 10000
+	i := 0
+	peak := 0
+	sim.Feed(func() (time.Duration, func(), bool) {
+		if i >= n {
+			return 0, nil, false
+		}
+		at := time.Duration(i) * time.Millisecond
+		i++
+		return at, func() {
+			if p := sim.Pending(); p > peak {
+				peak = p
+			}
+		}, true
+	})
+	sim.Run()
+	if i != n {
+		t.Fatalf("generated %d instants, want %d", i, n)
+	}
+	// The stream itself contributes exactly one pending event: the
+	// next instant's injector (scheduled after fn runs, so inside fn
+	// only the current event has already been consumed).
+	if peak > 1 {
+		t.Fatalf("peak pending = %d; Feed leaked events into the heap", peak)
+	}
+}
+
+func TestFeedEmptyStream(t *testing.T) {
+	sim := New()
+	sim.Feed(func() (time.Duration, func(), bool) { return 0, nil, false })
+	if sim.Pending() != 0 {
+		t.Fatalf("empty stream left %d pending events", sim.Pending())
+	}
+	sim.Run()
+}
+
+func TestFeedInterleavesWithOtherEvents(t *testing.T) {
+	sim := New()
+	var order []string
+	sim.At(1500*time.Millisecond, func() { order = append(order, "other") })
+	instants := []time.Duration{time.Second, 2 * time.Second}
+	i := 0
+	sim.Feed(func() (time.Duration, func(), bool) {
+		if i >= len(instants) {
+			return 0, nil, false
+		}
+		at := instants[i]
+		i++
+		return at, func() { order = append(order, at.String()) }, true
+	})
+	sim.Run()
+	want := []string{"1s", "other", "2s"}
+	for k := range want {
+		if k >= len(order) || order[k] != want[k] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
