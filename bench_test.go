@@ -22,6 +22,7 @@ import (
 	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
 	"xartrek/internal/core/threshold"
+	"xartrek/internal/elastic"
 	"xartrek/internal/exper"
 	"xartrek/internal/faults"
 	"xartrek/internal/mir"
@@ -715,4 +716,52 @@ func BenchmarkServingSketchRack32(b *testing.B) {
 // the steady-state event-engine cost rather than setup.
 func BenchmarkServingSketchRack64Dense(b *testing.B) {
 	benchmarkServingSketch(b, cluster.ScaleOutTopology("rack64", 16, 48, 8), 2048, 30*time.Second)
+}
+
+// BenchmarkAutoscalerEpoch isolates the control loop's per-epoch cost:
+// one Observe call on a 32-entry fleet with a utilization signal that
+// sweeps across both thresholds, so the hysteresis and clamping paths
+// all execute. This is the fixed overhead every elastic serving run
+// pays once per epoch; it must stay trivially cheap next to the event
+// engine (sub-microsecond).
+func BenchmarkAutoscalerEpoch(b *testing.B) {
+	spec := &elastic.AutoscalerSpec{
+		Policy: elastic.ScaleTargetUtilization, Epoch: elastic.Duration(time.Second),
+		HighUtil: 0.8, LowUtil: 0.3, MinNodes: 1, MaxNodes: 32,
+	}
+	ctrl := elastic.NewController(spec, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp := elastic.Sample{Utilization: float64(i%100) / 50}
+		ctrl.Observe(time.Duration(i)*time.Second, smp)
+	}
+}
+
+// BenchmarkServingWithShedding runs the rack32 serving cell well past
+// its capacity knee with drop admission at the entry nodes. The
+// headline metric is the shed fraction at 4x the fault-free load; the
+// ns/op delta against BenchmarkServingRack32Low prices the admission
+// gate on the arrival path.
+func BenchmarkServingWithShedding(b *testing.B) {
+	arts := benchArtifacts(b)
+	cfg := exper.ServingConfig{
+		Topo:       cluster.ScaleOutTopology("rack32", 8, 24, 4),
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: 64,
+		Duration:   30 * time.Second,
+		Seed:       benchSeed,
+		Admission:  &elastic.AdmissionSpec{QueueCap: 8, Policy: elastic.Drop},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var shedFrac float64
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shedFrac = float64(r.Shed) / float64(r.Offered)
+	}
+	b.ReportMetric(shedFrac, "shed-frac")
 }

@@ -179,6 +179,15 @@ func runCampaignFile(out io.Writer, arts *exper.Artifacts, path, checkpoint stri
 func printCell(out io.Writer, c exper.CellResult, total int) {
 	id := fmt.Sprintf("cell %*d/%d %-11s", len(fmt.Sprint(total)), c.Index+1, total, c.Kind)
 	switch {
+	case c.Knee != nil:
+		r := c.Knee
+		fmt.Fprintf(out, "%s %-10s %-12s %-10s knee=%.2f/s probes=%d",
+			id, r.Name, c.Mode, r.Policy, r.KneeRatePerSec, len(r.Probes))
+		if at := r.AtKnee; at != nil {
+			fmt.Fprintf(out, " p99=%dms", ms(at.P99))
+			printOverload(out, at)
+		}
+		fmt.Fprintln(out)
 	case c.Serving != nil:
 		r := c.Serving
 		fmt.Fprintf(out, "%s %-10s %-12s %-10s r=%-6.1f offered=%-6d done=%-6d tput=%.2f/s p50=%dms p95=%dms p99=%dms",
@@ -188,6 +197,7 @@ func printCell(out io.Writer, c exper.CellResult, total int) {
 			fmt.Fprintf(out, " avail=%.4f disrupted=%d retried=%d lost=%d fpga_fallback=%d recovery_p99=%dms",
 				f.Availability, f.RequestsDisrupted, f.RequestsRetried, f.RequestsLost, f.FPGAFallbacks, ms(f.RecoveryP99))
 		}
+		printOverload(out, r)
 		fmt.Fprintln(out)
 	case c.Set != nil:
 		r := c.Set
@@ -201,6 +211,20 @@ func printCell(out io.Writer, c exper.CellResult, total int) {
 		r := c.Waves
 		fmt.Fprintf(out, "%s %-10s %-12s runs=%d avg=%dms peak=%d\n",
 			id, c.Name, c.Mode, r.Runs, ms(r.Average), r.PeakLoad)
+	}
+}
+
+// printOverload appends a serving result's overload-control and
+// fleet-elasticity counters; it prints nothing for cells that ran
+// without either feature, keeping pre-elastic campaign output intact.
+func printOverload(out io.Writer, r *exper.ServingResult) {
+	if r.Overload != "" {
+		fmt.Fprintf(out, " overload=%s shed=%d degraded=%d goodput=%.2f/s",
+			r.Overload, r.Shed, r.Degraded, r.GoodputPerSec)
+	}
+	if e := r.Elastic; e != nil {
+		fmt.Fprintf(out, " fleet=%d..%d final=%d ups=%d downs=%d recover=%dms",
+			e.MinSize, e.MaxSize, e.FinalSize, e.ScaleUps, e.ScaleDowns, ms(time.Duration(e.TimeToRecover)))
 	}
 }
 

@@ -128,3 +128,59 @@ func TestRunCampaignRejectsBadSpec(t *testing.T) {
 		t.Fatalf("err = %v, want unknown cell kind", err)
 	}
 }
+
+// TestRunCampaignKneeCell exercises a knee cell end to end through the
+// CLI: the streamed line must carry the knee rate, probe count and the
+// at-knee p99, and an admission cell's line must carry the overload
+// counters.
+func TestRunCampaignKneeCell(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{
+	  "name": "knee-smoke",
+	  "cells": [
+	    {"name": "knee", "kind": "knee", "mode": "vanilla-x86", "duration": "10s",
+	     "seed": 2021, "knee": {"rate_lo": 1, "rate_hi": 8, "slo": {"p99": "8s"}}},
+	    {"name": "shed", "kind": "serving", "mode": "vanilla-x86", "rate": 8,
+	     "duration": "10s", "seed": 2021,
+	     "admission": {"queue_cap": 4, "policy": "drop"}}
+	  ]
+	}`
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-campaign", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"knee=", "probes=", "overload=drop", "shed=", "goodput="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunCampaignKneeUnbracketed pins the CLI contract for a knee
+// window that never violates the SLO: the search fails the cell and
+// run returns the error (a non-zero exit), instead of reporting a fake
+// knee at the window edge.
+func TestRunCampaignKneeUnbracketed(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{
+	  "name": "knee-bad",
+	  "cells": [
+	    {"name": "knee", "kind": "knee", "mode": "vanilla-x86", "duration": "10s",
+	     "seed": 2021, "knee": {"rate_lo": 0.1, "rate_hi": 0.2, "slo": {"p99": "8s"}}}
+	  ]
+	}`
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-campaign", path}, &out); err == nil ||
+		!strings.Contains(err.Error(), "knee") {
+		t.Fatalf("err = %v, want knee bracket error", err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package elastic is the overload-control and elasticity subsystem:
+// declarative admission control for entry nodes (bounded queues with a
+// configurable shed policy) and a deterministic autoscaler control
+// loop that joins or drains nodes in reaction to observed load.
+//
+// The package is deliberately engine-blind, mirroring internal/faults:
+// it defines the wire-format specs, the pure scaling decision
+// (AutoscalerSpec.Decide over a Sample), the fleet-size bookkeeping
+// (Controller) and the capacity-knee search (KneeSpec.Search); the
+// experiment engine samples the simulator, applies decisions to its
+// entry fleet, and evaluates knee probes. Everything here is a pure
+// function of its inputs, so a cell with an elastic spec stays
+// byte-reproducible and GOMAXPROCS-independent — the same determinism
+// contract every other subsystem of the harness obeys.
+package elastic
+
+import (
+	"fmt"
+	"time"
+
+	"xartrek/internal/faults"
+)
+
+// Duration aliases the shared wire-format duration ("60s" strings,
+// bare numbers as seconds) so elastic specs embed in campaign cells
+// with the same JSON conventions as fault specs.
+type Duration = faults.Duration
+
+// Overload policies: what an entry node does with an arrival that
+// would push its resident queue past AdmissionSpec.QueueCap.
+const (
+	// Drop sheds the request silently: it counts as offered and shed,
+	// costs nothing, and never completes.
+	Drop = "drop"
+	// RejectFast sheds the request but burns AdmissionSpec.RejectCost
+	// of entry-node CPU first — the cost of synthesising an error
+	// response, which under heavy overload is itself a load source.
+	RejectFast = "reject-fast"
+	// DegradeToCPU admits the request at a degraded service class: it
+	// runs entirely on the entry node's CPU (the same fallback path a
+	// failed FPGA invocation takes), bypassing the scheduler and the
+	// accelerator fleet, so overflow work is served without competing
+	// for the saturated fast path.
+	DegradeToCPU = "degrade-to-cpu"
+)
+
+// DefaultRejectCost is the entry-CPU work burned per fast-rejected
+// request when AdmissionSpec.RejectCost is zero.
+const DefaultRejectCost = 50 * time.Microsecond
+
+// AdmissionSpec bounds each entry node's resident request queue. An
+// arrival whose least-loaded eligible entry node is already at
+// QueueCap is shed (Drop, RejectFast) or admitted degraded
+// (DegradeToCPU). nil — or the zero value — disables admission
+// control entirely, and the engine guarantees a run without it is
+// byte-identical to the pre-elastic engine.
+type AdmissionSpec struct {
+	// QueueCap is the per-entry-node resident-process bound (the same
+	// process-count metric entry balancing samples). Must be positive
+	// when any other field is set.
+	QueueCap int `json:"queue_cap"`
+	// Policy selects the overload behaviour: Drop (default),
+	// RejectFast or DegradeToCPU.
+	Policy string `json:"policy,omitempty"`
+	// RejectCost is the entry-CPU work per fast-rejected request
+	// (RejectFast only); 0 selects DefaultRejectCost.
+	RejectCost Duration `json:"reject_cost,omitempty"`
+}
+
+// Enabled reports whether the spec activates admission control.
+func (s *AdmissionSpec) Enabled() bool { return s != nil && s.QueueCap > 0 }
+
+// PolicyName resolves the effective overload policy.
+func (s *AdmissionSpec) PolicyName() string {
+	if s == nil || s.Policy == "" {
+		return Drop
+	}
+	return s.Policy
+}
+
+// Cost resolves the effective reject cost.
+func (s *AdmissionSpec) Cost() time.Duration {
+	if s == nil || s.RejectCost <= 0 {
+		return DefaultRejectCost
+	}
+	return time.Duration(s.RejectCost)
+}
+
+// Validate checks the spec. The zero value is valid (disabled); any
+// field set requires a positive queue_cap, so a policy without a cap
+// cannot be silently ignored.
+func (s *AdmissionSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if !s.Enabled() {
+		if s.Policy != "" || s.RejectCost != 0 {
+			return fmt.Errorf("elastic: admission needs a positive queue_cap")
+		}
+		return nil
+	}
+	switch s.Policy {
+	case "", Drop, RejectFast, DegradeToCPU:
+	default:
+		return fmt.Errorf("elastic: unknown admission policy %q (want %s, %s or %s)",
+			s.Policy, Drop, RejectFast, DegradeToCPU)
+	}
+	if s.RejectCost < 0 {
+		return fmt.Errorf("elastic: negative reject_cost %v", time.Duration(s.RejectCost))
+	}
+	if s.RejectCost != 0 && s.PolicyName() != RejectFast {
+		return fmt.Errorf("elastic: reject_cost applies only to the %s policy", RejectFast)
+	}
+	return nil
+}
+
+// Autoscaler policies.
+const (
+	// ScaleTargetUtilization is a step scaler on observed fleet
+	// utilization (busy core-seconds over capacity core-seconds per
+	// epoch): above HighUtil it joins Step nodes, below LowUtil it
+	// drains Step.
+	ScaleTargetUtilization = "target-utilization"
+	// ScaleQueueDepth is a step scaler on the mean resident request
+	// count per active node sampled at each epoch boundary.
+	ScaleQueueDepth = "queue-depth"
+)
+
+// Autoscaler defaults, applied when the corresponding spec field is
+// zero.
+const (
+	DefaultHighUtil  = 0.75
+	DefaultLowUtil   = 0.25
+	DefaultHighQueue = 4.0
+	DefaultLowQueue  = 1.0
+)
+
+// AutoscalerSpec is the declarative control loop: every Epoch of
+// virtual time the engine samples the active entry fleet and the
+// policy decides a signed node delta. Nodes join and drain by
+// decision on the simulation timeline — the dynamic-reconfiguration
+// analogue of a production autoscaler — reusing the drain gate the
+// fault subsystem introduced (a drained node serves its resident work
+// but accepts no new placements). nil — or the zero value — disables
+// the loop.
+type AutoscalerSpec struct {
+	// Policy selects the scaling rule: ScaleTargetUtilization or
+	// ScaleQueueDepth. Empty disables the autoscaler.
+	Policy string `json:"policy"`
+	// Epoch is the sampling period on the virtual timeline; required
+	// positive. Samples land at epoch, 2·epoch, … strictly inside the
+	// horizon. A fault event scheduled at exactly an epoch boundary
+	// fires before the sample (construction-time events win the
+	// simulator's same-instant tie-break), so the sample observes the
+	// post-fault fleet.
+	Epoch Duration `json:"epoch"`
+	// HighUtil / LowUtil are the target-utilization thresholds
+	// (defaults 0.75 / 0.25).
+	HighUtil float64 `json:"high_util,omitempty"`
+	LowUtil  float64 `json:"low_util,omitempty"`
+	// HighQueue / LowQueue are the queue-depth thresholds in mean
+	// resident requests per active node (defaults 4 / 1).
+	HighQueue float64 `json:"high_queue,omitempty"`
+	LowQueue  float64 `json:"low_queue,omitempty"`
+	// Step is the node delta per decision (default 1).
+	Step int `json:"step,omitempty"`
+	// MinNodes / MaxNodes bound the active entry-fleet size, counting
+	// the always-on scheduler host. MinNodes defaults to 1 (host
+	// only); MaxNodes 0 means every entry node in the topology.
+	MinNodes int `json:"min_nodes,omitempty"`
+	MaxNodes int `json:"max_nodes,omitempty"`
+}
+
+// Enabled reports whether the spec activates the control loop.
+func (s *AutoscalerSpec) Enabled() bool { return s != nil && s.Policy != "" }
+
+// Validate checks the spec. The zero value is valid (disabled); any
+// field set requires a policy and a positive epoch.
+func (s *AutoscalerSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if !s.Enabled() {
+		if *s != (AutoscalerSpec{}) {
+			return fmt.Errorf("elastic: autoscaler needs a policy (%s or %s)",
+				ScaleTargetUtilization, ScaleQueueDepth)
+		}
+		return nil
+	}
+	switch s.Policy {
+	case ScaleTargetUtilization, ScaleQueueDepth:
+	default:
+		return fmt.Errorf("elastic: unknown autoscaler policy %q (want %s or %s)",
+			s.Policy, ScaleTargetUtilization, ScaleQueueDepth)
+	}
+	if s.Epoch <= 0 {
+		return fmt.Errorf("elastic: autoscaler needs a positive epoch")
+	}
+	if s.HighUtil < 0 || s.LowUtil < 0 || s.HighQueue < 0 || s.LowQueue < 0 {
+		return fmt.Errorf("elastic: negative autoscaler threshold")
+	}
+	if s.highUtil() <= s.lowUtil() || s.highQueue() <= s.lowQueue() {
+		return fmt.Errorf("elastic: autoscaler high threshold must exceed low threshold")
+	}
+	if s.Step < 0 {
+		return fmt.Errorf("elastic: negative step %d", s.Step)
+	}
+	if s.MinNodes < 0 || s.MaxNodes < 0 {
+		return fmt.Errorf("elastic: negative node bound")
+	}
+	if s.MaxNodes != 0 && s.MaxNodes < s.MinNodes {
+		return fmt.Errorf("elastic: max_nodes %d below min_nodes %d", s.MaxNodes, s.MinNodes)
+	}
+	return nil
+}
+
+func (s *AutoscalerSpec) highUtil() float64 {
+	if s.HighUtil > 0 {
+		return s.HighUtil
+	}
+	return DefaultHighUtil
+}
+
+func (s *AutoscalerSpec) lowUtil() float64 {
+	if s.LowUtil > 0 {
+		return s.LowUtil
+	}
+	return DefaultLowUtil
+}
+
+func (s *AutoscalerSpec) highQueue() float64 {
+	if s.HighQueue > 0 {
+		return s.HighQueue
+	}
+	return DefaultHighQueue
+}
+
+func (s *AutoscalerSpec) lowQueue() float64 {
+	if s.LowQueue > 0 {
+		return s.LowQueue
+	}
+	return DefaultLowQueue
+}
+
+func (s *AutoscalerSpec) step() int {
+	if s.Step > 0 {
+		return s.Step
+	}
+	return 1
+}
+
+// Sample is one epoch's observation of the active entry fleet.
+type Sample struct {
+	// Utilization is busy core-seconds over available capacity
+	// core-seconds for the elapsed epoch. Capacity counts active,
+	// non-crashed nodes at the sample instant, so a node crash at the
+	// epoch boundary is visible as a utilization jump — the signal
+	// that makes the autoscaler a recovery mechanism too.
+	Utilization float64
+	// QueueDepth is the mean resident request count per active,
+	// non-crashed node at the sample instant.
+	QueueDepth float64
+}
+
+// Decide is the pure scaling rule: the signed node delta the policy
+// requests for one sample, before fleet-size clamping.
+func (s *AutoscalerSpec) Decide(smp Sample) int {
+	switch s.Policy {
+	case ScaleTargetUtilization:
+		if smp.Utilization > s.highUtil() {
+			return s.step()
+		}
+		if smp.Utilization < s.lowUtil() {
+			return -s.step()
+		}
+	case ScaleQueueDepth:
+		if smp.QueueDepth > s.highQueue() {
+			return s.step()
+		}
+		if smp.QueueDepth < s.lowQueue() {
+			return -s.step()
+		}
+	}
+	return 0
+}
+
+// ScaleEvent is one applied fleet-size change.
+type ScaleEvent struct {
+	// At is the virtual time of the epoch sample.
+	At Duration `json:"at"`
+	// Delta is the applied node change; Size the fleet size after it.
+	Delta int `json:"delta"`
+	Size  int `json:"size"`
+	// Utilization and QueueDepth echo the sample that triggered the
+	// decision.
+	Utilization float64 `json:"utilization"`
+	QueueDepth  float64 `json:"queue_depth"`
+}
+
+// Result is the autoscaler's run report: the fleet-size timeline and
+// its summary statistics.
+type Result struct {
+	// Policy is the scaling rule that ran.
+	Policy string `json:"policy"`
+	// Epochs is the number of samples taken within the horizon.
+	Epochs int `json:"epochs"`
+	// ScaleUps / ScaleDowns count applied (non-clamped) decisions.
+	ScaleUps   int `json:"scale_ups"`
+	ScaleDowns int `json:"scale_downs"`
+	// InitialSize, MinSize, MaxSize, FinalSize and MeanSize summarise
+	// the active-fleet-size trajectory (MeanSize is the epoch-sampled
+	// mean of the post-decision size).
+	InitialSize int     `json:"initial_size"`
+	MinSize     int     `json:"min_size"`
+	MaxSize     int     `json:"max_size"`
+	FinalSize   int     `json:"final_size"`
+	MeanSize    float64 `json:"mean_size"`
+	// TimeToRecover is the longest contiguous span the policy spent
+	// requesting scale-ups — from the first overloaded sample to the
+	// first sample back inside the band (or the horizon, if the run
+	// never recovered).
+	TimeToRecover Duration `json:"time_to_recover"`
+	// Events is the fleet-size timeline (applied changes only).
+	Events []ScaleEvent `json:"events,omitempty"`
+}
+
+// Controller tracks one run's fleet size against the spec: it clamps
+// raw decisions to [min, max], records the scale-event timeline and
+// accounts time-to-recover. The engine owns which concrete nodes join
+// or drain; the controller owns only the count.
+type Controller struct {
+	spec     *AutoscalerSpec
+	min, max int
+	size     int
+	res      Result
+	sizeSum  float64
+	// overloadSince is the start of the current overload span; -1
+	// outside one.
+	overloadSince time.Duration
+}
+
+// NewController starts a controller over a fleet of total entry nodes
+// (including the always-on host). The initial size is the spec's
+// MinNodes clamped to [1, total]; the maximum is MaxNodes (or total
+// when 0), likewise clamped.
+func NewController(spec *AutoscalerSpec, total int) *Controller {
+	min := spec.MinNodes
+	if min < 1 {
+		min = 1
+	}
+	if min > total {
+		min = total
+	}
+	max := spec.MaxNodes
+	if max == 0 || max > total {
+		max = total
+	}
+	if max < min {
+		max = min
+	}
+	c := &Controller{spec: spec, min: min, max: max, size: min, overloadSince: -1}
+	c.res = Result{Policy: spec.Policy, InitialSize: min, MinSize: min, MaxSize: min, FinalSize: min}
+	return c
+}
+
+// Size is the current active fleet size.
+func (c *Controller) Size() int { return c.size }
+
+// Observe feeds one epoch sample at virtual time now and returns the
+// applied (clamped) node delta.
+func (c *Controller) Observe(now time.Duration, smp Sample) int {
+	c.res.Epochs++
+	raw := c.spec.Decide(smp)
+	if raw > 0 {
+		if c.overloadSince < 0 {
+			c.overloadSince = now
+		}
+	} else if c.overloadSince >= 0 {
+		if span := now - c.overloadSince; span > time.Duration(c.res.TimeToRecover) {
+			c.res.TimeToRecover = Duration(span)
+		}
+		c.overloadSince = -1
+	}
+	delta := raw
+	if c.size+delta > c.max {
+		delta = c.max - c.size
+	}
+	if c.size+delta < c.min {
+		delta = c.min - c.size
+	}
+	if delta != 0 {
+		c.size += delta
+		if delta > 0 {
+			c.res.ScaleUps++
+		} else {
+			c.res.ScaleDowns++
+		}
+		if c.size > c.res.MaxSize {
+			c.res.MaxSize = c.size
+		}
+		if c.size < c.res.MinSize {
+			c.res.MinSize = c.size
+		}
+		c.res.Events = append(c.res.Events, ScaleEvent{
+			At: Duration(now), Delta: delta, Size: c.size,
+			Utilization: smp.Utilization, QueueDepth: smp.QueueDepth,
+		})
+	}
+	c.sizeSum += float64(c.size)
+	return delta
+}
+
+// Finalize closes the books at the horizon and returns the report.
+func (c *Controller) Finalize(horizon time.Duration) *Result {
+	if c.overloadSince >= 0 {
+		if span := horizon - c.overloadSince; span > time.Duration(c.res.TimeToRecover) {
+			c.res.TimeToRecover = Duration(span)
+		}
+		c.overloadSince = -1
+	}
+	c.res.FinalSize = c.size
+	if c.res.Epochs > 0 {
+		c.res.MeanSize = c.sizeSum / float64(c.res.Epochs)
+	} else {
+		c.res.MeanSize = float64(c.size)
+	}
+	return &c.res
+}

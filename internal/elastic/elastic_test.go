@@ -1,0 +1,268 @@
+package elastic
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmissionSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *AdmissionSpec
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &AdmissionSpec{}, true},
+		{"drop", &AdmissionSpec{QueueCap: 8}, true},
+		{"reject", &AdmissionSpec{QueueCap: 8, Policy: RejectFast, RejectCost: Duration(time.Millisecond)}, true},
+		{"degrade", &AdmissionSpec{QueueCap: 8, Policy: DegradeToCPU}, true},
+		{"policy without cap", &AdmissionSpec{Policy: Drop}, false},
+		{"unknown policy", &AdmissionSpec{QueueCap: 8, Policy: "nope"}, false},
+		{"cost without reject", &AdmissionSpec{QueueCap: 8, Policy: Drop, RejectCost: 1}, false},
+		{"negative cost", &AdmissionSpec{QueueCap: 8, Policy: RejectFast, RejectCost: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	if (&AdmissionSpec{QueueCap: 4}).PolicyName() != Drop {
+		t.Errorf("default admission policy should be %s", Drop)
+	}
+	if (&AdmissionSpec{QueueCap: 4, Policy: RejectFast}).Cost() != DefaultRejectCost {
+		t.Errorf("zero reject_cost should resolve to DefaultRejectCost")
+	}
+}
+
+func TestAutoscalerSpecValidate(t *testing.T) {
+	epoch := Duration(time.Second)
+	cases := []struct {
+		name string
+		spec *AutoscalerSpec
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &AutoscalerSpec{}, true},
+		{"util", &AutoscalerSpec{Policy: ScaleTargetUtilization, Epoch: epoch}, true},
+		{"queue", &AutoscalerSpec{Policy: ScaleQueueDepth, Epoch: epoch, HighQueue: 6, LowQueue: 2}, true},
+		{"fields without policy", &AutoscalerSpec{Epoch: epoch}, false},
+		{"unknown policy", &AutoscalerSpec{Policy: "nope", Epoch: epoch}, false},
+		{"no epoch", &AutoscalerSpec{Policy: ScaleQueueDepth}, false},
+		{"inverted band", &AutoscalerSpec{Policy: ScaleTargetUtilization, Epoch: epoch, HighUtil: 0.2, LowUtil: 0.6}, false},
+		{"bad bounds", &AutoscalerSpec{Policy: ScaleQueueDepth, Epoch: epoch, MinNodes: 5, MaxNodes: 2}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDecideThresholds(t *testing.T) {
+	util := &AutoscalerSpec{Policy: ScaleTargetUtilization, Epoch: Duration(time.Second), Step: 2}
+	if d := util.Decide(Sample{Utilization: 0.9}); d != 2 {
+		t.Errorf("high utilization: delta = %d, want 2", d)
+	}
+	if d := util.Decide(Sample{Utilization: 0.5}); d != 0 {
+		t.Errorf("in-band utilization: delta = %d, want 0", d)
+	}
+	if d := util.Decide(Sample{Utilization: 0.1}); d != -2 {
+		t.Errorf("low utilization: delta = %d, want -2", d)
+	}
+	queue := &AutoscalerSpec{Policy: ScaleQueueDepth, Epoch: Duration(time.Second)}
+	if d := queue.Decide(Sample{QueueDepth: 10}); d != 1 {
+		t.Errorf("deep queue: delta = %d, want 1", d)
+	}
+	if d := queue.Decide(Sample{QueueDepth: 0.5}); d != -1 {
+		t.Errorf("shallow queue: delta = %d, want -1", d)
+	}
+}
+
+func TestControllerClampsAndRecords(t *testing.T) {
+	spec := &AutoscalerSpec{Policy: ScaleTargetUtilization, Epoch: Duration(time.Second), MinNodes: 2, MaxNodes: 4}
+	c := NewController(spec, 8)
+	if c.Size() != 2 {
+		t.Fatalf("initial size = %d, want min_nodes 2", c.Size())
+	}
+	// Three overloaded epochs: up to 3, 4, then clamped at 4.
+	for i := 1; i <= 3; i++ {
+		c.Observe(time.Duration(i)*time.Second, Sample{Utilization: 0.95})
+	}
+	if c.Size() != 4 {
+		t.Fatalf("size after scale-ups = %d, want 4 (clamped)", c.Size())
+	}
+	// Recovery: one in-band epoch closes the overload span.
+	c.Observe(4*time.Second, Sample{Utilization: 0.5})
+	// Idle epochs drain back to the floor.
+	c.Observe(5*time.Second, Sample{Utilization: 0.05})
+	c.Observe(6*time.Second, Sample{Utilization: 0.05})
+	c.Observe(7*time.Second, Sample{Utilization: 0.05})
+	res := c.Finalize(8 * time.Second)
+	if c.Size() != 2 {
+		t.Errorf("final size = %d, want floor 2", c.Size())
+	}
+	if res.ScaleUps != 2 || res.ScaleDowns != 2 {
+		t.Errorf("scale_ups/downs = %d/%d, want 2/2", res.ScaleUps, res.ScaleDowns)
+	}
+	if res.Epochs != 7 {
+		t.Errorf("epochs = %d, want 7", res.Epochs)
+	}
+	if res.MaxSize != 4 || res.MinSize != 2 || res.FinalSize != 2 || res.InitialSize != 2 {
+		t.Errorf("size summary = init %d min %d max %d final %d, want 2/2/4/2",
+			res.InitialSize, res.MinSize, res.MaxSize, res.FinalSize)
+	}
+	// Overload ran from the 1s sample to the 4s in-band sample.
+	if time.Duration(res.TimeToRecover) != 3*time.Second {
+		t.Errorf("time_to_recover = %v, want 3s", time.Duration(res.TimeToRecover))
+	}
+	if len(res.Events) != 4 {
+		t.Errorf("events = %d, want 4 applied changes", len(res.Events))
+	}
+	want := (3.0 + 4 + 4 + 4 + 3 + 2 + 2) / 7
+	if math.Abs(res.MeanSize-want) > 1e-9 {
+		t.Errorf("mean_size = %v, want %v", res.MeanSize, want)
+	}
+}
+
+func TestControllerUnrecoveredSpanClosesAtHorizon(t *testing.T) {
+	spec := &AutoscalerSpec{Policy: ScaleQueueDepth, Epoch: Duration(time.Second), MaxNodes: 1}
+	c := NewController(spec, 4)
+	c.Observe(2*time.Second, Sample{QueueDepth: 50})
+	c.Observe(3*time.Second, Sample{QueueDepth: 50})
+	res := c.Finalize(10 * time.Second)
+	if time.Duration(res.TimeToRecover) != 8*time.Second {
+		t.Errorf("time_to_recover = %v, want 8s (overloaded to the horizon)", time.Duration(res.TimeToRecover))
+	}
+	if len(res.Events) != 0 {
+		t.Errorf("clamped decisions must not emit events, got %d", len(res.Events))
+	}
+}
+
+func TestSLOPass(t *testing.T) {
+	slo := SLOSpec{P99: Duration(100 * time.Millisecond)}
+	if !slo.Pass(90*time.Millisecond, 0) {
+		t.Errorf("p99 under the bound should pass")
+	}
+	if slo.Pass(110*time.Millisecond, 0) {
+		t.Errorf("p99 over the bound should fail")
+	}
+	if slo.Pass(90*time.Millisecond, 0.01) {
+		t.Errorf("an unset max_shed_fraction must tolerate no shedding")
+	}
+	shed := SLOSpec{P99: Duration(100 * time.Millisecond), MaxShedFraction: 0.1}
+	if !shed.Pass(90*time.Millisecond, 0.05) {
+		t.Errorf("shed fraction within the allowance should pass")
+	}
+	if shed.Pass(90*time.Millisecond, 0.2) {
+		t.Errorf("shed fraction over the allowance should fail")
+	}
+}
+
+// kneeOracle evaluates probes against a hidden true knee: rates at or
+// below it pass.
+func kneeOracle(trueKnee float64, calls *int) func(rate float64) (Probe, error) {
+	return func(rate float64) (Probe, error) {
+		*calls++
+		pass := rate <= trueKnee
+		p99 := Duration(10 * time.Millisecond)
+		if !pass {
+			p99 = Duration(10 * time.Second)
+		}
+		return Probe{RatePerSec: rate, Pass: pass, P99: p99}, nil
+	}
+}
+
+func TestKneeSearchConverges(t *testing.T) {
+	k := &KneeSpec{RateLo: 10, RateHi: 1000, SLO: SLOSpec{P99: Duration(time.Second)}, Tolerance: 0.01}
+	calls := 0
+	knee, probes, err := k.Search(kneeOracle(330, &calls))
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(probes) != calls {
+		t.Errorf("probes recorded = %d, evals = %d", len(probes), calls)
+	}
+	if knee > 330 || knee < 330*(1-0.011-0.01) {
+		t.Errorf("knee = %v, want just under 330 at 1%% tolerance", knee)
+	}
+	// The knee is the highest passing probe.
+	for _, p := range probes {
+		if p.Pass && p.RatePerSec > knee {
+			t.Errorf("probe %v passed above the reported knee %v", p.RatePerSec, knee)
+		}
+	}
+}
+
+func TestKneeSearchUnbracketed(t *testing.T) {
+	k := &KneeSpec{RateLo: 500, RateHi: 1000, SLO: SLOSpec{P99: Duration(time.Second)}}
+	calls := 0
+	if _, _, err := k.Search(kneeOracle(100, &calls)); err == nil || !strings.Contains(err.Error(), "bracket") {
+		t.Fatalf("rate_lo above the knee: err = %v, want ErrUnbracketed", err)
+	}
+	k = &KneeSpec{RateLo: 10, RateHi: 50, SLO: SLOSpec{P99: Duration(time.Second)}}
+	_, _, err := k.Search(kneeOracle(100, &calls))
+	if err == nil || !strings.Contains(err.Error(), "bracket") {
+		t.Fatalf("rate_hi below the knee: err = %v, want ErrUnbracketed", err)
+	}
+}
+
+func TestKneeSearchProbeBudget(t *testing.T) {
+	k := &KneeSpec{RateLo: 1, RateHi: 1 << 20, SLO: SLOSpec{P99: Duration(time.Second)}, Tolerance: 1e-9, MaxProbes: 6}
+	calls := 0
+	if _, probes, err := k.Search(kneeOracle(1000, &calls)); err != nil {
+		t.Fatalf("Search: %v", err)
+	} else if len(probes) != 6 {
+		t.Errorf("probes = %d, want the max_probes budget 6", len(probes))
+	}
+}
+
+func TestKneeSpecValidate(t *testing.T) {
+	slo := SLOSpec{P99: Duration(time.Second)}
+	cases := []struct {
+		name string
+		spec *KneeSpec
+		ok   bool
+	}{
+		{"ok", &KneeSpec{RateLo: 1, RateHi: 10, SLO: slo}, true},
+		{"nil", nil, false},
+		{"no lo", &KneeSpec{RateHi: 10, SLO: slo}, false},
+		{"inverted", &KneeSpec{RateLo: 10, RateHi: 5, SLO: slo}, false},
+		{"no slo", &KneeSpec{RateLo: 1, RateHi: 10}, false},
+		{"bad tolerance", &KneeSpec{RateLo: 1, RateHi: 10, SLO: slo, Tolerance: 1.5}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := `{"queue_cap": 16, "policy": "reject-fast", "reject_cost": "1ms"}`
+	var adm AdmissionSpec
+	if err := json.Unmarshal([]byte(in), &adm); err != nil {
+		t.Fatalf("unmarshal admission: %v", err)
+	}
+	if adm.QueueCap != 16 || adm.PolicyName() != RejectFast || adm.Cost() != time.Millisecond {
+		t.Errorf("admission round-trip mismatch: %+v", adm)
+	}
+	sc := `{"policy": "queue-depth", "epoch": "500ms", "high_queue": 6, "min_nodes": 2}`
+	var as AutoscalerSpec
+	if err := json.Unmarshal([]byte(sc), &as); err != nil {
+		t.Fatalf("unmarshal autoscaler: %v", err)
+	}
+	if time.Duration(as.Epoch) != 500*time.Millisecond || as.highQueue() != 6 || as.lowQueue() != DefaultLowQueue {
+		t.Errorf("autoscaler round-trip mismatch: %+v", as)
+	}
+	kn := `{"rate_lo": 5, "rate_hi": 500, "slo": {"p99": "250ms", "max_shed_fraction": 0.02}}`
+	var ks KneeSpec
+	if err := json.Unmarshal([]byte(kn), &ks); err != nil {
+		t.Fatalf("unmarshal knee: %v", err)
+	}
+	if err := ks.Validate(); err != nil {
+		t.Errorf("knee spec should validate: %v", err)
+	}
+}

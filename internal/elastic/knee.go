@@ -1,0 +1,176 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Knee-search defaults.
+const (
+	// DefaultKneeTolerance is the relative rate resolution the search
+	// stops at: (hi-lo)/hi below it means the knee is bracketed
+	// tightly enough.
+	DefaultKneeTolerance = 0.05
+	// DefaultKneeMaxProbes bounds SLO evaluations per search.
+	DefaultKneeMaxProbes = 24
+)
+
+// ErrUnbracketed reports that the configured [RateLo, RateHi] window
+// does not bracket the capacity knee: either the low rate already
+// violates the SLO or the high rate still meets it. Campaign runners
+// surface it as a cell error, so a mis-bracketed knee cell fails the
+// campaign instead of reporting a meaningless boundary rate.
+var ErrUnbracketed = errors.New("elastic: knee search window does not bracket the SLO boundary")
+
+// SLOSpec is the service-level predicate a knee probe must meet.
+// At least one bound must be set.
+type SLOSpec struct {
+	// P99 bounds the completion-latency p99; 0 leaves latency
+	// unconstrained.
+	P99 Duration `json:"p99,omitempty"`
+	// MaxShedFraction bounds shed/offered. Unset (0) tolerates no
+	// shedding at all — an admission-controlled cell that sheds even
+	// one request fails the probe unless the spec explicitly allows a
+	// fraction, so shedding cannot silently inflate the knee.
+	MaxShedFraction float64 `json:"max_shed_fraction,omitempty"`
+}
+
+// Validate checks that the predicate constrains something.
+func (s SLOSpec) Validate() error {
+	if s.P99 < 0 {
+		return fmt.Errorf("elastic: negative slo p99 %v", time.Duration(s.P99))
+	}
+	if s.MaxShedFraction < 0 || s.MaxShedFraction > 1 {
+		return fmt.Errorf("elastic: max_shed_fraction %v outside [0, 1]", s.MaxShedFraction)
+	}
+	if s.P99 == 0 && s.MaxShedFraction == 0 {
+		return fmt.Errorf("elastic: slo needs a p99 bound and/or a max_shed_fraction")
+	}
+	return nil
+}
+
+// Pass evaluates the predicate over one probe's observed p99 and shed
+// fraction.
+func (s SLOSpec) Pass(p99 time.Duration, shedFraction float64) bool {
+	if s.P99 > 0 && p99 > time.Duration(s.P99) {
+		return false
+	}
+	return shedFraction <= s.MaxShedFraction
+}
+
+// KneeSpec declares one capacity-knee search: binary-search offered
+// load over [RateLo, RateHi] for the maximum Poisson arrival rate
+// whose serving run still meets the SLO. The search requires RateLo
+// to pass and RateHi to fail (ErrUnbracketed otherwise), then bisects
+// until the relative window is below Tolerance or MaxProbes
+// evaluations have run; the knee is the highest rate observed to
+// pass. Each probe is a full deterministic serving run, so the knee
+// is itself a pure function of (spec, cell) — the same rate on every
+// GOMAXPROCS setting.
+type KneeSpec struct {
+	// RateLo / RateHi bracket the search window (requests/second).
+	RateLo float64 `json:"rate_lo"`
+	RateHi float64 `json:"rate_hi"`
+	// SLO is the pass predicate.
+	SLO SLOSpec `json:"slo"`
+	// Tolerance is the relative stop resolution (default
+	// DefaultKneeTolerance).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// MaxProbes bounds SLO evaluations (default
+	// DefaultKneeMaxProbes).
+	MaxProbes int `json:"max_probes,omitempty"`
+}
+
+// Validate checks the search declaration.
+func (k *KneeSpec) Validate() error {
+	if k == nil {
+		return fmt.Errorf("elastic: knee cell needs a knee spec")
+	}
+	if k.RateLo <= 0 {
+		return fmt.Errorf("elastic: knee needs a positive rate_lo")
+	}
+	if k.RateHi <= k.RateLo {
+		return fmt.Errorf("elastic: knee rate_hi %v must exceed rate_lo %v", k.RateHi, k.RateLo)
+	}
+	if k.Tolerance < 0 || k.Tolerance >= 1 {
+		return fmt.Errorf("elastic: knee tolerance %v outside [0, 1)", k.Tolerance)
+	}
+	if k.MaxProbes < 0 {
+		return fmt.Errorf("elastic: negative max_probes %d", k.MaxProbes)
+	}
+	return k.SLO.Validate()
+}
+
+func (k *KneeSpec) tolerance() float64 {
+	if k.Tolerance > 0 {
+		return k.Tolerance
+	}
+	return DefaultKneeTolerance
+}
+
+func (k *KneeSpec) maxProbes() int {
+	if k.MaxProbes > 0 {
+		return k.MaxProbes
+	}
+	return DefaultKneeMaxProbes
+}
+
+// Probe is one evaluated rate: the offered rate, whether the SLO
+// held, and the observations the predicate judged.
+type Probe struct {
+	RatePerSec   float64  `json:"rate_per_sec"`
+	Pass         bool     `json:"pass"`
+	P99          Duration `json:"p99"`
+	ShedFraction float64  `json:"shed_fraction"`
+}
+
+// Search runs the bisection. eval runs one serving probe at the given
+// rate and reports its Probe (Pass already judged against the SLO);
+// an eval error aborts the search. It returns the knee rate (the
+// highest passing rate observed) and every probe in evaluation order.
+func (k *KneeSpec) Search(eval func(rate float64) (Probe, error)) (float64, []Probe, error) {
+	if err := k.Validate(); err != nil {
+		return 0, nil, err
+	}
+	var probes []Probe
+	run := func(rate float64) (Probe, error) {
+		p, err := eval(rate)
+		if err != nil {
+			return Probe{}, err
+		}
+		probes = append(probes, p)
+		return p, nil
+	}
+	lo, hi := k.RateLo, k.RateHi
+	p, err := run(lo)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !p.Pass {
+		return 0, probes, fmt.Errorf("%w: rate_lo %v already violates the SLO (p99 %v, shed %.4f)",
+			ErrUnbracketed, lo, time.Duration(p.P99), p.ShedFraction)
+	}
+	p, err = run(hi)
+	if err != nil {
+		return 0, probes, err
+	}
+	if p.Pass {
+		return 0, probes, fmt.Errorf("%w: rate_hi %v still meets the SLO (p99 %v, shed %.4f)",
+			ErrUnbracketed, hi, time.Duration(p.P99), p.ShedFraction)
+	}
+	tol, max := k.tolerance(), k.maxProbes()
+	for (hi-lo) > tol*hi && len(probes) < max {
+		mid := (lo + hi) / 2
+		p, err = run(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if p.Pass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, probes, nil
+}

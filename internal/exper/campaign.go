@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xartrek/internal/cluster"
+	"xartrek/internal/elastic"
 	"xartrek/internal/faults"
 	"xartrek/internal/popcorn"
 )
@@ -29,7 +30,19 @@ const (
 	// no explicit policy axis it expands to every built-in policy on the
 	// canonical cross-rack topology.
 	KindPolicyComparison = "policy-comparison"
+	// KindKnee is a capacity-planning cell: it binary-searches offered
+	// load for the maximum rate whose serving run meets an SLO
+	// predicate (elastic.KneeSpec), per topology × mode × policy, and
+	// composes with fault specs for "knee under churn".
+	KindKnee = "knee"
 )
+
+// servingClass reports whether a cell kind runs the open-loop serving
+// engine — the kinds that take topologies, traces (knee excepted),
+// fault specs and elastic overload knobs.
+func servingClass(kind string) bool {
+	return kind == KindServing || kind == KindPolicyComparison || kind == KindKnee
+}
 
 // Duration is a time.Duration that serializes as its human-readable
 // string form ("60s", "1m30s"). Bare JSON numbers are accepted as
@@ -189,6 +202,19 @@ type CellSpec struct {
 	// injects nothing and leaves the run byte-identical to a fault-free
 	// cell.
 	Faults *faults.Spec `json:"faults,omitempty"`
+	// Admission bounds each entry node's resident queue with a
+	// configurable overload policy (serving-class cells only). nil — or
+	// a disabled spec — leaves the run byte-identical to the
+	// pre-admission engine.
+	Admission *elastic.AdmissionSpec `json:"admission,omitempty"`
+	// Autoscaler runs the elastic control loop: an epoch sampler on the
+	// sim timeline joins or drains entry nodes by observed load
+	// (serving-class cells only). nil — or a disabled spec — leaves the
+	// run byte-identical to the pre-autoscaler engine.
+	Autoscaler *elastic.AutoscalerSpec `json:"autoscaler,omitempty"`
+	// Knee declares a capacity-knee search (knee cells only): the rate
+	// window, the SLO predicate and the search resolution.
+	Knee *elastic.KneeSpec `json:"knee,omitempty"`
 
 	// Apps names the application set of a set cell (repeats allowed);
 	// SetSize draws a random set from the registry instead (seeded).
@@ -304,7 +330,7 @@ func (c CellSpec) validate() error {
 		if _, err := parseLatencyMode(c.Options.LatencyMode); err != nil {
 			return err
 		}
-		if c.Kind != KindServing && c.Kind != KindPolicyComparison {
+		if !servingClass(c.Kind) {
 			// The figure-class experiments report means and totals, not
 			// latency percentiles; a latency-mode switch there would be
 			// a silently ignored knob.
@@ -315,6 +341,9 @@ func (c CellSpec) validate() error {
 		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := validateElasticCell(&c); err != nil {
+		return err
 	}
 	switch c.Kind {
 	case KindServing, KindPolicyComparison:
@@ -358,6 +387,21 @@ func (c CellSpec) validate() error {
 				return fmt.Errorf("negative trace offset %v", time.Duration(d))
 			}
 		}
+	case KindKnee:
+		if err := c.Knee.Validate(); err != nil {
+			return err
+		}
+		if c.Duration <= 0 {
+			return fmt.Errorf("knee cell needs a positive duration")
+		}
+		if c.Rate != 0 || len(c.Rates) > 0 {
+			// The search owns the rate axis.
+			return fmt.Errorf("knee cell searches the rate axis and does not take rate(s)")
+		}
+		if len(c.Trace) > 0 || c.TraceFile != "" || c.TraceRescale != 0 || len(c.MMPP) > 0 {
+			// A trace fixes the arrivals; there is no rate to search.
+			return fmt.Errorf("knee cell probes Poisson rates and does not take a trace")
+		}
 	case KindSet:
 		if len(c.Apps) == 0 && c.SetSize <= 0 {
 			return fmt.Errorf("set cell needs apps or set_size")
@@ -382,13 +426,13 @@ func (c CellSpec) validate() error {
 	case "":
 		return fmt.Errorf("cell has no kind")
 	default:
-		return fmt.Errorf("unknown cell kind %q (want %s, %s, %s, %s or %s)",
-			c.Kind, KindSet, KindThroughput, KindWaves, KindServing, KindPolicyComparison)
+		return fmt.Errorf("unknown cell kind %q (want %s, %s, %s, %s, %s or %s)",
+			c.Kind, KindSet, KindThroughput, KindWaves, KindServing, KindPolicyComparison, KindKnee)
 	}
 	// Reject fields that do not apply to the kind: a silently ignored
 	// knob (a rates axis on a set cell, say) would expand into
 	// duplicate runs masquerading as a sweep.
-	if c.Kind != KindServing && c.Kind != KindPolicyComparison {
+	if !servingClass(c.Kind) {
 		if c.Rate != 0 || len(c.Rates) > 0 {
 			return fmt.Errorf("%s cell does not take rate(s)", c.Kind)
 		}

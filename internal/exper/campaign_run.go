@@ -38,6 +38,7 @@ type CellResult struct {
 	Set        *SetResult        `json:"set,omitempty"`
 	Throughput *ThroughputResult `json:"throughput,omitempty"`
 	Waves      *WaveResult       `json:"waves,omitempty"`
+	Knee       *KneeResult       `json:"knee,omitempty"`
 }
 
 // Report is one campaign's full output: every cell's result in
@@ -132,7 +133,7 @@ func resolveCell(index int, spec CellSpec, arts *Artifacts, baseDir string, trac
 	}
 	c.mode = mode
 	switch spec.Kind {
-	case KindServing, KindPolicyComparison:
+	case KindServing, KindPolicyComparison, KindKnee:
 		if spec.Topology == nil && spec.Kind == KindPolicyComparison {
 			c.topo = PolicyComparisonTopology()
 		} else {
@@ -234,6 +235,17 @@ func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
 	}
 	res := CellResult{Index: c.index, Name: c.spec.Name, Kind: c.spec.Kind, Seed: c.spec.Seed}
 	switch {
+	case c.spec.Kind == KindKnee:
+		r, err := runKnee(use, c)
+		if err != nil {
+			return CellResult{}, err
+		}
+		res.Name = r.Name
+		res.Topology = c.topo.Name
+		res.Mode = c.mode.String()
+		res.Policy = r.Policy
+		res.Metrics = kneeMetrics(r)
+		res.Knee = &r
 	case c.spec.servingCfg != nil || c.spec.Kind == KindServing || c.spec.Kind == KindPolicyComparison:
 		cfg := ServingConfig{
 			Name:       c.spec.Name,
@@ -246,6 +258,8 @@ func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
 			Policy:     c.spec.Policy,
 			Opts:       c.opts,
 			Faults:     c.spec.Faults,
+			Admission:  c.spec.Admission,
+			Autoscaler: c.spec.Autoscaler,
 		}
 		if c.spec.servingCfg != nil {
 			cfg = *c.spec.servingCfg
@@ -441,6 +455,7 @@ func servingMetrics(r ServingResult) map[string]float64 {
 		"fpga_reconfigs":     float64(r.FPGAReconfigs),
 	}
 	faultMetrics(m, r.Faults)
+	elasticMetrics(m, r)
 	return m
 }
 

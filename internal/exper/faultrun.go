@@ -20,6 +20,13 @@ type FaultResult struct {
 	// RequestsLost counts requests dropped after exhausting the retry
 	// budget.
 	RequestsLost int `json:"requests_lost"`
+	// RetriesExhausted counts requests that consumed their full retry
+	// budget (faults.Spec.Retries, clamped to faults.MaxRetryCap).
+	// Today every lost request is a budget exhaustion, so it equals
+	// RequestsLost; it is its own counter so the budget cap stays
+	// observable if losses ever gain other causes. Omitted when zero,
+	// keeping pre-cap fault reports byte-identical.
+	RetriesExhausted int `json:"retries_exhausted,omitempty"`
 	// RequestsRetried counts re-placement attempts scheduled (one
 	// disrupted request may retry several times).
 	RequestsRetried int `json:"requests_retried"`
@@ -55,6 +62,12 @@ const (
 	phasePrologue = iota
 	phaseKernel
 )
+
+// maxRetryBackoff caps one retry's exponential backoff delay: late
+// attempts wait at most this long, and a shift that would overflow
+// (or otherwise produce a non-positive delay) clamps here instead of
+// degenerating into zero-delay retries.
+const maxRetryBackoff = 10 * time.Second
 
 // reqCtx is the fault-tracking context of one in-flight request. It
 // exists only when a fault runtime is installed; every execution-path
@@ -476,10 +489,19 @@ func (rt *faultRuntime) disrupt(rq *reqCtx, phase int) {
 	if rq.attempts > rt.maxRetries {
 		rq.lost = true
 		rt.res.RequestsLost++
+		rt.res.RetriesExhausted++
 		return
 	}
 	rt.res.RequestsRetried++
+	// Exponential backoff, base << (attempt-1), capped at
+	// maxRetryBackoff. The budget clamp (faults.MaxRetryCap) keeps the
+	// shift far from the 63-bit overflow that would wrap the delay to
+	// zero and turn a full-outage window into a same-instant retry
+	// storm; the absolute cap bounds the wait of late attempts.
 	delay := rt.backoff << uint(rq.attempts-1)
+	if delay <= 0 || delay > maxRetryBackoff {
+		delay = maxRetryBackoff
+	}
 	retry := rq.kernel
 	if phase == phasePrologue {
 		retry = rq.prologue
@@ -559,9 +581,16 @@ func (p *Platform) deviceUp(i int) bool {
 	return p.faults == nil || p.faults.deviceUp(i)
 }
 
-// entryEligible reports whether an x86 node accepts new arrivals.
+// entryEligible reports whether an x86 node accepts new arrivals: not
+// crashed or fault-drained, and not elastically drained by the
+// autoscaler. Retry re-placement routes through leastLoadedX86 and
+// therefore through this gate too, so a retry racing a scale-down
+// cannot land on the node being drained.
 func (p *Platform) entryEligible(n *cluster.Node) bool {
-	return p.faults == nil || p.faults.placeable(n.Index)
+	if p.faults != nil && !p.faults.placeable(n.Index) {
+		return false
+	}
+	return p.elasticEligible(n)
 }
 
 // linkWork applies any active degradation to an uncontended transfer
@@ -599,6 +628,9 @@ func faultMetrics(m map[string]float64, f *FaultResult) {
 	}
 	m["fault_events"] = float64(f.Events)
 	m["requests_lost"] = float64(f.RequestsLost)
+	if f.RetriesExhausted > 0 {
+		m["retries_exhausted"] = float64(f.RetriesExhausted)
+	}
 	m["requests_retried"] = float64(f.RequestsRetried)
 	m["requests_disrupted"] = float64(f.RequestsDisrupted)
 	m["fpga_fallbacks"] = float64(f.FPGAFallbacks)

@@ -185,6 +185,11 @@ type Platform struct {
 	// fault-free runs, and every fault hook no-ops on nil so fault-free
 	// output stays byte-identical to the pre-fault engine.
 	faults *faultRuntime
+	// elastic is the overload-control runtime (admission control and
+	// the autoscaler loop); nil unless the cell carries an elastic
+	// spec, and every hook no-ops on nil for the same byte-identity
+	// guarantee.
+	elastic *elasticRuntime
 }
 
 // NewPlatform instantiates the paper testbed for one experiment run.

@@ -8,6 +8,7 @@ import (
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/core/sched"
+	"xartrek/internal/elastic"
 	"xartrek/internal/faults"
 	"xartrek/internal/workloads"
 )
@@ -50,6 +51,16 @@ type ServingConfig struct {
 	// scheduler fleet failure-aware. nil or an empty spec leaves the
 	// run byte-identical to the pre-fault engine.
 	Faults *faults.Spec
+	// Admission, when enabled, bounds each entry node's resident queue
+	// and sheds (or degrades) over-cap arrivals by the spec's overload
+	// policy. nil or a disabled spec leaves the run byte-identical to
+	// the pre-admission engine.
+	Admission *elastic.AdmissionSpec
+	// Autoscaler, when enabled, runs the elastic control loop: an
+	// epoch sampler on the sim timeline joins and drains entry nodes
+	// by observed load. nil or a disabled spec leaves the run
+	// byte-identical to the pre-autoscaler engine.
+	Autoscaler *elastic.AutoscalerSpec
 }
 
 // ServingResult is one serving run's report: offered vs completed
@@ -91,6 +102,24 @@ type ServingResult struct {
 	// fault-free runs (omitted from JSON, keeping fault-free reports
 	// byte-identical to pre-fault output).
 	Faults *FaultResult `json:",omitempty"`
+	// Overload is the admission policy of an admission-controlled run
+	// (elastic.Drop, RejectFast or DegradeToCPU); empty when admission
+	// is disabled, omitting every overload field from JSON and keeping
+	// such reports byte-identical to pre-elastic output.
+	Overload string `json:",omitempty"`
+	// Shed counts arrivals refused at the entry nodes (drop and
+	// reject-fast); they are offered but never complete.
+	Shed int `json:",omitempty"`
+	// Degraded counts over-cap arrivals admitted at the degraded
+	// CPU-only service class (degrade-to-cpu).
+	Degraded int `json:",omitempty"`
+	// GoodputPerSec is the rate of full-fidelity completions —
+	// completed requests that were not degraded — over the horizon.
+	// Only reported when admission control is enabled.
+	GoodputPerSec float64 `json:",omitempty"`
+	// Elastic is the autoscaler's fleet-size report; nil when the
+	// control loop is disabled.
+	Elastic *elastic.Result `json:",omitempty"`
 }
 
 // arrival is one pre-drawn request: when it enters and what it runs.
@@ -305,6 +334,17 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 		}
 		p.faults = rt
 	}
+	if cfg.Admission.Enabled() || cfg.Autoscaler.Enabled() {
+		// Installed after the fault runtime: fault events are already
+		// scheduled, so one landing exactly on an epoch boundary fires
+		// before that epoch's sample (same-instant ties go to the
+		// earlier-scheduled event).
+		rt, err := newElasticRuntime(p, cfg.Admission, cfg.Autoscaler, cfg.Duration)
+		if err != nil {
+			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+		}
+		p.elastic = rt
+	}
 	res := ServingResult{Name: cfg.Name, Mode: cfg.Mode, RatePerSec: cfg.RatePerSec, Policy: p.PolicyName()}
 	if sketch {
 		res.LatencyMode = LatencySketch
@@ -332,6 +372,12 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	// unrelated event whose firing time lands on exactly an arrival
 	// instant's nanosecond now wins the tie; DESIGN.md §7 scopes the
 	// determinism contract accordingly.
+	complete := func(run RunResult) {
+		lat.add(run.Elapsed())
+		if p.faults != nil {
+			p.faults.observeClass(run.App, run.Elapsed())
+		}
+	}
 	inject := func(apps []*workloads.App) {
 		// Each Feed batch is a fresh distinct instant, so the
 		// same-instant placement counters always start clean.
@@ -346,13 +392,19 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 			// the request-serving analogue of RDA's client
 			// multiplexing over a server fleet.
 			entry := p.leastLoadedX86(assigned)
-			assigned[entry.Index]++
-			p.LaunchAppOn(entry, app, cfg.Mode, now, func(run RunResult) {
-				lat.add(run.Elapsed())
-				if p.faults != nil {
-					p.faults.observeClass(run.App, run.Elapsed())
+			if p.elastic.overCap(entry, assigned[entry.Index]) {
+				// Even the least-loaded eligible entry node is at the
+				// admission cap: shed the request, or admit it at the
+				// degraded CPU-only service class.
+				if p.elastic.refuse(entry) {
+					continue
 				}
-			})
+				assigned[entry.Index]++
+				p.elastic.launchDegraded(entry, app, now, complete)
+				continue
+			}
+			assigned[entry.Index]++
+			p.LaunchAppOn(entry, app, cfg.Mode, now, complete)
 		}
 	}
 	p.Sim.Feed(func() (time.Duration, func(), bool) {
@@ -375,6 +427,9 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	res.FPGAReconfigs = p.DeviceReconfigs()
 	if p.faults != nil {
 		res.Faults = p.faults.finalize(res.Offered, res.Completed)
+	}
+	if p.elastic != nil {
+		p.elastic.finalize(&res, cfg.Duration)
 	}
 	if testLatencySink != nil && !sketch {
 		testLatencySink(cfg.Name, "latency", lat.exact)

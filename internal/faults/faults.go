@@ -14,6 +14,21 @@
 // device names, link endpoints are node-name pairs, and the experiment
 // platform resolves them (and rejects crashing the scheduler host) when
 // it installs the timeline. Validation here is structural only.
+//
+// # Retry backoff schedule
+//
+// A disrupted request is re-placed with exponential backoff: attempt n
+// (1-based) waits Backoff() << (n-1) before re-entering the killed
+// phase on a freshly chosen entry node, so with the defaults the
+// schedule is 10ms, 20ms, 40ms, … The per-request budget is Retries()
+// attempts, clamped to MaxRetryCap regardless of how large the spec
+// sets max_retries — an unbounded budget would let a full-outage
+// window generate unbounded retry storms (and push the shift into
+// 63-bit overflow, wrapping the delay to zero). The engine also caps
+// each individual delay at an absolute bound (10s), so late attempts
+// poll the recovering fleet instead of waiting minutes. A request
+// that exhausts the budget is lost and counted in both requests_lost
+// and retries_exhausted.
 package faults
 
 import (
@@ -156,15 +171,22 @@ const (
 	// DefaultRetryBackoff is the backoff base when Spec.RetryBackoff
 	// is 0.
 	DefaultRetryBackoff = 10 * time.Millisecond
+	// MaxRetryCap is the hard ceiling on the per-request retry budget:
+	// Retries() clamps any larger max_retries here, bounding the total
+	// re-placement work one disrupted request can generate during a
+	// full-outage window (see the package doc's backoff schedule).
+	MaxRetryCap = 16
 )
 
-// Retries resolves the effective retry budget.
+// Retries resolves the effective retry budget, clamped to MaxRetryCap.
 func (s *Spec) Retries() int {
 	switch {
 	case s == nil || s.MaxRetries == 0:
 		return DefaultMaxRetries
 	case s.MaxRetries < 0:
 		return 0
+	case s.MaxRetries > MaxRetryCap:
+		return MaxRetryCap
 	}
 	return s.MaxRetries
 }

@@ -194,6 +194,7 @@ const (
 	KindWaves            = exper.KindWaves
 	KindServing          = exper.KindServing
 	KindPolicyComparison = exper.KindPolicyComparison
+	KindKnee             = exper.KindKnee
 )
 
 // RunCampaign executes a declarative campaign spec: grid axes expand
