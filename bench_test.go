@@ -718,6 +718,43 @@ func BenchmarkServingSketchRack64Dense(b *testing.B) {
 	benchmarkServingSketch(b, cluster.ScaleOutTopology("rack64", 16, 48, 8), 2048, 30*time.Second)
 }
 
+// benchmarkServingSharded runs the checked-in rack256 million-request
+// cell (sketch mode, 64 entry hosts) at a shard count: shards=1 is the
+// single-timeline engine, shards>1 partitions the fleet and deals the
+// arrival stream across per-shard timelines fanned over the worker
+// pool (DESIGN.md §13). req/wall-s is the headline metric the sharding
+// work moves; the shards=1/shards=8 ratio is the speedup BENCH.md
+// records.
+func benchmarkServingSharded(b *testing.B, shards int) {
+	arts := benchArtifacts(b)
+	cfg := exper.ServingConfig{
+		Topo:       cluster.ScaleOutTopology("rack256", 64, 192, 32),
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: 512,
+		Duration:   2048 * time.Second,
+		Seed:       benchSeed,
+		Opts:       exper.Options{LatencyMode: exper.LatencySketch, Shards: shards},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var offered int
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offered = r.Offered
+	}
+	wall := time.Since(start).Seconds()
+	b.ReportMetric(float64(offered*b.N)/wall, "req/wall-s")
+	b.ReportMetric(float64(offered), "offered")
+}
+
+func BenchmarkServingSharded1(b *testing.B) { benchmarkServingSharded(b, 1) }
+func BenchmarkServingSharded4(b *testing.B) { benchmarkServingSharded(b, 4) }
+func BenchmarkServingSharded8(b *testing.B) { benchmarkServingSharded(b, 8) }
+
 // BenchmarkAutoscalerEpoch isolates the control loop's per-epoch cost:
 // one Observe call on a 32-entry fleet with a utilization signal that
 // sweeps across both thresholds, so the hysteresis and clamping paths

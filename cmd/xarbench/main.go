@@ -9,6 +9,7 @@
 //	xarbench -figure 6                 # Figures 3-10
 //	xarbench -serving                  # open-loop serving campaign
 //	xarbench -serving -policy affinity # …under one placement policy
+//	xarbench -serving -shards 8        # …sharded across the par pool
 //	xarbench -all -runs 3              # cheaper randomized experiments
 //	xarbench -campaign spec.json       # run a declarative campaign spec
 //	xarbench -campaign spec.json -checkpoint dir/  # resumable campaign
@@ -16,6 +17,10 @@
 // The serving campaign drives the standard Poisson grid, then a
 // placement-policy comparison (default vs link-aware vs affinity on a
 // cross-rack topology with one slow uplink) and a bursty MMPP cell.
+// -shards partitions each serving cell across N per-shard timelines
+// fanned over the worker pool (DESIGN.md §13), clamped per cell to the
+// topology's entry-host count; -shards 1 pins the single-timeline
+// engine and its output is byte-identical to running without the flag.
 //
 // -campaign executes a JSON campaign spec (exper.CampaignSpec): each
 // cell selects an experiment kind, topology, mode, policy and load,
@@ -44,6 +49,7 @@ import (
 
 	"xartrek/internal/cluster"
 	"xartrek/internal/exper"
+	"xartrek/internal/isa"
 	"xartrek/internal/workloads"
 )
 
@@ -63,12 +69,16 @@ func run(args []string, out io.Writer) error {
 	figure := fs.Int("figure", 0, "regenerate one figure (3-10)")
 	serving := fs.Bool("serving", false, "run the open-loop serving campaign")
 	policy := fs.String("policy", "", "placement policy for the serving grid (default, link-aware, affinity)")
+	shards := fs.Int("shards", 0, "shard count for the serving grid, clamped per cell to its entry hosts (0 or 1 = single timeline)")
 	campaign := fs.String("campaign", "", "execute a JSON campaign spec file (see examples/campaigns)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint directory for -campaign (resume an interrupted run)")
 	all := fs.Bool("all", false, "regenerate everything")
 	runs := fs.Int("runs", 10, "repetitions for randomized experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: must be non-negative", *shards)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*serving && *campaign == "" {
 		fs.Usage()
@@ -122,15 +132,15 @@ func run(args []string, out io.Writer) error {
 	if *all || *serving {
 		matched = true
 		fmt.Fprintf(out, "\n== serving ==\n")
-		if err := servingCampaign(out, arts, *policy); err != nil {
+		if err := servingCampaign(out, arts, *policy, *shards); err != nil {
 			return fmt.Errorf("serving: %w", err)
 		}
 		fmt.Fprintf(out, "\n== serving: placement policies ==\n")
-		if err := policyCampaign(out, apps); err != nil {
+		if err := policyCampaign(out, apps, *shards); err != nil {
 			return fmt.Errorf("serving policies: %w", err)
 		}
 		fmt.Fprintf(out, "\n== serving: bursty (MMPP) ==\n")
-		if err := burstyCampaign(out, arts); err != nil {
+		if err := burstyCampaign(out, arts, *shards); err != nil {
 			return fmt.Errorf("serving bursty: %w", err)
 		}
 	}
@@ -250,26 +260,39 @@ func servingCells() []servingCell {
 	}
 }
 
+// shardsFor clamps a -shards request to what the topology can host:
+// PartitionTopology refuses more shards than entry (x86) hosts, and one
+// flag drives a grid of differently sized cells.
+func shardsFor(shards int, topo cluster.Topology) int {
+	if max := topo.CountOfArch(isa.X86_64); shards > max {
+		return max
+	}
+	return shards
+}
+
 // servingCampaign drives open-loop Poisson arrivals against each
 // topology at rates scaled to its size and reports throughput and tail
 // latency per mode. policy, when non-empty, selects the scheduler
 // fleet's placement policy for every cell (the default grid is
-// byte-identical to the pre-policy engine).
-func servingCampaign(out io.Writer, arts *exper.Artifacts, policy string) error {
+// byte-identical to the pre-policy engine); shards > 1 partitions each
+// cell across per-shard timelines, clamped to the cell's entry hosts.
+func servingCampaign(out io.Writer, arts *exper.Artifacts, policy string, shards int) error {
 	modes := []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86}
 	var cfgs []exper.ServingConfig
 	for _, cell := range servingCells() {
 		topo := cell.topo
 		for _, rate := range cell.rates {
 			for _, mode := range modes {
-				cfgs = append(cfgs, exper.ServingConfig{
+				cfg := exper.ServingConfig{
 					Topo:       topo,
 					Mode:       mode,
 					RatePerSec: rate,
 					Duration:   60 * time.Second,
 					Seed:       seed,
 					Policy:     policy,
-				})
+				}
+				cfg.Opts.Shards = shardsFor(shards, topo)
+				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
@@ -293,7 +316,7 @@ func servingCampaign(out io.Writer, arts *exper.Artifacts, policy string) error 
 // Poisson load. Link-aware placement should cut the p99 tail (it stops
 // paying the slow hop per migration); affinity should cut scheduler
 // reconfigurations at equal-or-better throughput.
-func policyCampaign(out io.Writer, apps []*workloads.App) error {
+func policyCampaign(out io.Writer, apps []*workloads.App, shards int) error {
 	arts, err := exper.BuildArtifactsSplitImages(apps)
 	if err != nil {
 		return err
@@ -303,13 +326,15 @@ func policyCampaign(out io.Writer, apps []*workloads.App) error {
 	fmt.Fprintf(out, "%-10s %7s %8s %8s %8s %9s %9s %9s %7s %7s %9s %9s\n",
 		"policy", "req/s", "offered", "done", "tput/s", "p50(ms)", "p95(ms)", "p99(ms)", "toARM", "reconf", "skip-pend", "all-busy")
 	for _, rate := range []float64{24, 48} {
-		results, err := exper.RunPolicyComparison(arts, exper.ServingConfig{
+		cfg := exper.ServingConfig{
 			Topo:       topo,
 			Mode:       exper.ModeXarTrek,
 			RatePerSec: rate,
 			Duration:   60 * time.Second,
 			Seed:       seed,
-		}, exper.Policies())
+		}
+		cfg.Opts.Shards = shardsFor(shards, topo)
+		results, err := exper.RunPolicyComparison(arts, cfg, exper.Policies())
 		if err != nil {
 			return err
 		}
@@ -326,21 +351,24 @@ func policyCampaign(out io.Writer, apps []*workloads.App) error {
 // burstyCampaign replaces the Poisson stream with an MMPP trace (2 s
 // bursts at 40 req/s, 8 s idle at 1 req/s) on the rack8 topology —
 // non-Poisson open-loop load whose tail reflects burst absorption.
-func burstyCampaign(out io.Writer, arts *exper.Artifacts) error {
+func burstyCampaign(out io.Writer, arts *exper.Artifacts, shards int) error {
 	trace, err := exper.BurstyTrace(seed, 60*time.Second, 40, 2*time.Second, 1, 8*time.Second)
 	if err != nil {
 		return err
 	}
+	topo := cluster.ScaleOutTopology("rack8", 4, 4, 2)
 	var cfgs []exper.ServingConfig
 	for _, mode := range []exper.Mode{exper.ModeXarTrek, exper.ModeVanillaX86} {
-		cfgs = append(cfgs, exper.ServingConfig{
+		cfg := exper.ServingConfig{
 			Name:     "rack8-mmpp",
-			Topo:     cluster.ScaleOutTopology("rack8", 4, 4, 2),
+			Topo:     topo,
 			Mode:     mode,
 			Duration: 60 * time.Second,
 			Seed:     seed,
 			Trace:    trace,
-		})
+		}
+		cfg.Opts.Shards = shardsFor(shards, topo)
+		cfgs = append(cfgs, cfg)
 	}
 	results, err := exper.RunServingSweep(arts, cfgs)
 	if err != nil {

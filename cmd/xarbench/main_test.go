@@ -56,6 +56,83 @@ func TestTable3Static(t *testing.T) {
 	}
 }
 
+// TestServingShardsOneIsByteIdentical pins the -shards 1 contract over
+// the full serving grid (Poisson cells, the policy comparison and the
+// MMPP trace cell): forcing one shard per cell must not perturb a
+// single output byte relative to running without the flag.
+func TestServingShardsOneIsByteIdentical(t *testing.T) {
+	var plain, pinned strings.Builder
+	if err := run([]string{"-serving"}, &plain); err != nil {
+		t.Fatalf("run -serving: %v", err)
+	}
+	if err := run([]string{"-serving", "-shards", "1"}, &pinned); err != nil {
+		t.Fatalf("run -serving -shards 1: %v", err)
+	}
+	if plain.String() != pinned.String() {
+		t.Fatalf("-shards 1 diverged from the unsharded grid:\n--- plain ---\n%s\n--- shards 1 ---\n%s",
+			plain.String(), pinned.String())
+	}
+}
+
+// TestServingShardsClampToTopology drives the grid sharded with a count
+// exceeding the smallest cell's entry hosts: the clamp must keep every
+// cell runnable and the offered counts must match the unsharded grid
+// exactly (the arrival stream is dealt, not re-randomized).
+func TestServingShardsClampToTopology(t *testing.T) {
+	var plain, sharded strings.Builder
+	if err := run([]string{"-serving"}, &plain); err != nil {
+		t.Fatalf("run -serving: %v", err)
+	}
+	if err := run([]string{"-serving", "-shards", "8"}, &sharded); err != nil {
+		t.Fatalf("run -serving -shards 8: %v", err)
+	}
+	for _, text := range []string{plain.String(), sharded.String()} {
+		if !strings.Contains(text, "rack8-mmpp") {
+			t.Fatalf("grid output incomplete:\n%s", text)
+		}
+	}
+	// The grid tables print offered in a fixed column; compare the
+	// per-line counts of both runs.
+	plainLines, shardLines := strings.Split(plain.String(), "\n"), strings.Split(sharded.String(), "\n")
+	if len(plainLines) != len(shardLines) {
+		t.Fatalf("line counts differ: %d vs %d", len(plainLines), len(shardLines))
+	}
+	checked := 0
+	for i, pl := range plainLines {
+		pf, sf := strings.Fields(pl), strings.Fields(shardLines[i])
+		// Grid rows: topo mode req/s offered done ... — offered is
+		// field 3 on rows whose first field names a topology.
+		if len(pf) < 5 || len(sf) < 5 {
+			continue
+		}
+		if !strings.HasPrefix(pf[0], "rack") && pf[0] != "paper" && pf[0] != "xrack" {
+			continue
+		}
+		var pOff, sOff string
+		switch pf[0] {
+		case "rack8-mmpp": // trace table: trace mode offered done ...
+			pOff, sOff = pf[2], sf[2]
+		default: // poisson grid: topo mode req/s offered done ...
+			pOff, sOff = pf[3], sf[3]
+		}
+		if pOff != sOff {
+			t.Fatalf("offered diverged on line %d: %q vs %q", i, pl, shardLines[i])
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d grid rows compared, expected the full grid", checked)
+	}
+}
+
+func TestShardsRejectsNegative(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-serving", "-shards", "-2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("err = %v, want non-negative rejection", err)
+	}
+}
+
 func TestServingRejectsUnknownPolicy(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-serving", "-policy", "bogus"}, &out); err == nil ||

@@ -50,6 +50,13 @@ func (n *Node) Exec(work time.Duration, done func()) *simtime.PSJob {
 	return n.Pool.Submit(work, done)
 }
 
+// ExecTransient is Exec without a handle: the job cannot be cancelled,
+// and the pool recycles its struct after completion. The allocation-
+// free path for callers that discard Exec's return value.
+func (n *Node) ExecTransient(work time.Duration, done func()) {
+	n.Pool.SubmitTransient(work, done)
+}
+
 // Load reports the number of resident compute processes — the CPU-load
 // metric the paper's scheduler samples (Section 4, Table 3).
 func (n *Node) Load() int { return n.Pool.Active() }
@@ -67,6 +74,12 @@ type Link struct {
 // link.
 func (l *Link) Submit(work time.Duration, done func()) *simtime.PSJob {
 	return l.PS.Submit(work, done)
+}
+
+// SubmitTransient is Submit without a handle: the transfer cannot be
+// cancelled, and the link recycles its job struct after completion.
+func (l *Link) SubmitTransient(work time.Duration, done func()) {
+	l.PS.SubmitTransient(work, done)
 }
 
 // Queued reports the number of transfers currently in flight on the

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+
+	"xartrek/internal/isa"
+)
+
+// CountOfArch reports the number of nodes of the given ISA class.
+func (t Topology) CountOfArch(arch isa.Arch) int {
+	count := 0
+	for _, n := range t.Nodes {
+		if n.Arch == arch {
+			count++
+		}
+	}
+	return count
+}
+
+// PartitionTopology splits a topology into n independent sub-fleets
+// for sharded serving: shard i receives every node whose index within
+// its ISA class is congruent to i mod n, and likewise for FPGA cards.
+// Striding by class (rather than slicing the node list) keeps each
+// shard a miniature of the whole fleet: a cross-rack topology's shards
+// each get their proportional share of near and far ARM capacity, so
+// per-shard placement sees the same rack mix the unsharded scheduler
+// saw.
+//
+// Node and card order inside a shard preserves topology order, so the
+// first x86 node of shard 0 is the original scheduler host and
+// placement tie-breaks stay deterministic. Link overrides survive when
+// both endpoints land in the same shard; pairs split across shards can
+// never exchange traffic in a shard simulation, so their overrides are
+// dropped.
+//
+// n must be between 1 and the number of x86-class entry nodes — every
+// shard needs an entry node to host its scheduler.
+func PartitionTopology(t Topology, n int) ([]Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: cannot partition %q into %d shards", t.Name, n)
+	}
+	if entries := t.CountOfArch(isa.X86_64); n > entries {
+		return nil, fmt.Errorf("cluster: %d shards exceed the %d entry nodes of %q",
+			n, entries, t.Name)
+	}
+
+	shards := make([]Topology, n)
+	member := make(map[string]int, len(t.Nodes))
+	for i := range shards {
+		shards[i] = Topology{
+			Name:       fmt.Sprintf("%s/s%d", t.Name, i),
+			DefaultNet: t.DefaultNet,
+		}
+	}
+	classIdx := make(map[isa.Arch]int, 2)
+	for _, node := range t.Nodes {
+		shard := classIdx[node.Arch] % n
+		classIdx[node.Arch]++
+		shards[shard].Nodes = append(shards[shard].Nodes, node)
+		member[node.Name] = shard
+	}
+	for i, card := range t.FPGAs {
+		shards[i%n].FPGAs = append(shards[i%n].FPGAs, card)
+	}
+	for _, l := range t.Links {
+		sa, oka := member[l.A]
+		sb, okb := member[l.B]
+		if oka && okb && sa == sb {
+			shards[sa].Links = append(shards[sa].Links, l)
+		}
+	}
+	for i := range shards {
+		if err := shards[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}

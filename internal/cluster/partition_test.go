@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"xartrek/internal/isa"
+	"xartrek/internal/popcorn"
+)
+
+func TestPartitionScaleOutEvenSplit(t *testing.T) {
+	topo := ScaleOutTopology("rack256", 64, 192, 32)
+	shards, err := PartitionTopology(topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 8 {
+		t.Fatalf("got %d shards, want 8", len(shards))
+	}
+	for i, s := range shards {
+		if got := s.CountOfArch(isa.X86_64); got != 8 {
+			t.Errorf("shard %d: %d x86 nodes, want 8", i, got)
+		}
+		if got := s.CountOfArch(isa.ARM64); got != 24 {
+			t.Errorf("shard %d: %d ARM nodes, want 24", i, got)
+		}
+		if got := len(s.FPGAs); got != 4 {
+			t.Errorf("shard %d: %d FPGAs, want 4", i, got)
+		}
+	}
+	// Shard 0 keeps the original scheduler host first, and every node
+	// lands in exactly one shard.
+	if shards[0].Nodes[0].Name != topo.Nodes[0].Name {
+		t.Errorf("shard 0 entry = %q, want original host %q",
+			shards[0].Nodes[0].Name, topo.Nodes[0].Name)
+	}
+	seen := map[string]int{}
+	for _, s := range shards {
+		for _, n := range s.Nodes {
+			seen[n.Name]++
+		}
+	}
+	if len(seen) != len(topo.Nodes) {
+		t.Fatalf("shards cover %d nodes, topology has %d", len(seen), len(topo.Nodes))
+	}
+	for name, c := range seen {
+		if c != 1 {
+			t.Errorf("node %q appears in %d shards", name, c)
+		}
+	}
+}
+
+func TestPartitionUnevenRemainder(t *testing.T) {
+	topo := ScaleOutTopology("rack", 5, 7, 3)
+	shards, err := PartitionTopology(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strided assignment: earlier shards take the remainder.
+	wantX86, wantARM, wantFPGA := []int{3, 2}, []int{4, 3}, []int{2, 1}
+	for i, s := range shards {
+		if got := s.CountOfArch(isa.X86_64); got != wantX86[i] {
+			t.Errorf("shard %d: %d x86, want %d", i, got, wantX86[i])
+		}
+		if got := s.CountOfArch(isa.ARM64); got != wantARM[i] {
+			t.Errorf("shard %d: %d ARM, want %d", i, got, wantARM[i])
+		}
+		if got := len(s.FPGAs); got != wantFPGA[i] {
+			t.Errorf("shard %d: %d FPGAs, want %d", i, got, wantFPGA[i])
+		}
+	}
+}
+
+// TestPartitionCrossRackKeepsRackMix pins the rack-alignment rule:
+// every shard of a cross-rack topology gets both near and far ARM
+// capacity, and the slow cross-rack link overrides survive for pairs
+// inside the shard.
+func TestPartitionCrossRackKeepsRackMix(t *testing.T) {
+	cross := popcorn.NetModel{LatencyRTT: 2 * time.Millisecond, BandwidthBps: 12.5e6}
+	topo := CrossRackTopology("xrack", 4, 4, 4, 2, cross)
+	shards, err := PartitionTopology(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		near, far := 0, 0
+		for _, n := range s.Nodes {
+			if n.Arch != isa.ARM64 {
+				continue
+			}
+			if len(n.Name) >= 4 && n.Name[:4] == "arma" {
+				near++
+			} else {
+				far++
+			}
+		}
+		if near != 2 || far != 2 {
+			t.Errorf("shard %d: near/far = %d/%d, want 2/2", i, near, far)
+		}
+		if len(s.Links) == 0 {
+			t.Errorf("shard %d lost all cross-rack link overrides", i)
+		}
+		for _, l := range s.Links {
+			if s.NetBetween(l.A, l.B) == s.DefaultNet {
+				t.Errorf("shard %d: link %s-%s lost its override", i, l.A, l.B)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("shard %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPartitionSingleShardIsWholeTopology(t *testing.T) {
+	topo := ScaleOutTopology("rack8", 2, 4, 2)
+	shards, err := PartitionTopology(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 {
+		t.Fatalf("got %d shards, want 1", len(shards))
+	}
+	s := shards[0]
+	if len(s.Nodes) != len(topo.Nodes) || len(s.FPGAs) != len(topo.FPGAs) {
+		t.Fatalf("single shard dropped members: %d/%d nodes, %d/%d FPGAs",
+			len(s.Nodes), len(topo.Nodes), len(s.FPGAs), len(topo.FPGAs))
+	}
+	for i, n := range s.Nodes {
+		if n.Name != topo.Nodes[i].Name {
+			t.Fatalf("node order changed at %d: %q vs %q", i, n.Name, topo.Nodes[i].Name)
+		}
+	}
+}
+
+func TestPartitionRejectsBadShardCounts(t *testing.T) {
+	topo := ScaleOutTopology("rack8", 2, 4, 2)
+	if _, err := PartitionTopology(topo, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := PartitionTopology(topo, 3); err == nil {
+		t.Error("more shards than entry nodes accepted")
+	}
+	if _, err := PartitionTopology(PaperTopology(), 2); err == nil {
+		t.Error("paper topology split past its single entry node")
+	}
+}

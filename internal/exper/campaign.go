@@ -337,6 +337,22 @@ func (c CellSpec) validate() error {
 			return fmt.Errorf("%s cell does not take options.latency_mode", c.Kind)
 		}
 	}
+	if c.Options != nil && c.Options.Shards != 0 {
+		if !servingClass(c.Kind) {
+			// Shards only fan the open-loop serving engine; elsewhere the
+			// knob would be silently ignored.
+			return fmt.Errorf("%s cell does not take options.shards", c.Kind)
+		}
+		if c.Options.Shards < 1 {
+			return fmt.Errorf("options.shards %d must be at least 1", c.Options.Shards)
+		}
+		if c.Faults != nil && !c.Faults.Empty() {
+			return fmt.Errorf("options.shards is incompatible with fault injection (the failure timeline is fleet-global)")
+		}
+		if c.Admission.Enabled() || c.Autoscaler.Enabled() {
+			return fmt.Errorf("options.shards is incompatible with admission control and autoscaling (entry-fleet state is global)")
+		}
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return err

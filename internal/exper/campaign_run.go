@@ -112,6 +112,9 @@ type runnableCell struct {
 	trace []time.Duration
 	apps  []*workloads.App
 	app   *workloads.App
+	// ck is the campaign's open checkpoint, threaded into sharded
+	// serving cells for per-shard persistence; nil otherwise.
+	ck *checkpoint
 }
 
 // resolveCell turns one expanded (scalar) cell spec into a runnable
@@ -264,6 +267,9 @@ func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
 		if c.spec.servingCfg != nil {
 			cfg = *c.spec.servingCfg
 		}
+		if c.ck != nil && cfg.Opts.Shards > 1 {
+			cfg.shardCk = &shardCheckpoint{ck: c.ck, cell: c.index}
+		}
 		r, err := runServing(use, cfg)
 		if err != nil {
 			return CellResult{}, err
@@ -375,6 +381,9 @@ func RunCampaign(arts *Artifacts, spec CampaignSpec, ropts RunOpts) (*Report, er
 		ck, loaded, err = openCheckpoint(ropts.Checkpoint, spec.Name, cells)
 		if err != nil {
 			return nil, fmt.Errorf("exper: campaign %q: %w", spec.Name, err)
+		}
+		for _, rc := range resolved {
+			rc.ck = ck
 		}
 	}
 	results := make([]CellResult, len(resolved))

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
+
+	"xartrek/internal/quantile"
 )
 
 // Campaign checkpointing persists per-cell results as a campaign runs,
@@ -152,4 +155,110 @@ func (ck *checkpoint) saveCell(res CellResult) error {
 		return err
 	}
 	return writeFileAtomic(ck.cellPath(res.Index), append(blob, '\n'))
+}
+
+// --- shard granularity -----------------------------------------------
+//
+// A sharded serving cell persists each shard's result as it completes:
+//
+//	dir/cell-0007.shard-003.json   shard 3 of expanded cell 7
+//
+// A kill mid-cell then resumes by re-running only the missing shards.
+// Shard files carry their own fingerprint (cell index, shard position
+// and count, and the shard's full sub-config), so a stale or foreign
+// file is recomputed rather than trusted; the campaign manifest
+// already guards the directory as a whole. Once the cell's own file
+// exists the shard files are dead weight — kept, like every part of
+// this format, because dumb and inspectable beats tidy.
+
+// shardCheckpoint scopes a campaign checkpoint to one sharded cell.
+type shardCheckpoint struct {
+	ck   *checkpoint
+	cell int
+}
+
+// shardFile is the persisted result of one shard: the shard's
+// ServingResult plus its latency distribution — the sealed exact
+// samples or the canonical sketch state — so the reducer of a resumed
+// run merges exactly what the original run would have.
+type shardFile struct {
+	Fingerprint string        `json:"fingerprint"`
+	Shard       int           `json:"shard"`
+	Shards      int           `json:"shards"`
+	Serving     ServingResult `json:"serving"`
+	// ExactNS is the shard's sorted completion-latency slice in
+	// nanoseconds (exact mode).
+	ExactNS []int64 `json:"exact_ns,omitempty"`
+	// Sketch is the shard's GK summary (sketch mode).
+	Sketch *quantile.Sketch `json:"sketch,omitempty"`
+}
+
+// shardFingerprint witnesses one shard's identity: the owning cell,
+// the shard's position in the partition, and the fully derived
+// sub-config (topology, stream split, seed). Any change to the
+// partition recomputes the shard.
+func shardFingerprint(cell, shard, shards int, cfg ServingConfig) (string, error) {
+	blob, err := json.Marshal(struct {
+		Cell   int           `json:"cell"`
+		Shard  int           `json:"shard"`
+		Shards int           `json:"shards"`
+		Config ServingConfig `json:"config"`
+	}{Cell: cell, Shard: shard, Shards: shards, Config: cfg})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func (sc *shardCheckpoint) path(shard int) string {
+	return filepath.Join(sc.ck.dir, fmt.Sprintf("cell-%04d.shard-%03d.json", sc.cell, shard))
+}
+
+// load restores one shard's result if a matching file exists. Missing,
+// corrupt or mismatched files report ok=false and the shard re-runs —
+// resume never trusts bytes it cannot witness.
+func (sc *shardCheckpoint) load(shard, shards int, cfg ServingConfig) (ServingResult, *latDigest, bool) {
+	raw, err := os.ReadFile(sc.path(shard))
+	if err != nil {
+		return ServingResult{}, nil, false
+	}
+	var f shardFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return ServingResult{}, nil, false
+	}
+	fp, err := shardFingerprint(sc.cell, shard, shards, cfg)
+	if err != nil || f.Fingerprint != fp || f.Shard != shard || f.Shards != shards {
+		return ServingResult{}, nil, false
+	}
+	dig := &latDigest{sketch: f.Sketch}
+	if f.Sketch == nil {
+		dig.exact = make([]time.Duration, len(f.ExactNS))
+		for i, ns := range f.ExactNS {
+			dig.exact[i] = time.Duration(ns)
+		}
+	}
+	return f.Serving, dig, true
+}
+
+// save persists one completed shard atomically, before the cell
+// announces progress — a kill after this point loses no finished
+// shard.
+func (sc *shardCheckpoint) save(shard, shards int, cfg ServingConfig, res ServingResult, dig *latDigest) error {
+	fp, err := shardFingerprint(sc.cell, shard, shards, cfg)
+	if err != nil {
+		return err
+	}
+	f := shardFile{Fingerprint: fp, Shard: shard, Shards: shards, Serving: res, Sketch: dig.sketch}
+	if dig.sketch == nil {
+		f.ExactNS = make([]int64, len(dig.exact))
+		for i, d := range dig.exact {
+			f.ExactNS[i] = int64(d)
+		}
+	}
+	blob, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(sc.path(shard), append(blob, '\n'))
 }

@@ -24,7 +24,75 @@ func TestMillionRequestSketchMemorySmoke(t *testing.T) {
 		t.Skip("set XARTREK_MEM_SMOKE=1 to run the million-request memory smoke")
 	}
 	arts := testArtifacts(t)
-	f, err := os.Open(filepath.Join(campaignsDir, "rack256.json"))
+	rep, wall, peak := runCampaignWithPeakHeap(t, arts, "rack256.json")
+
+	r := rep.Cells[0].Serving
+	if r.LatencyMode != LatencySketch {
+		t.Fatalf("rack256 cell ran in %q latency mode, want sketch", r.LatencyMode)
+	}
+	if r.Offered < 1_000_000 {
+		t.Fatalf("offered %d requests, want >= 1M (spec drifted?)", r.Offered)
+	}
+	if r.Completed == 0 || r.P99 == 0 {
+		t.Fatalf("degenerate result: completed=%d p99=%v", r.Completed, r.P99)
+	}
+
+	// Budget: ~5x headroom over the measured ~25 MiB working set, and
+	// below what an O(total-requests) engine needs for this cell
+	// (materialising 1M arrivals, latencies and injector events costs
+	// well over 150 MiB). A regression that re-materialises the stream
+	// or the latency slice blows straight through it.
+	const heapBudget = 128 << 20
+	peakMB := float64(peak) / (1 << 20)
+	t.Logf("rack256-1m: offered=%d completed=%d p50=%v p99=%v", r.Offered, r.Completed, r.P50, r.P99)
+	t.Logf("rack256-1m: wall=%v rate=%.0f req/wall-s peak-heap=%.1f MiB", wall.Round(time.Millisecond),
+		float64(r.Offered)/wall.Seconds(), peakMB)
+	if peak > heapBudget {
+		t.Fatalf("peak heap %.1f MiB exceeds the %d MiB budget", peakMB, heapBudget>>20)
+	}
+}
+
+// TestMultiMillionShardedMemorySmoke is the sharded twin at the next
+// scale up: the checked-in rack1024 cell (~4.2M Poisson requests on a
+// 1024-node rack, options.shards: 8) with every shard's sub-timeline
+// live at once. The budget covers 8 concurrent 128-node sub-fleets
+// plus their sketches — still O(shards x in-flight), nowhere near the
+// ~350 MiB an O(total-requests) engine would need for this cell.
+func TestMultiMillionShardedMemorySmoke(t *testing.T) {
+	if os.Getenv("XARTREK_MEM_SMOKE") == "" {
+		t.Skip("set XARTREK_MEM_SMOKE=1 to run the multi-million-request memory smoke")
+	}
+	arts := testArtifacts(t)
+	rep, wall, peak := runCampaignWithPeakHeap(t, arts, "rack1024.json")
+
+	r := rep.Cells[0].Serving
+	if r.LatencyMode != LatencySketch {
+		t.Fatalf("rack1024 cell ran in %q latency mode, want sketch", r.LatencyMode)
+	}
+	if r.Offered < 4_000_000 {
+		t.Fatalf("offered %d requests, want >= 4M (spec drifted?)", r.Offered)
+	}
+	if r.Completed == 0 || r.P99 == 0 {
+		t.Fatalf("degenerate result: completed=%d p99=%v", r.Completed, r.P99)
+	}
+
+	const heapBudget = 192 << 20
+	peakMB := float64(peak) / (1 << 20)
+	t.Logf("rack1024-4m: offered=%d completed=%d p50=%v p99=%v", r.Offered, r.Completed, r.P50, r.P99)
+	t.Logf("rack1024-4m: wall=%v rate=%.0f req/wall-s peak-heap=%.1f MiB", wall.Round(time.Millisecond),
+		float64(r.Offered)/wall.Seconds(), peakMB)
+	if peak > heapBudget {
+		t.Fatalf("peak heap %.1f MiB exceeds the %d MiB budget", peakMB, heapBudget>>20)
+	}
+}
+
+// runCampaignWithPeakHeap runs one checked-in campaign spec while a
+// sampler goroutine tracks the peak heap. ReadMemStats between GCs
+// tracks live-plus-floating garbage, which is the budget that actually
+// matters for not getting OOM-killed.
+func runCampaignWithPeakHeap(t *testing.T, arts *Artifacts, specFile string) (*Report, time.Duration, uint64) {
+	t.Helper()
+	f, err := os.Open(filepath.Join(campaignsDir, specFile))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,9 +102,6 @@ func TestMillionRequestSketchMemorySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Sample peak heap while the campaign runs; ReadMemStats between
-	// GCs tracks live-plus-floating garbage, which is the budget that
-	// actually matters for not getting OOM-killed.
 	var peak atomic.Uint64
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -64,29 +129,5 @@ func TestMillionRequestSketchMemorySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	r := rep.Cells[0].Serving
-	if r.LatencyMode != LatencySketch {
-		t.Fatalf("rack256 cell ran in %q latency mode, want sketch", r.LatencyMode)
-	}
-	if r.Offered < 1_000_000 {
-		t.Fatalf("offered %d requests, want >= 1M (spec drifted?)", r.Offered)
-	}
-	if r.Completed == 0 || r.P99 == 0 {
-		t.Fatalf("degenerate result: completed=%d p99=%v", r.Completed, r.P99)
-	}
-
-	// Budget: ~5x headroom over the measured ~25 MiB working set, and
-	// below what an O(total-requests) engine needs for this cell
-	// (materialising 1M arrivals, latencies and injector events costs
-	// well over 150 MiB). A regression that re-materialises the stream
-	// or the latency slice blows straight through it.
-	const heapBudget = 128 << 20
-	peakMB := float64(peak.Load()) / (1 << 20)
-	t.Logf("rack256-1m: offered=%d completed=%d p50=%v p99=%v", r.Offered, r.Completed, r.P50, r.P99)
-	t.Logf("rack256-1m: wall=%v rate=%.0f req/wall-s peak-heap=%.1f MiB", wall.Round(time.Millisecond),
-		float64(r.Offered)/wall.Seconds(), peakMB)
-	if peak.Load() > heapBudget {
-		t.Fatalf("peak heap %.1f MiB exceeds the %d MiB budget", peakMB, heapBudget>>20)
-	}
+	return rep, wall, peak.Load()
 }

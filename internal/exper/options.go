@@ -65,6 +65,18 @@ type Options struct {
 	// percentiles. Unknown names fail the run; only serving-class
 	// cells accept the switch.
 	LatencyMode string `json:"latency_mode,omitempty"`
+	// Shards partitions a serving-class cell into N independent
+	// sub-fleets (cluster.PartitionTopology), splits the arrival
+	// stream deterministically across them, runs each shard as its own
+	// event timeline fanned over the shared worker pool, and merges
+	// sketches and counters into one result (DESIGN.md §13). 0 and 1
+	// leave the cell on the unsharded engine, byte-identical to
+	// pre-shard output. Values above the topology's entry-node count
+	// fail the run, as do combinations with fault injection, admission
+	// control or autoscaling — those model process-global state a
+	// partition cannot preserve. Only serving-class cells accept the
+	// switch.
+	Shards int `json:"shards,omitempty"`
 }
 
 // resolvePolicy collapses the layered placement-policy selection into
@@ -281,7 +293,7 @@ func (p *Platform) entryExec(entry *cluster.Node, work time.Duration, done func(
 		p.x86Exec(work, done)
 		return
 	}
-	entry.Exec(work, done)
+	entry.ExecTransient(work, done)
 }
 
 // x86Exec routes scheduler-host compute through the configured CPU
@@ -291,7 +303,7 @@ func (p *Platform) x86Exec(work time.Duration, done func()) {
 		p.fifo.exec(work, done)
 		return
 	}
-	p.Cluster.X86.Exec(work, done)
+	p.Cluster.X86.ExecTransient(work, done)
 }
 
 // fifoJob is one queued FIFO-core job.
@@ -323,7 +335,7 @@ func (g *fifoGate) exec(work time.Duration, done func()) {
 // admit starts a job on a free core.
 func (g *fifoGate) admit(j fifoJob) {
 	g.running++
-	g.p.Cluster.X86.Exec(j.work, func() {
+	g.p.Cluster.X86.ExecTransient(j.work, func() {
 		g.running--
 		if len(g.queue) > 0 {
 			next := g.queue[0]

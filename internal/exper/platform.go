@@ -181,6 +181,11 @@ type Platform struct {
 	opts Options
 	// fifo is the FIFO-core admission gate of the X86FIFO ablation.
 	fifo *fifoGate
+	// launchFree and armFree pool the per-request lifecycle structs
+	// (process.go), so steady-state serving recycles them instead of
+	// allocating per request.
+	launchFree []*launch
+	armFree    []*armRun
 	// faults is the fault-injection runtime of a churn campaign; nil on
 	// fault-free runs, and every fault hook no-ops on nil so fault-free
 	// output stays byte-identical to the pre-fault engine.

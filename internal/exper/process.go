@@ -52,61 +52,116 @@ func (p *Platform) LaunchApp(app *workloads.App, mode Mode, at time.Duration, do
 // server instance sampling its own load, all sharing one threshold
 // table (Algorithm 1 updates are platform-wide, as if the servers
 // gossiped the table).
+//
+// The lifecycle state lives in a pooled launch struct whose phase
+// continuations are bound once, so in steady state a request costs no
+// per-request closure allocations — at a million requests per cell the
+// closure chain this replaces was the engine's dominant allocation
+// source, and with it most of the GC time.
 func (p *Platform) LaunchAppOn(entry *cluster.Node, app *workloads.App, mode Mode, at time.Duration, done func(RunResult)) {
-	p.Sim.At(at, func() {
-		start := p.Sim.Now()
-		if mode == ModeXarTrek && !p.opts.NoPreconfig {
-			p.preconfigure(app)
-		}
-		// Under fault injection the request carries a tracking context:
-		// its in-flight segments are registered so a failing node, card
-		// or link can kill and re-place them, and a retry may move the
-		// request to a new entry node (rq.entry supersedes entry).
-		var rq *reqCtx
-		if p.faults != nil {
-			rq = p.faults.newRequest(entry)
-		}
-		finish := func(target threshold.Target) {
-			e := entry
-			if rq != nil {
-				e = rq.entry
-			}
-			res := RunResult{App: app.Name, Mode: mode, Start: start, End: p.Sim.Now(), Target: target, Entry: e.Index}
-			if mode == ModeXarTrek && app.Migratable && !p.opts.StaticThresholds {
-				// __xar_sched_fini: report the run so Algorithm 1
-				// refines the thresholds. Errors mean the app has no
-				// threshold row (background load); ignore per the
-				// paper's design (MG-B is not instrumented).
-				_, _ = p.serverFor(e).Report(app.Name, target, res.Elapsed())
-			}
-			if rq != nil {
-				p.faults.completed(rq)
-			}
-			if done != nil {
-				done(res)
-			}
-		}
-		kernel := func() {
-			e := entry
-			if rq != nil {
-				e = rq.entry
-			}
-			p.runKernel(rq, e, app, mode, finish)
-		}
-		prologue := func() {
-			e := entry
-			if rq != nil {
-				e = rq.entry
-			}
-			p.runPrologue(rq, e, app, kernel)
-		}
-		if rq != nil {
-			// The retry continuations: a disrupted request re-enters
-			// the phase it was killed in, on a freshly chosen entry.
-			rq.prologue, rq.kernel = prologue, kernel
-		}
-		prologue()
-	})
+	l := p.getLaunch()
+	l.entry, l.app, l.mode, l.done = entry, app, mode, done
+	p.Sim.At(at, l.beginFn)
+}
+
+// launch is the per-request lifecycle state of one application run:
+// entry → prologue → kernel dispatch → finish. The continuation fields
+// capture only the struct pointer and are created once per pooled
+// struct, never per request.
+type launch struct {
+	p     *Platform
+	entry *cluster.Node
+	app   *workloads.App
+	mode  Mode
+	start time.Duration
+	done  func(RunResult)
+	// rq is the fault-tracking context; nil on fault-free runs. A
+	// tracked request's retry continuations alias the launch's own, so
+	// the struct is not recycled in that case (the tracker may hold
+	// them past finish).
+	rq *reqCtx
+
+	beginFn    func()
+	prologueFn func()
+	kernelFn   func()
+	finishFn   func(threshold.Target)
+}
+
+func (p *Platform) getLaunch() *launch {
+	if n := len(p.launchFree); n > 0 {
+		l := p.launchFree[n-1]
+		p.launchFree[n-1] = nil
+		p.launchFree = p.launchFree[:n-1]
+		return l
+	}
+	l := &launch{p: p}
+	l.beginFn = l.begin
+	l.prologueFn = l.prologue
+	l.kernelFn = l.kernel
+	l.finishFn = l.finish
+	return l
+}
+
+func (p *Platform) putLaunch(l *launch) {
+	l.entry, l.app, l.done, l.rq = nil, nil, nil, nil
+	p.launchFree = append(p.launchFree, l)
+}
+
+// node is the request's current entry node: under fault injection a
+// retry may have moved it (rq.entry supersedes the original).
+func (l *launch) node() *cluster.Node {
+	if l.rq != nil {
+		return l.rq.entry
+	}
+	return l.entry
+}
+
+func (l *launch) begin() {
+	p := l.p
+	l.start = p.Sim.Now()
+	if l.mode == ModeXarTrek && !p.opts.NoPreconfig {
+		p.preconfigure(l.app)
+	}
+	// Under fault injection the request carries a tracking context: its
+	// in-flight segments are registered so a failing node, card or link
+	// can kill and re-place them. The retry continuations re-enter the
+	// phase the request was killed in, on a freshly chosen entry.
+	if p.faults != nil {
+		l.rq = p.faults.newRequest(l.entry)
+		l.rq.prologue, l.rq.kernel = l.prologueFn, l.kernelFn
+	}
+	l.prologue()
+}
+
+func (l *launch) prologue() {
+	l.p.runPrologue(l.rq, l.node(), l.app, l.kernelFn)
+}
+
+func (l *launch) kernel() {
+	l.p.runKernel(l.rq, l.node(), l.app, l.mode, l.finishFn)
+}
+
+func (l *launch) finish(target threshold.Target) {
+	p := l.p
+	e := l.node()
+	res := RunResult{App: l.app.Name, Mode: l.mode, Start: l.start, End: p.Sim.Now(), Target: target, Entry: e.Index}
+	if l.mode == ModeXarTrek && l.app.Migratable && !p.opts.StaticThresholds {
+		// __xar_sched_fini: report the run so Algorithm 1 refines the
+		// thresholds. Errors mean the app has no threshold row
+		// (background load); ignore per the paper's design (MG-B is not
+		// instrumented).
+		_, _ = p.serverFor(e).Report(l.app.Name, target, res.Elapsed())
+	}
+	rq, done := l.rq, l.done
+	if rq != nil {
+		p.faults.completed(rq)
+	}
+	if done != nil {
+		done(res)
+	}
+	if rq == nil {
+		p.putLaunch(l)
+	}
 }
 
 // preconfigure starts downloading the image that carries the app's
@@ -262,23 +317,9 @@ func (p *Platform) execARM(rq *reqCtx, entry *cluster.Node, app *workloads.App, 
 	}
 	link := p.Cluster.Link(entry, node)
 	if rq == nil {
-		p.Sim.After(app.StateTransformTime(), func() {
-			link.Submit(link.Net.TransferTime(app.WorkingSetBytes), func() {
-				pending := 2
-				part := func(threshold.Target) {
-					pending--
-					if pending == 0 {
-						finish(threshold.TargetARM)
-					}
-				}
-				node.Exec(app.ARMKernelTime(), func() { part(threshold.TargetARM) })
-				if dsm := app.DSMLinkWork(); dsm > 0 {
-					link.Submit(dsm, func() { part(threshold.TargetARM) })
-				} else {
-					part(threshold.TargetARM)
-				}
-			})
-		})
+		a := p.getARMRun()
+		a.link, a.node, a.app, a.finish = link, node, app, finish
+		p.Sim.After(app.StateTransformTime(), a.transformFn)
 		return
 	}
 	// Fault-tracked migration. State transformation runs on the entry
@@ -329,6 +370,71 @@ func (p *Platform) execARM(rq *reqCtx, entry *cluster.Node, app *workloads.App, 
 	})
 }
 
+// armRun is the pooled state of one untracked ARM migration chain
+// (execARM's fault-free path): state transformation, working-set
+// transfer, then kernel and DSM stream joined by a pending count. Like
+// launch, its continuations are bound once so a migration allocates
+// nothing in steady state.
+type armRun struct {
+	p       *Platform
+	link    *cluster.Link
+	node    *cluster.Node
+	app     *workloads.App
+	finish  func(threshold.Target)
+	pending int
+
+	transformFn func()
+	xferFn      func()
+	partFn      func()
+}
+
+func (p *Platform) getARMRun() *armRun {
+	if n := len(p.armFree); n > 0 {
+		a := p.armFree[n-1]
+		p.armFree[n-1] = nil
+		p.armFree = p.armFree[:n-1]
+		return a
+	}
+	a := &armRun{p: p}
+	a.transformFn = a.transform
+	a.xferFn = a.xfer
+	a.partFn = a.part
+	return a
+}
+
+func (p *Platform) putARMRun(a *armRun) {
+	a.link, a.node, a.app, a.finish = nil, nil, nil, nil
+	p.armFree = append(p.armFree, a)
+}
+
+// transform fires when Popcorn state transformation ends: the DSM
+// working-set transfer enters the pair's link.
+func (a *armRun) transform() {
+	a.link.SubmitTransient(a.link.Net.TransferTime(a.app.WorkingSetBytes), a.xferFn)
+}
+
+// xfer fires when the working set has landed: the kernel runs on the
+// node's pool while the DSM fault traffic occupies the link
+// concurrently; both must drain before the migration finishes.
+func (a *armRun) xfer() {
+	a.pending = 2
+	a.node.ExecTransient(a.app.ARMKernelTime(), a.partFn)
+	if dsm := a.app.DSMLinkWork(); dsm > 0 {
+		a.link.SubmitTransient(dsm, a.partFn)
+	} else {
+		a.part()
+	}
+}
+
+func (a *armRun) part() {
+	a.pending--
+	if a.pending == 0 {
+		finish := a.finish
+		a.p.putARMRun(a)
+		finish(threshold.TargetARM)
+	}
+}
+
 // execVanillaARM models the Vanilla Linux/ARM baseline: the entire
 // application runs on an ARM server (no x86 involvement beyond the
 // already-executed prologue, which the baseline also pays on ARM's
@@ -341,7 +447,7 @@ func (p *Platform) execVanillaARM(rq *reqCtx, app *workloads.App, finish func(th
 		return
 	}
 	if rq == nil {
-		node.Exec(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
+		node.ExecTransient(app.ARMKernelTime(), func() { finish(threshold.TargetARM) })
 		return
 	}
 	tok := rq.rt.addToken(rq, phaseKernel, node.Index, false, -1)

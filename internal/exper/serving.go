@@ -61,6 +61,31 @@ type ServingConfig struct {
 	// by observed load. nil or a disabled spec leaves the run
 	// byte-identical to the pre-autoscaler engine.
 	Autoscaler *elastic.AutoscalerSpec
+
+	// forceTrace marks a sharded sub-run as trace-driven even when its
+	// trace slice is empty (a parent trace with fewer arrivals than
+	// shards leaves some shards empty): the empty slice means "no
+	// arrivals", not "fall back to Poisson".
+	forceTrace bool
+	// shardApps carries a sharded sub-run's pre-drawn application
+	// sequence, index-aligned with Trace: the parent draws the apps for
+	// its whole trace from its own seed and deals them round-robin with
+	// the offsets, so a trace-driven shard replays exactly the
+	// (time, app) pairs the unsharded engine would have injected. nil
+	// draws from Seed per arrival as usual.
+	shardApps []*workloads.App
+	// shardStride/shardPhase deal a Poisson stream: the sub-run walks
+	// the parent's full (gap, app) draw sequence from Seed and keeps
+	// only arrivals whose index is congruent to shardPhase mod
+	// shardStride. The shard fleet collectively replays the identical
+	// Poisson realization the unsharded engine injects, with O(1)
+	// arrival state per shard. shardStride 0 keeps every arrival.
+	shardStride int
+	shardPhase  int
+	// shardCk carries the campaign checkpoint context into the sharded
+	// engine, which persists per-shard results so a resumed run re-runs
+	// only missing shards. nil outside checkpointed campaigns.
+	shardCk *shardCheckpoint
 }
 
 // ServingResult is one serving run's report: offered vs completed
@@ -140,15 +165,19 @@ func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var out []arrival
-	if len(cfg.Trace) > 0 {
-		for _, at := range cfg.Trace {
+	if len(cfg.Trace) > 0 || cfg.forceTrace {
+		for i, at := range cfg.Trace {
 			if at < 0 {
 				return nil, fmt.Errorf("exper: serving %q: negative trace offset %v", cfg.Name, at)
 			}
 			if at >= cfg.Duration {
 				continue
 			}
-			out = append(out, arrival{at: at, app: pool[rng.Intn(len(pool))]})
+			if cfg.shardApps != nil {
+				out = append(out, arrival{at: at, app: cfg.shardApps[i]})
+			} else {
+				out = append(out, arrival{at: at, app: pool[rng.Intn(len(pool))]})
+			}
 		}
 		// Lazy injection chains arrivals in slice order, so the slice
 		// must be time-ordered; traces may not be. The stable sort
@@ -161,13 +190,16 @@ func (cfg ServingConfig) arrivals(pool []*workloads.App) ([]arrival, error) {
 		return nil, fmt.Errorf("exper: serving %q: non-positive rate %v", cfg.Name, cfg.RatePerSec)
 	}
 	var t time.Duration
-	for {
+	for idx := 0; ; idx++ {
 		gap := rng.ExpFloat64() / cfg.RatePerSec
 		t += time.Duration(gap * float64(time.Second))
 		if t >= cfg.Duration {
 			return out, nil
 		}
-		out = append(out, arrival{at: t, app: pool[rng.Intn(len(pool))]})
+		app := pool[rng.Intn(len(pool))]
+		if cfg.shardStride == 0 || idx%cfg.shardStride == cfg.shardPhase {
+			out = append(out, arrival{at: t, app: app})
+		}
 	}
 }
 
@@ -214,8 +246,14 @@ type poissonSource struct {
 	rate    float64
 	horizon time.Duration
 	pool    []*workloads.App
+	// stride/phase deal the stream for a sharded sub-run: every draw
+	// advances the full parent sequence but only arrivals with index
+	// congruent to phase mod stride are yielded (stride 0: all).
+	stride int
+	phase  int
 
 	t       time.Duration
+	idx     int
 	primed  bool
 	more    bool
 	nextAt  time.Duration
@@ -224,14 +262,22 @@ type poissonSource struct {
 	batch   []*workloads.App
 }
 
-// draw advances the stream by one arrival; ok=false past the horizon.
+// draw advances the stream to its next kept arrival; ok=false past the
+// horizon. The horizon-crossing arrival consumes only its gap.
 func (s *poissonSource) draw() (time.Duration, *workloads.App, bool) {
-	gap := s.rng.ExpFloat64() / s.rate
-	s.t += time.Duration(gap * float64(time.Second))
-	if s.t >= s.horizon {
-		return 0, nil, false
+	for {
+		gap := s.rng.ExpFloat64() / s.rate
+		s.t += time.Duration(gap * float64(time.Second))
+		if s.t >= s.horizon {
+			return 0, nil, false
+		}
+		app := s.pool[s.rng.Intn(len(s.pool))]
+		idx := s.idx
+		s.idx++
+		if s.stride == 0 || idx%s.stride == s.phase {
+			return s.t, app, true
+		}
 	}
-	return s.t, s.pool[s.rng.Intn(len(s.pool))], true
 }
 
 func (s *poissonSource) next() (time.Duration, []*workloads.App, bool) {
@@ -269,7 +315,7 @@ func (s *poissonSource) offered() int { return s.n }
 // streaming (sketch mode), with identical validation and an identical
 // resulting stream either way.
 func (cfg ServingConfig) source(pool []*workloads.App, sketch bool) (arrivalSource, error) {
-	if !sketch || len(cfg.Trace) > 0 {
+	if !sketch || len(cfg.Trace) > 0 || cfg.forceTrace {
 		reqs, err := cfg.arrivals(pool)
 		if err != nil {
 			return nil, err
@@ -290,6 +336,8 @@ func (cfg ServingConfig) source(pool []*workloads.App, sketch bool) (arrivalSour
 		rate:    cfg.RatePerSec,
 		horizon: cfg.Duration,
 		pool:    pool,
+		stride:  cfg.shardStride,
+		phase:   cfg.shardPhase,
 	}, nil
 }
 
@@ -305,32 +353,48 @@ func RunServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 }
 
 // runServing is the serving engine behind the RunServing adapter and
-// the campaign runner's serving/policy-comparison cells.
+// the campaign runner's serving/policy-comparison cells. Cells with
+// Opts.Shards > 1 route to the sharded engine (sharded.go); everything
+// else — including shards=1 — takes the single-timeline path below,
+// byte-identical to the pre-shard engine.
 func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.Topo.Name
 	}
+	if cfg.Opts.Shards > 1 {
+		return runServingSharded(arts, cfg)
+	}
+	res, _, err := runServingCore(arts, cfg, true)
+	return res, err
+}
+
+// runServingCore executes one serving timeline and returns the sealed
+// latency digest alongside the result, so the sharded reducer can
+// merge per-shard distributions. sink gates the exact-mode test sink:
+// sharded sub-runs suppress it and the reducer emits one merged
+// distribution under the cell's own name.
+func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResult, *latDigest, error) {
 	opts := cfg.Opts
 	opts.Policy = resolvePolicy(cfg.Policy, opts.Policy)
 	sketch, err := parseLatencyMode(opts.LatencyMode)
 	if err != nil {
-		return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+		return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 	}
 	src, err := cfg.source(arts.Apps, sketch)
 	if err != nil {
-		return ServingResult{}, err
+		return ServingResult{}, nil, err
 	}
 	p, err := NewPlatformTopo(arts, cfg.Topo, opts)
 	if err != nil {
-		return ServingResult{}, err
+		return ServingResult{}, nil, err
 	}
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(); err != nil {
-			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		rt, err := newFaultRuntime(p, cfg.Faults, cfg.Seed, cfg.Duration, sketch)
 		if err != nil {
-			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		p.faults = rt
 	}
@@ -341,7 +405,7 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 		// earlier-scheduled event).
 		rt, err := newElasticRuntime(p, cfg.Admission, cfg.Autoscaler, cfg.Duration)
 		if err != nil {
-			return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		p.elastic = rt
 	}
@@ -407,12 +471,18 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 			p.LaunchAppOn(entry, app, cfg.Mode, now, complete)
 		}
 	}
+	// Feed fires each returned callback before pulling the next instant,
+	// so one pending-batch slot (and one injector closure, reused for
+	// every instant) carries the whole stream — no per-instant closure.
+	var pending []*workloads.App
+	injectPending := func() { inject(pending) }
 	p.Sim.Feed(func() (time.Duration, func(), bool) {
 		at, apps, ok := src.next()
 		if !ok {
 			return 0, nil, false
 		}
-		return at, func() { inject(apps) }, true
+		pending = apps
+		return at, injectPending, true
 	})
 	p.RunFor(cfg.Duration)
 	res.Offered = src.offered()
@@ -431,13 +501,13 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if p.elastic != nil {
 		p.elastic.finalize(&res, cfg.Duration)
 	}
-	if testLatencySink != nil && !sketch {
+	if sink && testLatencySink != nil && !sketch {
 		testLatencySink(cfg.Name, "latency", lat.exact)
 		if p.faults != nil {
 			p.faults.sinkExact(cfg.Name)
 		}
 	}
-	return res, nil
+	return res, lat, nil
 }
 
 // RunServingSweep fans a serving campaign across the worker pool: each

@@ -1,0 +1,216 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xartrek/internal/cluster"
+	"xartrek/internal/par"
+	"xartrek/internal/quantile"
+	"xartrek/internal/workloads"
+)
+
+// Sharded serving execution (DESIGN.md §13): Opts.Shards partitions a
+// serving cell's topology into per-shard sub-fleets, splits the
+// arrival stream deterministically across them, runs each shard as its
+// own simtime event timeline fanned over the shared par pool, and
+// reduces per-shard sketches and counters into one ServingResult —
+// the same partition-the-fleet shape the CERN RDA middleware uses to
+// scale device access across servers.
+//
+// What stays exact and what is approximated:
+//
+//   - The arrival stream splits round-robin by arrival index, for
+//     every source kind. Traces (inline, trace_file, MMPP) split by
+//     trace index with the per-arrival application draws made from the
+//     parent seed and dealt alongside the offsets; Poisson streams are
+//     dealt lazily — each shard walks the parent's full (gap, app)
+//     draw sequence on its own RNG instance and keeps every N-th
+//     arrival (ServingConfig.shardStride), holding O(1) arrival state.
+//     Either way the shard fleet collectively replays the identical
+//     (time, app) request sequence the unsharded engine injects, and
+//     per-shard offered counts sum exactly to the unsharded count.
+//   - Entry balancing is approximated: the unsharded front end assigns
+//     an arrival to the least-loaded entry of the whole fleet, a shard
+//     only to the least-loaded of its own share, and each shard's
+//     scheduler adapts thresholds from its own traffic. Percentiles
+//     therefore differ within the bounds the differential tests pin,
+//     and counters that depend on placement (migrations,
+//     reconfigurations) differ slightly while remaining deterministic.
+//   - MeanHostLoad averages the shards' scheduler-host loads — a
+//     fleet-mean approximation of the unsharded single-host sample.
+
+// shardConfigs derives the per-shard sub-runs of a sharded cell: one
+// sub-topology each, the arrival stream split by kind, and Shards
+// cleared so each sub-run takes the single-timeline engine.
+//
+// A trace splits round-robin by arrival index, and the per-arrival
+// application draws are made here, from the parent seed in exactly the
+// order the unsharded engine draws them, then dealt out with their
+// offsets — so a trace-driven shard fleet collectively replays the
+// identical (time, app) request sequence and only entry balancing is
+// approximated. Poisson cells deal the same way but lazily: each shard
+// walks the parent's draw sequence on its own RNG instance and keeps
+// every n-th arrival (shardStride/shardPhase), keeping arrival state
+// O(1) per shard for million-request sketch cells.
+func shardConfigs(cfg ServingConfig, topos []cluster.Topology, pool []*workloads.App) ([]ServingConfig, error) {
+	n := len(topos)
+	traced := len(cfg.Trace) > 0
+	var offsets []time.Duration
+	var apps []*workloads.App
+	if traced {
+		// Mirror arrivals(): negative offsets are an error, past-horizon
+		// offsets are dropped without consuming an app draw.
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("exper: serving %q: empty application pool", cfg.Name)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for _, at := range cfg.Trace {
+			if at < 0 {
+				return nil, fmt.Errorf("exper: serving %q: negative trace offset %v", cfg.Name, at)
+			}
+			if at >= cfg.Duration {
+				continue
+			}
+			offsets = append(offsets, at)
+			apps = append(apps, pool[rng.Intn(len(pool))])
+		}
+	}
+	out := make([]ServingConfig, n)
+	for i := range out {
+		sub := cfg
+		sub.Name = fmt.Sprintf("%s/s%d", cfg.Name, i)
+		sub.Topo = topos[i]
+		sub.Opts.Shards = 0
+		sub.shardCk = nil
+		if traced {
+			var part []time.Duration
+			var dealt []*workloads.App
+			for j := i; j < len(offsets); j += n {
+				part = append(part, offsets[j])
+				dealt = append(dealt, apps[j])
+			}
+			sub.Trace = part
+			sub.shardApps = dealt
+			sub.forceTrace = true
+		} else {
+			// Poisson deal: every shard walks the parent's full draw
+			// sequence from its own rand.Rand (seeded identically) and
+			// keeps every n-th arrival, so the shard fleet collectively
+			// replays the exact realization the unsharded engine
+			// injects.
+			sub.shardStride = n
+			sub.shardPhase = i
+		}
+		out[i] = sub
+	}
+	return out, nil
+}
+
+// runServingSharded fans one serving cell across Opts.Shards
+// partitions and merges the results. The output is a pure function of
+// (cfg, N): shard results land in indexed slots and every reduction
+// folds in shard order, so it is identical across GOMAXPROCS settings.
+func runServingSharded(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
+	n := cfg.Opts.Shards
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		return ServingResult{}, fmt.Errorf("exper: serving %q: options.shards is incompatible with fault injection (the failure timeline is fleet-global)", cfg.Name)
+	}
+	if cfg.Admission.Enabled() || cfg.Autoscaler.Enabled() {
+		return ServingResult{}, fmt.Errorf("exper: serving %q: options.shards is incompatible with admission control and autoscaling (entry-fleet state is global)", cfg.Name)
+	}
+	sketch, err := parseLatencyMode(cfg.Opts.LatencyMode)
+	if err != nil {
+		return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+	}
+	topos, err := cluster.PartitionTopology(cfg.Topo, n)
+	if err != nil {
+		return ServingResult{}, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+	}
+	subs, err := shardConfigs(cfg, topos, arts.Apps)
+	if err != nil {
+		return ServingResult{}, err
+	}
+	parts := make([]ServingResult, n)
+	digs := make([]*latDigest, n)
+	err = par.ForEach(n, func(i int) error {
+		if cfg.shardCk != nil {
+			if res, dig, ok := cfg.shardCk.load(i, n, subs[i]); ok {
+				parts[i], digs[i] = res, dig
+				return nil
+			}
+		}
+		res, dig, err := runServingCore(arts, subs[i], false)
+		if err != nil {
+			return err
+		}
+		if cfg.shardCk != nil {
+			if err := cfg.shardCk.save(i, n, subs[i], res, dig); err != nil {
+				return err
+			}
+		}
+		parts[i], digs[i] = res, dig
+		return nil
+	})
+	if err != nil {
+		return ServingResult{}, err
+	}
+	return mergeShardResults(cfg, sketch, parts, digs), nil
+}
+
+// mergeShardResults reduces per-shard results into the cell's report:
+// counters and scheduler stats sum, host load averages, and the
+// latency distribution merges — exact slices concatenate and re-sort,
+// sketches fold through quantile.Merge in shard order.
+func mergeShardResults(cfg ServingConfig, sketch bool, parts []ServingResult, digs []*latDigest) ServingResult {
+	res := ServingResult{
+		Name:       cfg.Name,
+		Mode:       cfg.Mode,
+		RatePerSec: cfg.RatePerSec,
+		Policy:     parts[0].Policy,
+	}
+	if sketch {
+		res.LatencyMode = LatencySketch
+	}
+	for _, p := range parts {
+		res.Offered += p.Offered
+		res.Completed += p.Completed
+		res.MeanHostLoad += p.MeanHostLoad
+		res.Sched.Add(p.Sched)
+		res.FPGAReconfigs += p.FPGAReconfigs
+	}
+	res.ThroughputPerSec = float64(res.Completed) / cfg.Duration.Seconds()
+	res.MeanHostLoad /= float64(len(parts))
+	lat := mergeLatDigests(digs)
+	lat.seal()
+	res.P50 = lat.percentile(50)
+	res.P95 = lat.percentile(95)
+	res.P99 = lat.percentile(99)
+	if testLatencySink != nil && !sketch {
+		testLatencySink(cfg.Name, "latency", lat.exact)
+	}
+	return res
+}
+
+// mergeLatDigests combines per-shard digests in shard order into one
+// unsealed digest: exact samples concatenate (the caller's seal
+// re-sorts), sketches K-way merge at the serving epsilon.
+func mergeLatDigests(parts []*latDigest) *latDigest {
+	if parts[0].sketch != nil {
+		sks := make([]*quantile.Sketch, len(parts))
+		for i, p := range parts {
+			sks[i] = p.sketch
+		}
+		return &latDigest{sketch: quantile.Merged(quantile.DefaultEpsilon, sks...)}
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.exact)
+	}
+	out := &latDigest{exact: make([]time.Duration, 0, total)}
+	for _, p := range parts {
+		out.exact = append(out.exact, p.exact...)
+	}
+	return out
+}

@@ -248,6 +248,11 @@ type Fabric struct {
 	// what the region will hold once Program's timer fires.
 	pending *xclbin.XCLBIN
 	cus     map[string][]*ComputeUnit
+	// lastKernel/lastUnits memoize the most recent CU lookup: a serving
+	// stream invokes the same kernel on a card thousands of times
+	// between reconfigurations, so the steady state skips the map.
+	lastKernel string
+	lastUnits  []*ComputeUnit
 
 	reconfigs int
 }
@@ -287,9 +292,14 @@ func (f *Fabric) CU(kernel string) (*ComputeUnit, error) {
 		}
 		return nil, ErrNotConfigured
 	}
-	units, ok := f.cus[kernel]
-	if !ok || len(units) == 0 {
-		return nil, fmt.Errorf("%w: %s", ErrNoCU, kernel)
+	units := f.lastUnits
+	if kernel != f.lastKernel || units == nil {
+		var ok bool
+		units, ok = f.cus[kernel]
+		if !ok || len(units) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoCU, kernel)
+		}
+		f.lastKernel, f.lastUnits = kernel, units
 	}
 	best := units[0]
 	for _, cu := range units[1:] {
@@ -341,6 +351,7 @@ func (f *Fabric) Program(image *xclbin.XCLBIN, done func()) error {
 	f.image = nil
 	f.pending = image
 	f.cus = nil
+	f.lastKernel, f.lastUnits = "", nil
 	f.reconfigs++
 	f.sim.After(image.ReconfigTime(f.plat), func() {
 		f.state = regionConfigured

@@ -6,10 +6,11 @@
 // discrete-event simulation (or an isolated interpreter run), so jobs
 // never share mutable state; the only requirements are a concurrency
 // bound and determinism. ForEach provides both: it runs at most
-// GOMAXPROCS jobs at a time and makes the caller-observed outcome a
-// pure function of the jobs themselves — results are written into
-// caller-indexed slots and the returned error is always the
-// lowest-index failure, regardless of how goroutines interleave.
+// GOMAXPROCS jobs at a time — process-wide, even when ForEach calls
+// nest — and makes the caller-observed outcome a pure function of the
+// jobs themselves: results are written into caller-indexed slots and
+// the returned error is always the lowest-index failure, regardless of
+// how goroutines interleave.
 package par
 
 import (
@@ -18,56 +19,82 @@ import (
 	"sync/atomic"
 )
 
+// helpers counts the extra worker goroutines currently alive across
+// every ForEach call in the process. The budget is GOMAXPROCS-1: each
+// ForEach caller works its own job list, so the callers themselves
+// account for the remaining core. Sharing one budget keeps nested
+// fan-outs (a sharded serving cell inside a campaign grid runs ForEach
+// within ForEach) from multiplying pools: an inner call that finds the
+// budget exhausted simply runs on its caller, and total workers stay
+// bounded by GOMAXPROCS no matter how deep the nesting.
+var helpers int64
+
+// acquireHelper reserves one slot from the shared worker budget.
+// It never blocks: fan-outs degrade to fewer workers (ultimately the
+// caller alone) instead of queueing, which is what keeps nested calls
+// deadlock-free.
+func acquireHelper() bool {
+	limit := int64(runtime.GOMAXPROCS(0) - 1)
+	for {
+		cur := atomic.LoadInt64(&helpers)
+		if cur >= limit {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&helpers, cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseHelper() { atomic.AddInt64(&helpers, -1) }
+
 // ForEach runs job(0..n-1) across a bounded worker pool and blocks
-// until all jobs finish. The pool width is min(n, GOMAXPROCS). When
-// several jobs fail, the error of the lowest index is returned — the
-// same error a sequential loop would have surfaced — so error handling
-// stays deterministic under parallelism.
+// until all jobs finish. The calling goroutine always participates as
+// a worker; up to min(n, GOMAXPROCS)-1 helper goroutines join, subject
+// to the process-wide budget shared by all concurrent ForEach calls.
+// When several jobs fail, the error of the lowest index is returned —
+// the same error a sequential loop would have surfaced — so error
+// handling stays deterministic under parallelism.
 func ForEach(n int, job func(i int) error) error {
 	if n <= 0 {
-		return nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
-		}
 		return nil
 	}
 
 	errs := make([]error, n)
 	next := int64(-1)
 	var failed atomic.Bool
+	work := func() {
+		for {
+			// Once any job fails, stop claiming new ones; in-flight
+			// jobs drain. Claims are in index order, so the lowest
+			// failing index was always claimed before the abort it
+			// could trigger — the returned error stays the one a
+			// sequential loop would have surfaced.
+			if failed.Load() {
+				return
+			}
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= n {
+				return
+			}
+			if errs[i] = job(i); errs[i] != nil {
+				failed.Store(true)
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	for spawned := 0; spawned < n-1 && acquireHelper(); spawned++ {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				// Once any job fails, stop claiming new ones; in-flight
-				// jobs drain. Claims are in index order, so the lowest
-				// failing index was always claimed before the abort it
-				// could trigger — the returned error stays the one a
-				// sequential loop would have surfaced.
-				if failed.Load() {
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if errs[i] = job(i); errs[i] != nil {
-					failed.Store(true)
-				}
-			}
+			defer releaseHelper()
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
+
 	for _, err := range errs {
 		if err != nil {
 			return err

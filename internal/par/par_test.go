@@ -100,6 +100,53 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestForEachNestedSharesBudget pins the fix for nested fan-out
+// oversubscription: a sharded serving cell inside a campaign grid runs
+// ForEach within ForEach, and before the shared helper budget that
+// spawned outer-width × inner-width goroutines (4 + 4×8 = 36 here).
+// With one process-wide budget, helpers plus callers stay within
+// GOMAXPROCS and the goroutine peak is pinned accordingly.
+func TestForEachNestedSharesBudget(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	baseG := runtime.NumGoroutine()
+	var active, peakActive, peakG int32
+	err := ForEach(4, func(int) error {
+		return ForEach(8, func(int) error {
+			cur := atomic.AddInt32(&active, 1)
+			for {
+				p := atomic.LoadInt32(&peakActive)
+				if cur <= p || atomic.CompareAndSwapInt32(&peakActive, p, cur) {
+					break
+				}
+			}
+			g := int32(runtime.NumGoroutine())
+			for {
+				p := atomic.LoadInt32(&peakG)
+				if g <= p || atomic.CompareAndSwapInt32(&peakG, p, g) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			atomic.AddInt32(&active, -1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := int32(runtime.GOMAXPROCS(0))
+	if peakActive > max {
+		t.Fatalf("peak nested concurrency %d exceeds GOMAXPROCS %d", peakActive, max)
+	}
+	// The only goroutines ForEach adds are helpers, and at most
+	// GOMAXPROCS-1 exist process-wide regardless of nesting depth.
+	if spawned := peakG - int32(baseG); spawned > max-1 {
+		t.Fatalf("nested fan-out spawned %d goroutines, budget is %d", spawned, max-1)
+	}
+}
+
 func TestForEachSequentialFallback(t *testing.T) {
 	prev := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(prev)

@@ -50,11 +50,38 @@ func BenchmarkQuantileMerge(b *testing.B) {
 		return s
 	}
 	left, right := mk(), mk()
+	cp := New(DefaultEpsilon)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cp := New(DefaultEpsilon)
+		cp.Reset()
 		cp.Merge(left)
 		cp.Merge(right)
+	}
+}
+
+// BenchmarkQuantileMergeK measures the 64-way fold the sharded serving
+// reducer performs: 64 per-shard sketches of ~16k samples each merged
+// into one accumulator. The scratch-swap in Merge keeps steady-state
+// allocations near zero however many shards fold in.
+func BenchmarkQuantileMergeK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const shards = 64
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = New(DefaultEpsilon)
+		for j := 0; j < 16_384; j++ {
+			parts[i].Add(rng.Int63())
+		}
+		parts[i].TupleCount() // flush outside the timed loop
+	}
+	acc := New(DefaultEpsilon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		for _, p := range parts {
+			acc.Merge(p)
+		}
 	}
 }

@@ -25,7 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // DefaultEpsilon is the rank-error target the serving campaigns use:
@@ -53,6 +53,12 @@ type Sketch struct {
 	// full buffer is sorted once and merged into the tuple list in a
 	// single pass, instead of one binary-search-and-memmove per value.
 	buf []int64
+	// scratch is the spare tuple list flush and Merge build into; the
+	// lists swap afterwards, so steady-state rebuilds allocate nothing.
+	// K-way shard reduction folds dozens of sketches into one
+	// accumulator, which without the swap paid one full-summary
+	// allocation per merge.
+	scratch []tuple
 }
 
 // New returns an empty sketch targeting the given rank-error fraction
@@ -68,9 +74,9 @@ func New(eps float64) *Sketch {
 	return &Sketch{eps: eps, buf: make([]int64, 0, cap)}
 }
 
-// ErrorBound reports the sketch's guaranteed rank-error fraction. It
-// is the construction epsilon, grown by every Merge (merging two GK
-// summaries adds their bounds in the worst case).
+// ErrorBound reports the sketch's guaranteed rank-error fraction: the
+// construction epsilon, or after a Merge the larger of the operands'
+// bounds.
 func (s *Sketch) ErrorBound() float64 { return s.eps }
 
 // Count reports the number of values added.
@@ -99,8 +105,8 @@ func (s *Sketch) flush() {
 	if len(s.buf) == 0 {
 		return
 	}
-	sort.Slice(s.buf, func(i, j int) bool { return s.buf[i] < s.buf[j] })
-	merged := make([]tuple, 0, len(s.tuples)+len(s.buf))
+	slices.Sort(s.buf)
+	merged := s.grow(len(s.tuples) + len(s.buf))
 	ti := 0
 	for _, v := range s.buf {
 		// Values equal to an existing tuple insert after it, matching
@@ -121,9 +127,18 @@ func (s *Sketch) flush() {
 		merged = append(merged, tuple{v: v, g: 1, delta: delta})
 	}
 	merged = append(merged, s.tuples[ti:]...)
-	s.tuples = merged
+	s.scratch, s.tuples = s.tuples[:0], merged
 	s.buf = s.buf[:0]
 	s.compress()
+}
+
+// grow returns the scratch list, reallocated if it cannot hold want
+// tuples, ready to be appended into and swapped with s.tuples.
+func (s *Sketch) grow(want int) []tuple {
+	if cap(s.scratch) < want {
+		s.scratch = make([]tuple, 0, want)
+	}
+	return s.scratch[:0]
 }
 
 // compress merges adjacent tuples whose combined rank coverage stays
@@ -146,9 +161,13 @@ func (s *Sketch) compress() {
 		}
 	}
 	if w >= 1 {
-		// out[0] survives compression unconditionally.
+		// out[0] survives compression unconditionally. Survivors are
+		// copied to the front rather than resliced off it, so the
+		// backing array keeps its full capacity for the scratch swap —
+		// a suffix reslice here leaked front capacity and made every
+		// Merge in a K-way fold reallocate.
 		out[w-1] = out[0]
-		s.tuples = out[w-1:]
+		s.tuples = out[:copy(out, out[w-1:])]
 	}
 }
 
@@ -212,20 +231,24 @@ func (s *Sketch) QuantileAtRank(r int64) int64 {
 	return s.tuples[len(s.tuples)-1].v
 }
 
-// Merge folds other into s. The merged summary covers both streams;
-// its error bound is the sum of the operands' bounds (GK summaries
-// are one-way merge-able: each merge may add the other side's rank
-// uncertainty). Merging in any order or association yields answers
-// within the merged bound, which the property tests pin. other is
-// flushed but otherwise unchanged.
+// Merge folds other into s. The merged summary covers both streams
+// and keeps the larger of the operands' error bounds: each side
+// satisfies g+delta <= 2·eps·n over its own count, and the
+// delta-inflation below adds at most the other side's local
+// uncertainty, so every merged tuple satisfies the invariant over the
+// combined count with eps = max — the bound does not decay however
+// many shard sketches fold into one accumulator, which the 64-way
+// merge property test pins. Merging in any order or association
+// yields answers within the merged bound. other is flushed but
+// otherwise unchanged.
 func (s *Sketch) Merge(other *Sketch) {
 	s.flush()
 	other.flush()
 	if other.n == 0 {
 		return
 	}
+	s.eps = math.Max(s.eps, other.eps)
 	if s.n == 0 {
-		s.eps = math.Max(s.eps, other.eps)
 		s.n = other.n
 		s.tuples = append(s.tuples[:0], other.tuples...)
 		return
@@ -237,7 +260,7 @@ func (s *Sketch) Merge(other *Sketch) {
 	// inflation the merged intervals understate rmax and queries
 	// exceed the advertised bound — the failure mode SPARK-21184
 	// documents for the naive concatenation merge.
-	merged := make([]tuple, 0, len(s.tuples)+len(other.tuples))
+	merged := s.grow(len(s.tuples) + len(other.tuples))
 	i, j := 0, 0
 	for i < len(s.tuples) && j < len(other.tuples) {
 		var t, next tuple
@@ -253,10 +276,31 @@ func (s *Sketch) Merge(other *Sketch) {
 	}
 	merged = append(merged, s.tuples[i:]...)
 	merged = append(merged, other.tuples[j:]...)
-	s.tuples = merged
+	s.scratch, s.tuples = s.tuples[:0], merged
 	s.n += other.n
-	s.eps += other.eps
 	s.compress()
+}
+
+// Reset empties the sketch for reuse, keeping its current error bound
+// and the allocated tuple and buffer capacity — accumulators in merge
+// loops reset instead of reallocating.
+func (s *Sketch) Reset() {
+	s.n = 0
+	s.tuples = s.tuples[:0]
+	s.buf = s.buf[:0]
+}
+
+// Merged folds the sketches into a fresh summary with error target
+// eps, merging in argument order — the K-way reduction the sharded
+// serving engine uses to combine per-shard latency sketches. The
+// result's bound is max(eps, inputs' bounds); the inputs are flushed
+// but otherwise unchanged.
+func Merged(eps float64, sketches ...*Sketch) *Sketch {
+	out := New(eps)
+	for _, sk := range sketches {
+		out.Merge(sk)
+	}
+	return out
 }
 
 // --- serialization ---------------------------------------------------

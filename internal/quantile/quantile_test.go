@@ -213,6 +213,46 @@ func TestMergeOrderIndependent(t *testing.T) {
 	}
 }
 
+// TestMerge64WayRankError pins the K-way reduction the sharded
+// serving engine depends on: folding 64 per-shard sketches into one
+// accumulator must keep the advertised bound at the shard epsilon
+// (not 64·eps — Merge keeps eps = max because delta inflation
+// preserves g+delta <= 2·eps·n over the combined count), and the
+// answers must stay within eps·n+1 ranks of the exact merged stream.
+func TestMerge64WayRankError(t *testing.T) {
+	const shards = 64
+	for name, vals := range streams(64_000) {
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			parts[i] = New(DefaultEpsilon)
+		}
+		for i, v := range vals {
+			parts[i%shards].Add(v)
+		}
+		s := Merged(DefaultEpsilon, parts...)
+		if got := s.ErrorBound(); got != DefaultEpsilon {
+			t.Fatalf("%s: 64-way merge grew ErrorBound to %v, want %v", name, got, DefaultEpsilon)
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		n := int64(len(sorted))
+		if s.Count() != n {
+			t.Fatalf("%s: count = %d, want %d", name, s.Count(), n)
+		}
+		tol := int64(DefaultEpsilon*float64(n)) + 1
+		for q := 0.0; q <= 1.0; q += 0.005 {
+			r := int64(math.Ceil(q * float64(n)))
+			if r < 1 {
+				r = 1
+			}
+			got := s.Quantile(q)
+			if err := rankError(sorted, got, r); err > tol {
+				t.Fatalf("%s: rank error %d at q=%.3f exceeds eps·n+1 = %d", name, err, q, tol)
+			}
+		}
+	}
+}
+
 func TestMergeEmptySides(t *testing.T) {
 	vals := streams(1000)["random"]
 	full := New(0.01)

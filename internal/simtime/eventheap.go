@@ -71,6 +71,14 @@ func (h *eventHeap) removeAt(i int) {
 	out.index = -1
 }
 
+// fix restores heap order after the event at position i had its key
+// rewritten in place (Retarget). A rewritten key can only need to move
+// down into i's subtree or up past i's ancestors, never both.
+func (h *eventHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
+}
+
 func (h *eventHeap) siftUp(i int) {
 	items := h.items
 	e := items[i]

@@ -25,12 +25,37 @@ import "time"
 // ordering contract the serving front end's burst spreading relies on
 // (DESIGN.md §7).
 func (s *Simulator) Feed(pull func() (time.Duration, func(), bool)) {
-	t, fn, ok := pull()
+	// One feeder struct with a pre-bound step carries the stream,
+	// instead of a fresh continuation closure per instant: a
+	// million-instant stream costs one allocation, not a million.
+	f := &feeder{sim: s, pull: pull}
+	f.stepFn = f.step
+	f.schedule()
+}
+
+// feeder is the state of one Feed stream: the generator, the callback
+// of the currently pending instant, and the step closure bound once.
+type feeder struct {
+	sim    *Simulator
+	pull   func() (time.Duration, func(), bool)
+	fn     func()
+	stepFn func()
+}
+
+// schedule pulls the next instant and arms its event.
+func (f *feeder) schedule() {
+	t, fn, ok := f.pull()
 	if !ok {
 		return
 	}
-	s.At(t, func() {
-		fn()
-		s.Feed(pull)
-	})
+	f.fn = fn
+	f.sim.At(t, f.stepFn)
+}
+
+// step fires the pending instant and chains the next one.
+func (f *feeder) step() {
+	fn := f.fn
+	f.fn = nil
+	fn()
+	f.schedule()
 }

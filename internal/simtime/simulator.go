@@ -110,6 +110,36 @@ func (s *Simulator) After(d time.Duration, fn func()) EventRef {
 	return s.At(s.now+d, fn)
 }
 
+// Retarget moves a still-pending event to fire fn at time t instead,
+// returning the replacement handle. It is observationally identical to
+// r.Cancel() followed by At(t, fn) — the event takes a fresh sequence
+// number, so (time, seq) ordering and every tie-break come out exactly
+// as the cancel-and-reschedule pair would — but the queue entry is
+// re-keyed in place: one sift instead of a remove, a free-list round
+// trip and a push. Completion-driven service centers retarget their
+// one pending event on every submit and drain, which makes this the
+// queue's hottest write path. ok=false means the handle was stale
+// (already fired or cancelled) and nothing was scheduled; the caller
+// falls back to At.
+func (s *Simulator) Retarget(r EventRef, t time.Duration, fn func()) (EventRef, bool) {
+	e := r.ev
+	if e == nil || e.gen != r.gen {
+		return EventRef{}, false
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, s.now))
+	}
+	// Bump the generation first: the returned handle supersedes r, and
+	// any copy of r held elsewhere must go stale now.
+	e.gen++
+	e.when = t
+	e.seq = s.nextSeq
+	e.fn = fn
+	s.nextSeq++
+	s.queue.fix(e.index)
+	return EventRef{ev: e, gen: e.gen, when: t}, true
+}
+
 // recycle returns a dequeued event to the free list. Bumping the
 // generation invalidates every outstanding EventRef to it before the
 // struct can be reissued.

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"xartrek/internal/hls"
@@ -54,6 +55,15 @@ type App struct {
 	Migratable bool
 	// HWCapable is false when no hardware kernel exists.
 	HWCapable bool
+
+	// x86KernelNS and armKernelNS memoize the kernel-time cost-model
+	// walk, which is a pure function of the fields above yet sits on
+	// the per-request path of serving campaigns (every launch and every
+	// scheduling decision asks for it). Atomics, not a mutex: one app
+	// pool is shared by concurrently running shard timelines, and every
+	// writer stores the identical deterministic value. Zero means
+	// uncomputed — a genuinely zero kernel time just recomputes.
+	x86KernelNS, armKernelNS atomic.Int64
 }
 
 // perIterSeconds is the single-iteration time on the cost model.
@@ -70,14 +80,24 @@ func (a *App) X86Time() time.Duration {
 
 // X86KernelTime is the selected function's x86 time.
 func (a *App) X86KernelTime() time.Duration {
+	if ns := a.x86KernelNS.Load(); ns != 0 {
+		return time.Duration(ns)
+	}
 	sec := a.perIterSeconds(isa.X86CostModel()) * float64(a.Trips)
-	return time.Duration(sec * float64(time.Second))
+	d := time.Duration(sec * float64(time.Second))
+	a.x86KernelNS.Store(int64(d))
+	return d
 }
 
 // ARMKernelTime is the selected function's time on one ThunderX core.
 func (a *App) ARMKernelTime() time.Duration {
+	if ns := a.armKernelNS.Load(); ns != 0 {
+		return time.Duration(ns)
+	}
 	sec := a.perIterSeconds(isa.ARMCostModel()) * float64(a.Trips)
-	return time.Duration(sec * float64(time.Second))
+	d := time.Duration(sec * float64(time.Second))
+	a.armKernelNS.Store(int64(d))
+	return d
 }
 
 // stateTransformCost is the Popcorn run-time's stack/register
