@@ -27,6 +27,7 @@ import (
 	"xartrek/internal/faults"
 	"xartrek/internal/mir"
 	"xartrek/internal/simtime"
+	"xartrek/internal/tenancy"
 	"xartrek/internal/workloads"
 	"xartrek/internal/xclbin"
 )
@@ -801,4 +802,88 @@ func BenchmarkServingWithShedding(b *testing.B) {
 		shedFrac = float64(r.Shed) / float64(r.Offered)
 	}
 	b.ReportMetric(shedFrac, "shed-frac")
+}
+
+// benchWorkload is the canonical two-cohort tenant mix the multi-tenant
+// benchmarks drive: a bursty deadline-bound interactive cohort and a
+// heavier batch cohort (the examples/campaigns/tenants.json shape).
+func benchWorkload() *tenancy.Spec {
+	return &tenancy.Spec{Cohorts: []tenancy.Cohort{
+		{
+			ID: "interactive", RateFraction: 0.3, Class: tenancy.ClassCritical,
+			Deadline: tenancy.Duration(400 * time.Millisecond),
+			Arrival:  tenancy.ArrivalSpec{Process: tenancy.ProcessGamma, CV: 3},
+			Apps:     []tenancy.AppShare{{Name: "FaceDet320", Weight: 2}, {Name: "Digit500"}},
+		},
+		{
+			ID: "analytics", RateFraction: 0.7, Class: tenancy.ClassBatch,
+			Arrival: tenancy.ArrivalSpec{Process: tenancy.ProcessWeibull, CV: 2},
+		},
+	}}
+}
+
+// BenchmarkTenancyMergedStream measures the raw cohort-stream generator:
+// each iteration draws a full 600k-arrival merged timeline (gamma and
+// Weibull gaps, weighted app draws, K-way merge) without the serving
+// engine attached. arrivals/wall-s is the generator ceiling; the alloc
+// figures pin the O(cohorts) state claim — bytes/op must not scale with
+// the arrival count.
+func BenchmarkTenancyMergedStream(b *testing.B) {
+	cfg := tenancy.StreamConfig{
+		Spec:       benchWorkload(),
+		RatePerSec: 10000,
+		Horizon:    60 * time.Second,
+		Seed:       benchSeed,
+		PoolSize:   5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var arrivals int
+	for i := 0; i < b.N; i++ {
+		s, err := tenancy.NewStream(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrivals = 0
+		for _, ok := s.Next(); ok; _, ok = s.Next() {
+			arrivals++
+		}
+	}
+	wall := time.Since(start).Seconds()
+	b.ReportMetric(float64(arrivals*b.N)/wall, "arrivals/wall-s")
+	b.ReportMetric(float64(arrivals), "arrivals")
+}
+
+// BenchmarkServingMultiTenant runs the rack32 serving cell under the
+// two-cohort workload — the per-request cost of cohort-stream merging,
+// class threading through the scheduler, and per-class digest upkeep.
+// The delta against BenchmarkServingRack32Low prices the tenancy layer;
+// critical-p99-ms is the headline the deadline policy moves.
+func BenchmarkServingMultiTenant(b *testing.B) {
+	arts := benchArtifacts(b)
+	cfg := exper.ServingConfig{
+		Topo:       cluster.ScaleOutTopology("rack32", 8, 24, 4),
+		Mode:       exper.ModeXarTrek,
+		RatePerSec: 16,
+		Duration:   30 * time.Second,
+		Seed:       benchSeed,
+		Policy:     exper.PolicyDeadline,
+		Workload:   benchWorkload(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var critP99 time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := exper.RunServing(arts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cl := range r.Tenancy.Classes {
+			if cl.Class == tenancy.ClassCritical {
+				critP99 = cl.P99
+			}
+		}
+	}
+	b.ReportMetric(float64(critP99.Milliseconds()), "critical-p99-ms")
 }

@@ -208,6 +208,7 @@ func printCell(out io.Writer, c exper.CellResult, total int) {
 				f.Availability, f.RequestsDisrupted, f.RequestsRetried, f.RequestsLost, f.FPGAFallbacks, ms(f.RecoveryP99))
 		}
 		printOverload(out, r)
+		printTenancy(out, r)
 		fmt.Fprintln(out)
 	case c.Set != nil:
 		r := c.Set
@@ -235,6 +236,21 @@ func printOverload(out io.Writer, r *exper.ServingResult) {
 	if e := r.Elastic; e != nil {
 		fmt.Fprintf(out, " fleet=%d..%d final=%d ups=%d downs=%d recover=%dms",
 			e.MinSize, e.MaxSize, e.FinalSize, e.ScaleUps, e.ScaleDowns, ms(time.Duration(e.TimeToRecover)))
+	}
+}
+
+// printTenancy appends a workload-driven serving result's per-class
+// report; single-tenant cells print nothing.
+func printTenancy(out io.Writer, r *exper.ServingResult) {
+	if r.Tenancy == nil {
+		return
+	}
+	for _, cl := range r.Tenancy.Classes {
+		fmt.Fprintf(out, " %s{offered=%d done=%d p99=%dms", cl.Class, cl.Offered, cl.Completed, ms(cl.P99))
+		if cl.Deadlined {
+			fmt.Fprintf(out, " slo=%.4f", cl.Attainment)
+		}
+		fmt.Fprint(out, "}")
 	}
 }
 

@@ -1,15 +1,16 @@
-// Multitenant: the paper's motivating scenario (Figures 4-5). A
-// datacenter server runs a randomized mix of tenant applications while
-// a background workload spikes the CPU. The example compares average
-// execution time across all four regimes at low, medium, and high
-// loads and prints the Xar-Trek gains.
+// Multitenant: the paper's motivating scenario, expressed with the
+// declarative multi-tenant workload model (DESIGN.md §14). Two client
+// cohorts share a cross-rack cluster — a bursty, deadline-bound
+// interactive cohort and a heavier batch analytics cohort — and the
+// example compares the default placement policy against the
+// SLO-class-aware deadline policy at equal aggregate load, printing
+// each class's latency percentiles and deadline attainment.
 //
 //	go run ./examples/multitenant
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -28,54 +29,84 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	arts, err := xartrek.Build(apps)
+	// One XCLBIN image per kernel: the device fleet reconfigures under
+	// contention, the regime where suppressing batch-triggered
+	// reconfigurations protects the critical class.
+	arts, err := xartrek.BuildSplitImages(apps)
 	if err != nil {
 		return err
 	}
 
-	// Ten tenants drawn uniformly from the benchmark pool.
-	rng := rand.New(rand.NewSource(7))
-	tenants := xartrek.RandomSet(rng, apps, 10)
-	fmt.Print("tenant mix: ")
-	for i, t := range tenants {
-		if i > 0 {
-			fmt.Print(", ")
-		}
-		fmt.Print(t.Name)
-	}
-	fmt.Println()
+	// The tenant mix is declarative: each cohort names its share of the
+	// aggregate rate, its SLO class, its arrival process and its
+	// application mix. The analytics cohort omits the mix and draws
+	// from the full benchmark pool.
+	workload := &xartrek.WorkloadSpec{Cohorts: []xartrek.WorkloadCohort{
+		{
+			ID:           "interactive",
+			RateFraction: 0.3,
+			Class:        xartrek.ClassCritical,
+			Deadline:     xartrek.Duration(400 * time.Millisecond),
+			Arrival:      xartrek.ArrivalSpec{Process: xartrek.ProcessGamma, CV: 3},
+			Apps: []xartrek.AppShare{
+				{Name: "FaceDet320", Weight: 2},
+				{Name: "Digit500"},
+			},
+		},
+		{
+			ID:           "analytics",
+			RateFraction: 0.7,
+			Class:        xartrek.ClassBatch,
+			Arrival:      xartrek.ArrivalSpec{Process: xartrek.ProcessWeibull, CV: 2},
+		},
+	}}
 
-	loads := []struct {
-		name  string
-		total int
-	}{
-		{"low (10 procs)", 0},
-		{"medium (60 procs)", 60},
-		{"high (120 procs)", 120},
-	}
-	modes := []xartrek.Mode{
-		xartrek.ModeXarTrek, xartrek.ModeVanillaX86,
-		xartrek.ModeVanillaFPGA, xartrek.ModeVanillaARM,
+	fmt.Println("cohorts:")
+	for _, c := range workload.Cohorts {
+		fmt.Printf("  %-12s %.0f%% of load, class %s\n", c.ID, 100*c.RateFraction, c.Class)
 	}
 
-	for _, load := range loads {
-		fmt.Printf("\n-- %s --\n", load.name)
-		averages := make(map[xartrek.Mode]time.Duration, len(modes))
-		for _, mode := range modes {
-			res, err := xartrek.RunSet(arts, tenants, mode, load.total)
-			if err != nil {
-				return err
+	rep, err := xartrek.RunCampaign(arts, xartrek.CampaignSpec{
+		Name: "multitenant",
+		Cells: []xartrek.CellSpec{{
+			Name:     "tenants-xrack",
+			Kind:     xartrek.KindServing,
+			Topology: &xartrek.TopologySpec{Kind: "policy-comparison"},
+			Mode:     "xar-trek",
+			Policies: []string{xartrek.PolicyDefault, xartrek.PolicyDeadline},
+			Rate:     12,
+			Duration: xartrek.Duration(40 * time.Second),
+			Seed:     2021,
+			Workload: workload,
+		}},
+	}, xartrek.RunOpts{})
+	if err != nil {
+		return err
+	}
+
+	criticalP99 := make(map[string]time.Duration, 2)
+	for _, cell := range rep.Cells {
+		r := cell.Serving
+		fmt.Printf("\n-- policy %s (%.0f req/s aggregate) --\n", r.Policy, r.RatePerSec)
+		fmt.Printf("  %-10s offered=%-4d done=%-4d p50=%-6v p99=%v\n",
+			"all", r.Offered, r.Completed, r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+		for _, cl := range r.Tenancy.Classes {
+			fmt.Printf("  %-10s offered=%-4d done=%-4d p50=%-6v p99=%v",
+				cl.Class, cl.Offered, cl.Completed, cl.P50.Round(time.Millisecond), cl.P99.Round(time.Millisecond))
+			if cl.Deadlined {
+				fmt.Printf(" attainment=%.1f%%", 100*cl.Attainment)
+				criticalP99[r.Policy] = cl.P99
 			}
-			averages[mode] = res.Average
-			fmt.Printf("  %-14s %8v avg\n", mode, res.Average.Round(time.Millisecond))
+			fmt.Println()
 		}
-		xar, x86 := averages[xartrek.ModeXarTrek], averages[xartrek.ModeVanillaX86]
-		if xar < x86 {
-			gain := 100 * float64(x86-xar) / float64(x86)
-			fmt.Printf("  Xar-Trek gain over x86-only: %.0f%%\n", gain)
-		} else {
-			fmt.Println("  no migration pays off at this load")
-		}
+	}
+
+	def, ddl := criticalP99[xartrek.PolicyDefault], criticalP99[xartrek.PolicyDeadline]
+	if ddl < def {
+		gain := 100 * float64(def-ddl) / float64(def)
+		fmt.Printf("\ndeadline policy cuts critical-class p99 by %.0f%% at equal aggregate load\n", gain)
+	} else {
+		fmt.Println("\nclass-aware placement does not pay off in this regime")
 	}
 	return nil
 }

@@ -12,6 +12,11 @@ import (
 type PlacementContext struct {
 	App    string
 	Kernel string
+	// Class is the requesting cohort's SLO class ("critical", "batch",
+	// or empty for classless traffic); class-aware policies spend
+	// scarce resources — reconfigurations, low-latency nodes — on the
+	// critical class.
+	Class string
 	// HostLoad is the scheduler host's sampled x86LOAD at decision
 	// time.
 	HostLoad int

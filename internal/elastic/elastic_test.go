@@ -161,6 +161,65 @@ func TestSLOPass(t *testing.T) {
 	}
 }
 
+func TestSLOPassObservedClassBounds(t *testing.T) {
+	slo := SLOSpec{
+		ClassP99:      map[string]Duration{"critical": Duration(200 * time.Millisecond)},
+		MinAttainment: map[string]float64{"critical": 0.9},
+	}
+	ok := Observed{
+		ClassP99:        map[string]time.Duration{"critical": 150 * time.Millisecond, "batch": time.Hour},
+		ClassAttainment: map[string]float64{"critical": 0.95},
+	}
+	if !slo.PassObserved(ok) {
+		t.Errorf("class bounds met should pass (unbounded classes are free)")
+	}
+	slowCrit := ok
+	slowCrit.ClassP99 = map[string]time.Duration{"critical": 300 * time.Millisecond}
+	if slo.PassObserved(slowCrit) {
+		t.Errorf("critical p99 over the class bound should fail")
+	}
+	missed := ok
+	missed.ClassAttainment = map[string]float64{"critical": 0.5}
+	if slo.PassObserved(missed) {
+		t.Errorf("attainment under the class bound should fail")
+	}
+	if slo.PassObserved(Observed{}) {
+		t.Errorf("a bounded class with no observation must fail")
+	}
+	// The two-argument form carries no class observations, so a
+	// class-bounded spec fails through it by construction.
+	if slo.Pass(time.Millisecond, 0) {
+		t.Errorf("Pass must fail a class-bounded spec")
+	}
+	if !slo.HasClassBounds() {
+		t.Errorf("HasClassBounds = false with class bounds set")
+	}
+	if (SLOSpec{P99: Duration(time.Second)}).HasClassBounds() {
+		t.Errorf("HasClassBounds = true without class bounds")
+	}
+}
+
+func TestSLOValidateClassBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		slo  SLOSpec
+		ok   bool
+	}{
+		{"class p99 only", SLOSpec{ClassP99: map[string]Duration{"critical": Duration(time.Second)}}, true},
+		{"attainment only", SLOSpec{MinAttainment: map[string]float64{"critical": 0.9}}, true},
+		{"empty class name", SLOSpec{ClassP99: map[string]Duration{"": Duration(time.Second)}}, false},
+		{"non-positive class p99", SLOSpec{ClassP99: map[string]Duration{"critical": 0}}, false},
+		{"attainment over 1", SLOSpec{MinAttainment: map[string]float64{"critical": 1.5}}, false},
+		{"attainment zero", SLOSpec{MinAttainment: map[string]float64{"critical": 0}}, false},
+		{"nothing bounded", SLOSpec{}, false},
+	}
+	for _, c := range cases {
+		if err := c.slo.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
 // kneeOracle evaluates probes against a hidden true knee: rates at or
 // below it pass.
 func kneeOracle(trueKnee float64, calls *int) func(rate float64) (Probe, error) {

@@ -34,6 +34,21 @@ type SLOSpec struct {
 	// one request fails the probe unless the spec explicitly allows a
 	// fraction, so shedding cannot silently inflate the knee.
 	MaxShedFraction float64 `json:"max_shed_fraction,omitempty"`
+	// ClassP99 bounds the completion-latency p99 of individual SLO
+	// classes on a workload-driven (multi-tenant) cell, keyed by class
+	// name. A probe whose run did not observe a bounded class fails.
+	ClassP99 map[string]Duration `json:"class_p99,omitempty"`
+	// MinAttainment lower-bounds the deadline-attainment fraction
+	// (within-deadline / offered) of individual SLO classes, keyed by
+	// class name. As with ClassP99, an unobserved bounded class fails
+	// the probe.
+	MinAttainment map[string]float64 `json:"min_attainment,omitempty"`
+}
+
+// HasClassBounds reports whether the predicate constrains any per-class
+// observation — such specs only make sense on workload-driven cells.
+func (s SLOSpec) HasClassBounds() bool {
+	return len(s.ClassP99) > 0 || len(s.MinAttainment) > 0
 }
 
 // Validate checks that the predicate constrains something.
@@ -44,19 +59,70 @@ func (s SLOSpec) Validate() error {
 	if s.MaxShedFraction < 0 || s.MaxShedFraction > 1 {
 		return fmt.Errorf("elastic: max_shed_fraction %v outside [0, 1]", s.MaxShedFraction)
 	}
-	if s.P99 == 0 && s.MaxShedFraction == 0 {
-		return fmt.Errorf("elastic: slo needs a p99 bound and/or a max_shed_fraction")
+	for class, d := range s.ClassP99 {
+		if class == "" {
+			return fmt.Errorf("elastic: class_p99 has an entry with an empty class name")
+		}
+		if d <= 0 {
+			return fmt.Errorf("elastic: class_p99[%s] %v must be positive", class, time.Duration(d))
+		}
+	}
+	for class, a := range s.MinAttainment {
+		if class == "" {
+			return fmt.Errorf("elastic: min_attainment has an entry with an empty class name")
+		}
+		if a <= 0 || a > 1 {
+			return fmt.Errorf("elastic: min_attainment[%s] %v outside (0, 1]", class, a)
+		}
+	}
+	if s.P99 == 0 && s.MaxShedFraction == 0 && !s.HasClassBounds() {
+		return fmt.Errorf("elastic: slo needs a p99 bound, a max_shed_fraction, and/or per-class bounds")
 	}
 	return nil
 }
 
-// Pass evaluates the predicate over one probe's observed p99 and shed
-// fraction.
+// Observed is one probe's measurements as judged by the SLO predicate:
+// the aggregate p99 and shed fraction, plus the per-class observations
+// of a workload-driven run (nil maps on single-tenant cells).
+type Observed struct {
+	P99          time.Duration
+	ShedFraction float64
+	// ClassP99 / ClassAttainment are keyed by SLO class name.
+	ClassP99        map[string]time.Duration
+	ClassAttainment map[string]float64
+}
+
+// Pass evaluates the aggregate predicate over one probe's observed p99
+// and shed fraction. Per-class bounds, if any, fail (they were not
+// observed); workload-driven probes judge through PassObserved.
 func (s SLOSpec) Pass(p99 time.Duration, shedFraction float64) bool {
-	if s.P99 > 0 && p99 > time.Duration(s.P99) {
+	return s.PassObserved(Observed{P99: p99, ShedFraction: shedFraction})
+}
+
+// PassObserved evaluates the full predicate — aggregate and per-class
+// bounds — over one probe's observations. A bounded class missing from
+// the observations fails: a knee found while a constrained class went
+// unmeasured would be meaningless.
+func (s SLOSpec) PassObserved(o Observed) bool {
+	if s.P99 > 0 && o.P99 > time.Duration(s.P99) {
 		return false
 	}
-	return shedFraction <= s.MaxShedFraction
+	if o.ShedFraction > s.MaxShedFraction {
+		return false
+	}
+	for class, bound := range s.ClassP99 {
+		p99, ok := o.ClassP99[class]
+		if !ok || p99 > time.Duration(bound) {
+			return false
+		}
+	}
+	for class, min := range s.MinAttainment {
+		att, ok := o.ClassAttainment[class]
+		if !ok || att < min {
+			return false
+		}
+	}
+	return true
 }
 
 // KneeSpec declares one capacity-knee search: binary-search offered
@@ -123,6 +189,11 @@ type Probe struct {
 	Pass         bool     `json:"pass"`
 	P99          Duration `json:"p99"`
 	ShedFraction float64  `json:"shed_fraction"`
+	// ClassP99 / ClassAttainment carry a workload-driven probe's
+	// per-class observations, keyed by SLO class name. Absent on
+	// single-tenant probes.
+	ClassP99        map[string]Duration `json:"class_p99,omitempty"`
+	ClassAttainment map[string]float64  `json:"class_attainment,omitempty"`
 }
 
 // Search runs the bisection. eval runs one serving probe at the given

@@ -10,6 +10,7 @@ import (
 	"xartrek/internal/elastic"
 	"xartrek/internal/faults"
 	"xartrek/internal/popcorn"
+	"xartrek/internal/tenancy"
 )
 
 // Campaign cell kinds. Every Run* entry point of the package is a thin
@@ -215,6 +216,13 @@ type CellSpec struct {
 	// Knee declares a capacity-knee search (knee cells only): the rate
 	// window, the SLO predicate and the search resolution.
 	Knee *elastic.KneeSpec `json:"knee,omitempty"`
+	// Workload declares a multi-tenant cohort workload (serving-class
+	// cells only): named cohorts splitting the cell's aggregate rate,
+	// each with an SLO class, arrival process and app mix
+	// (tenancy.Spec). The cell then reports per-class percentiles and
+	// SLO attainment. nil leaves the cell byte-identical to the
+	// pre-tenancy engine. Mutually exclusive with traces.
+	Workload *tenancy.Spec `json:"workload,omitempty"`
 
 	// Apps names the application set of a set cell (repeats allowed);
 	// SetSize draws a random set from the registry instead (seeded).
@@ -310,10 +318,10 @@ func (c CellSpec) validate() error {
 	}
 	for _, p := range append([]string{c.Policy}, c.Policies...) {
 		switch p {
-		case "", PolicyDefault, PolicyLinkAware, PolicyAffinity:
+		case "", PolicyDefault, PolicyLinkAware, PolicyAffinity, PolicyDeadline:
 		default:
-			return fmt.Errorf("unknown policy %q (want %s, %s or %s)",
-				p, PolicyDefault, PolicyLinkAware, PolicyAffinity)
+			return fmt.Errorf("unknown policy %q (want %s, %s, %s or %s)",
+				p, PolicyDefault, PolicyLinkAware, PolicyAffinity, PolicyDeadline)
 		}
 	}
 	for _, m := range append([]string{c.Mode}, c.Modes...) {
@@ -356,6 +364,20 @@ func (c CellSpec) validate() error {
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Workload != nil {
+		if !servingClass(c.Kind) {
+			// Cohort workloads only shape the open-loop serving stream.
+			return fmt.Errorf("%s cell does not take a workload", c.Kind)
+		}
+		if err := c.Workload.Validate(); err != nil {
+			return err
+		}
+		if len(c.Trace) > 0 || c.TraceFile != "" || len(c.MMPP) > 0 {
+			// A workload generates the arrivals; a trace next to one
+			// would silently win or lose.
+			return fmt.Errorf("workload and an explicit trace (trace, trace_file or mmpp) are mutually exclusive")
 		}
 	}
 	if err := validateElasticCell(&c); err != nil {
@@ -417,6 +439,33 @@ func (c CellSpec) validate() error {
 		if len(c.Trace) > 0 || c.TraceFile != "" || c.TraceRescale != 0 || len(c.MMPP) > 0 {
 			// A trace fixes the arrivals; there is no rate to search.
 			return fmt.Errorf("knee cell probes Poisson rates and does not take a trace")
+		}
+		if c.Knee.SLO.HasClassBounds() {
+			// Per-class SLO bounds judge observations only a cohort
+			// workload produces, and a bound on a class the workload
+			// never offers would fail every probe.
+			if c.Workload == nil {
+				return fmt.Errorf("knee slo class bounds (class_p99, min_attainment) require a workload")
+			}
+			classes := c.Workload.Classes()
+			have := func(class string) bool {
+				for _, k := range classes {
+					if k == class {
+						return true
+					}
+				}
+				return false
+			}
+			for class := range c.Knee.SLO.ClassP99 {
+				if !have(class) {
+					return fmt.Errorf("knee slo class_p99 names class %q absent from the workload", class)
+				}
+			}
+			for class := range c.Knee.SLO.MinAttainment {
+				if !have(class) {
+					return fmt.Errorf("knee slo min_attainment names class %q absent from the workload", class)
+				}
+			}
 		}
 	case KindSet:
 		if len(c.Apps) == 0 && c.SetSize <= 0 {

@@ -263,6 +263,7 @@ func (c *runnableCell) run(arts, splitArts *Artifacts) (CellResult, error) {
 			Faults:     c.spec.Faults,
 			Admission:  c.spec.Admission,
 			Autoscaler: c.spec.Autoscaler,
+			Workload:   c.spec.Workload,
 		}
 		if c.spec.servingCfg != nil {
 			cfg = *c.spec.servingCfg
@@ -465,6 +466,7 @@ func servingMetrics(r ServingResult) map[string]float64 {
 	}
 	faultMetrics(m, r.Faults)
 	elasticMetrics(m, r)
+	tenancyMetrics(m, r)
 	return m
 }
 

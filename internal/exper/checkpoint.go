@@ -191,6 +191,12 @@ type shardFile struct {
 	ExactNS []int64 `json:"exact_ns,omitempty"`
 	// Sketch is the shard's GK summary (sketch mode).
 	Sketch *quantile.Sketch `json:"sketch,omitempty"`
+	// TenantExactNS / TenantSketches carry a workload-driven shard's
+	// per-class distributions keyed by SLO class, in the same mode as
+	// the aggregate digest above. Absent on workload-free shards, so
+	// their files stay byte-identical to pre-tenancy output.
+	TenantExactNS  map[string][]int64          `json:"tenant_exact_ns,omitempty"`
+	TenantSketches map[string]*quantile.Sketch `json:"tenant_sketches,omitempty"`
 }
 
 // shardFingerprint witnesses one shard's identity: the owning cell,
@@ -218,18 +224,18 @@ func (sc *shardCheckpoint) path(shard int) string {
 // load restores one shard's result if a matching file exists. Missing,
 // corrupt or mismatched files report ok=false and the shard re-runs —
 // resume never trusts bytes it cannot witness.
-func (sc *shardCheckpoint) load(shard, shards int, cfg ServingConfig) (ServingResult, *latDigest, bool) {
+func (sc *shardCheckpoint) load(shard, shards int, cfg ServingConfig) (ServingResult, *latDigest, *tenantDigests, bool) {
 	raw, err := os.ReadFile(sc.path(shard))
 	if err != nil {
-		return ServingResult{}, nil, false
+		return ServingResult{}, nil, nil, false
 	}
 	var f shardFile
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return ServingResult{}, nil, false
+		return ServingResult{}, nil, nil, false
 	}
 	fp, err := shardFingerprint(sc.cell, shard, shards, cfg)
 	if err != nil || f.Fingerprint != fp || f.Shard != shard || f.Shards != shards {
-		return ServingResult{}, nil, false
+		return ServingResult{}, nil, nil, false
 	}
 	dig := &latDigest{sketch: f.Sketch}
 	if f.Sketch == nil {
@@ -238,13 +244,41 @@ func (sc *shardCheckpoint) load(shard, shards int, cfg ServingConfig) (ServingRe
 			dig.exact[i] = time.Duration(ns)
 		}
 	}
-	return f.Serving, dig, true
+	// A workload-driven shard's per-class digests come back in the
+	// result's class order, witnessed by the fingerprinted config's
+	// workload spec; a file missing any class recomputes the shard.
+	var td *tenantDigests
+	if f.Serving.Tenancy != nil {
+		td = &tenantDigests{}
+		for _, c := range f.Serving.Tenancy.Classes {
+			d := &latDigest{}
+			if f.Sketch == nil {
+				ns, ok := f.TenantExactNS[c.Class]
+				if f.TenantExactNS == nil || !ok {
+					return ServingResult{}, nil, nil, false
+				}
+				d.exact = make([]time.Duration, len(ns))
+				for i, v := range ns {
+					d.exact[i] = time.Duration(v)
+				}
+			} else {
+				sk, ok := f.TenantSketches[c.Class]
+				if !ok || sk == nil {
+					return ServingResult{}, nil, nil, false
+				}
+				d.sketch = sk
+			}
+			td.classes = append(td.classes, c.Class)
+			td.digs = append(td.digs, d)
+		}
+	}
+	return f.Serving, dig, td, true
 }
 
 // save persists one completed shard atomically, before the cell
 // announces progress — a kill after this point loses no finished
 // shard.
-func (sc *shardCheckpoint) save(shard, shards int, cfg ServingConfig, res ServingResult, dig *latDigest) error {
+func (sc *shardCheckpoint) save(shard, shards int, cfg ServingConfig, res ServingResult, dig *latDigest, td *tenantDigests) error {
 	fp, err := shardFingerprint(sc.cell, shard, shards, cfg)
 	if err != nil {
 		return err
@@ -254,6 +288,23 @@ func (sc *shardCheckpoint) save(shard, shards int, cfg ServingConfig, res Servin
 		f.ExactNS = make([]int64, len(dig.exact))
 		for i, d := range dig.exact {
 			f.ExactNS[i] = int64(d)
+		}
+	}
+	if td != nil {
+		if dig.sketch == nil {
+			f.TenantExactNS = make(map[string][]int64, len(td.classes))
+			for s, class := range td.classes {
+				ns := make([]int64, len(td.digs[s].exact))
+				for i, d := range td.digs[s].exact {
+					ns[i] = int64(d)
+				}
+				f.TenantExactNS[class] = ns
+			}
+		} else {
+			f.TenantSketches = make(map[string]*quantile.Sketch, len(td.classes))
+			for s, class := range td.classes {
+				f.TenantSketches[class] = td.digs[s].sketch
+			}
 		}
 	}
 	blob, err := json.Marshal(f)

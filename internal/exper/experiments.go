@@ -259,7 +259,7 @@ func (p *Platform) LaunchThroughput(app *workloads.App, mode Mode, at, duration 
 			// PGM files instead of an embedded image), then invoke.
 			p.x86Exec(app.NonKernel, func() {
 				start := p.Sim.Now()
-				p.runKernel(nil, p.Cluster.X86, app, mode, func(target threshold.Target) {
+				p.runKernel(nil, p.Cluster.X86, app, mode, "", func(target threshold.Target) {
 					processed++
 					kernelTime += p.Sim.Now() - start
 					lastTarget = target

@@ -42,6 +42,7 @@ func runKnee(arts *Artifacts, c *runnableCell) (KneeResult, error) {
 		Faults:     spec.Faults,
 		Admission:  spec.Admission,
 		Autoscaler: spec.Autoscaler,
+		Workload:   spec.Workload,
 	}
 	var atKnee *ServingResult
 	knee, probes, err := spec.Knee.Search(func(rate float64) (elastic.Probe, error) {
@@ -55,12 +56,31 @@ func runKnee(arts *Artifacts, c *runnableCell) (KneeResult, error) {
 		if r.Offered > 0 {
 			shedFrac = float64(r.Shed) / float64(r.Offered)
 		}
+		obs := elastic.Observed{P99: r.P99, ShedFraction: shedFrac}
 		p := elastic.Probe{
 			RatePerSec:   rate,
-			Pass:         spec.Knee.SLO.Pass(r.P99, shedFrac),
 			P99:          elastic.Duration(r.P99),
 			ShedFraction: shedFrac,
 		}
+		// A workload-driven probe surfaces its per-class observations
+		// so class_p99 / min_attainment bounds can judge them.
+		if r.Tenancy != nil {
+			obs.ClassP99 = make(map[string]time.Duration, len(r.Tenancy.Classes))
+			obs.ClassAttainment = make(map[string]float64, len(r.Tenancy.Classes))
+			p.ClassP99 = make(map[string]elastic.Duration, len(r.Tenancy.Classes))
+			for _, cl := range r.Tenancy.Classes {
+				obs.ClassP99[cl.Class] = cl.P99
+				p.ClassP99[cl.Class] = elastic.Duration(cl.P99)
+				if cl.Deadlined {
+					obs.ClassAttainment[cl.Class] = cl.Attainment
+					if p.ClassAttainment == nil {
+						p.ClassAttainment = make(map[string]float64)
+					}
+					p.ClassAttainment[cl.Class] = cl.Attainment
+				}
+			}
+		}
+		p.Pass = spec.Knee.SLO.PassObserved(obs)
 		if p.Pass {
 			// Passing rates only ever increase during the bisection, so
 			// the last retained result is the at-knee run.

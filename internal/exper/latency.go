@@ -98,5 +98,6 @@ func (d *latDigest) percentile(pct int) time.Duration {
 // distribution (sealed, ascending) as a run finalizes: the sketch
 // differential tests use it to measure rank error against the exact
 // reference without the production result retaining per-request data.
-// kind is "latency", "recovery" or "class:<app>".
+// kind is "latency", "recovery", "class:<app>" or "slo:<class>" (a
+// workload-driven run's per-SLO-class distribution).
 var testLatencySink func(cell, kind string, sorted []time.Duration)

@@ -30,6 +30,12 @@ const (
 	// reconfiguration churn (sched.AffinityPolicy). The assigned
 	// images are preloaded at platform start.
 	PolicyAffinity = "affinity"
+	// PolicyDeadline spends reconfigurations and fast ARM nodes on
+	// critical-SLO-class traffic while batch cohorts pack onto busy
+	// nodes and ride resident kernels (sched.DeadlinePolicy). Without
+	// a workload every request is classless and the policy behaves
+	// like PolicyDefault.
+	PolicyDeadline = "deadline"
 )
 
 // Options disable individual Xar-Trek design decisions for the
@@ -52,8 +58,9 @@ type Options struct {
 	// stays as step G estimated it. Ablation 4.
 	StaticThresholds bool `json:"static_thresholds,omitempty"`
 	// Policy selects the placement policy of the scheduler fleet:
-	// PolicyDefault (also the empty string), PolicyLinkAware or
-	// PolicyAffinity. Unknown names fail platform construction.
+	// PolicyDefault (also the empty string), PolicyLinkAware,
+	// PolicyAffinity or PolicyDeadline. Unknown names fail platform
+	// construction.
 	Policy string `json:"policy,omitempty"`
 	// LatencyMode selects how serving cells accumulate the
 	// completion-latency distribution: LatencyExact (also the empty
@@ -216,9 +223,11 @@ func (p *Platform) placementPolicy(name string, images []*xclbin.XCLBIN) (sched.
 	case PolicyAffinity:
 		pins := partitionKernels(images, len(p.Devices))
 		return sched.NewAffinityPolicy(pins), pins, nil
+	case PolicyDeadline:
+		return sched.DeadlinePolicy{}, nil, nil
 	default:
-		return nil, nil, fmt.Errorf("exper: unknown placement policy %q (want %s, %s or %s)",
-			name, PolicyDefault, PolicyLinkAware, PolicyAffinity)
+		return nil, nil, fmt.Errorf("exper: unknown placement policy %q (want %s, %s, %s or %s)",
+			name, PolicyDefault, PolicyLinkAware, PolicyAffinity, PolicyDeadline)
 	}
 }
 

@@ -59,8 +59,16 @@ func (p *Platform) LaunchApp(app *workloads.App, mode Mode, at time.Duration, do
 // closure chain this replaces was the engine's dominant allocation
 // source, and with it most of the GC time.
 func (p *Platform) LaunchAppOn(entry *cluster.Node, app *workloads.App, mode Mode, at time.Duration, done func(RunResult)) {
+	p.LaunchAppOnClass(entry, app, mode, "", at, done)
+}
+
+// LaunchAppOnClass is LaunchAppOn carrying the requesting cohort's SLO
+// class ("critical", "batch", or empty for classless traffic); the
+// class rides the request into the scheduler's placement context so
+// class-aware policies can discriminate.
+func (p *Platform) LaunchAppOnClass(entry *cluster.Node, app *workloads.App, mode Mode, class string, at time.Duration, done func(RunResult)) {
 	l := p.getLaunch()
-	l.entry, l.app, l.mode, l.done = entry, app, mode, done
+	l.entry, l.app, l.mode, l.class, l.done = entry, app, mode, class, done
 	p.Sim.At(at, l.beginFn)
 }
 
@@ -73,6 +81,7 @@ type launch struct {
 	entry *cluster.Node
 	app   *workloads.App
 	mode  Mode
+	class string
 	start time.Duration
 	done  func(RunResult)
 	// rq is the fault-tracking context; nil on fault-free runs. A
@@ -103,7 +112,7 @@ func (p *Platform) getLaunch() *launch {
 }
 
 func (p *Platform) putLaunch(l *launch) {
-	l.entry, l.app, l.done, l.rq = nil, nil, nil, nil
+	l.entry, l.app, l.class, l.done, l.rq = nil, nil, "", nil, nil
 	p.launchFree = append(p.launchFree, l)
 }
 
@@ -138,7 +147,7 @@ func (l *launch) prologue() {
 }
 
 func (l *launch) kernel() {
-	l.p.runKernel(l.rq, l.node(), l.app, l.mode, l.finishFn)
+	l.p.runKernel(l.rq, l.node(), l.app, l.mode, l.class, l.finishFn)
 }
 
 func (l *launch) finish(target threshold.Target) {
@@ -220,7 +229,9 @@ func (p *Platform) runPrologue(rq *reqCtx, entry *cluster.Node, app *workloads.A
 }
 
 // runKernel executes the selected function once on the mode's target.
-func (p *Platform) runKernel(rq *reqCtx, entry *cluster.Node, app *workloads.App, mode Mode, finish func(threshold.Target)) {
+// class is the requesting cohort's SLO class (empty for classless
+// traffic); only the Xar-Trek scheduler consults it.
+func (p *Platform) runKernel(rq *reqCtx, entry *cluster.Node, app *workloads.App, mode Mode, class string, finish func(threshold.Target)) {
 	if p.traceHook != nil {
 		inner := finish
 		finish = func(t threshold.Target) {
@@ -236,7 +247,7 @@ func (p *Platform) runKernel(rq *reqCtx, entry *cluster.Node, app *workloads.App
 	case ModeVanillaFPGA:
 		p.execVanillaFPGA(rq, entry, app, finish)
 	case ModeXarTrek:
-		p.execXarTrek(rq, entry, app, finish)
+		p.execXarTrek(rq, entry, app, class, finish)
 	default:
 		p.execX86(rq, entry, app, finish)
 	}
@@ -549,7 +560,7 @@ func (p *Platform) execVanillaFPGA(rq *reqCtx, entry *cluster.Node, app *workloa
 
 // execXarTrek consults the entry node's scheduler server (Algorithm 2)
 // and runs the kernel on the decided target and placement.
-func (p *Platform) execXarTrek(rq *reqCtx, entry *cluster.Node, app *workloads.App, finish func(threshold.Target)) {
+func (p *Platform) execXarTrek(rq *reqCtx, entry *cluster.Node, app *workloads.App, class string, finish func(threshold.Target)) {
 	if !app.Migratable {
 		p.execX86(rq, entry, app, finish)
 		return
@@ -558,7 +569,7 @@ func (p *Platform) execXarTrek(rq *reqCtx, entry *cluster.Node, app *workloads.A
 	// while it waits for the decision; that node's load counts it (the
 	// paper's load metric counts processes, not runnable jobs).
 	p.deciding[entry.Index]++
-	d, err := p.serverFor(entry).Decide(app.Name, app.KernelName)
+	d, err := p.serverFor(entry).DecideClass(app.Name, app.KernelName, class)
 	p.deciding[entry.Index]--
 	if err != nil {
 		p.execX86(rq, entry, app, finish)

@@ -10,6 +10,7 @@ import (
 	"xartrek/internal/core/sched"
 	"xartrek/internal/elastic"
 	"xartrek/internal/faults"
+	"xartrek/internal/tenancy"
 	"xartrek/internal/workloads"
 )
 
@@ -61,6 +62,14 @@ type ServingConfig struct {
 	// by observed load. nil or a disabled spec leaves the run
 	// byte-identical to the pre-autoscaler engine.
 	Autoscaler *elastic.AutoscalerSpec
+	// Workload, when it declares cohorts, replaces the anonymous
+	// arrival stream with the tenancy package's merged multi-client
+	// stream at RatePerSec aggregate: per-cohort rate fractions, SLO
+	// classes and arrival processes, with per-class latency digests in
+	// the result. nil (omitted from JSON, keeping workload-free shard
+	// fingerprints stable) leaves the run byte-identical to the
+	// pre-tenancy engine. Mutually exclusive with Trace.
+	Workload *tenancy.Spec `json:",omitempty"`
 
 	// forceTrace marks a sharded sub-run as trace-driven even when its
 	// trace slice is empty (a parent trace with fewer arrivals than
@@ -145,6 +154,11 @@ type ServingResult struct {
 	// Elastic is the autoscaler's fleet-size report; nil when the
 	// control loop is disabled.
 	Elastic *elastic.Result `json:",omitempty"`
+	// Tenancy is the per-class and per-cohort report of a
+	// workload-driven run; nil without a workload (omitted from JSON,
+	// keeping workload-free reports byte-identical to pre-tenancy
+	// output).
+	Tenancy *TenancyResult `json:",omitempty"`
 }
 
 // arrival is one pre-drawn request: when it enters and what it runs.
@@ -364,37 +378,48 @@ func runServing(arts *Artifacts, cfg ServingConfig) (ServingResult, error) {
 	if cfg.Opts.Shards > 1 {
 		return runServingSharded(arts, cfg)
 	}
-	res, _, err := runServingCore(arts, cfg, true)
+	res, _, _, err := runServingCore(arts, cfg, true)
 	return res, err
 }
 
 // runServingCore executes one serving timeline and returns the sealed
-// latency digest alongside the result, so the sharded reducer can
-// merge per-shard distributions. sink gates the exact-mode test sink:
+// latency digest — plus the per-class digests of a workload-driven
+// run — alongside the result, so the sharded reducer can merge
+// per-shard distributions. sink gates the exact-mode test sink:
 // sharded sub-runs suppress it and the reducer emits one merged
 // distribution under the cell's own name.
-func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResult, *latDigest, error) {
+func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResult, *latDigest, *tenantDigests, error) {
 	opts := cfg.Opts
 	opts.Policy = resolvePolicy(cfg.Policy, opts.Policy)
 	sketch, err := parseLatencyMode(opts.LatencyMode)
 	if err != nil {
-		return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+		return ServingResult{}, nil, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 	}
-	src, err := cfg.source(arts.Apps, sketch)
-	if err != nil {
-		return ServingResult{}, nil, err
+	var src arrivalSource
+	var ten *tenantRun
+	if cfg.Workload.Enabled() {
+		ten, err = newTenantRun(&cfg, arts.Apps, sketch)
+		if err != nil {
+			return ServingResult{}, nil, nil, err
+		}
+		src = ten.src
+	} else {
+		src, err = cfg.source(arts.Apps, sketch)
+		if err != nil {
+			return ServingResult{}, nil, nil, err
+		}
 	}
 	p, err := NewPlatformTopo(arts, cfg.Topo, opts)
 	if err != nil {
-		return ServingResult{}, nil, err
+		return ServingResult{}, nil, nil, err
 	}
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(); err != nil {
-			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		rt, err := newFaultRuntime(p, cfg.Faults, cfg.Seed, cfg.Duration, sketch)
 		if err != nil {
-			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		p.faults = rt
 	}
@@ -405,7 +430,7 @@ func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResul
 		// earlier-scheduled event).
 		rt, err := newElasticRuntime(p, cfg.Admission, cfg.Autoscaler, cfg.Duration)
 		if err != nil {
-			return ServingResult{}, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
+			return ServingResult{}, nil, nil, fmt.Errorf("exper: serving %q: %w", cfg.Name, err)
 		}
 		p.elastic = rt
 	}
@@ -442,6 +467,9 @@ func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResul
 			p.faults.observeClass(run.App, run.Elapsed())
 		}
 	}
+	if ten != nil {
+		ten.bind(complete)
+	}
 	inject := func(apps []*workloads.App) {
 		// Each Feed batch is a fresh distinct instant, so the
 		// same-instant placement counters always start clean.
@@ -449,7 +477,16 @@ func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResul
 			assigned[n] = 0
 		}
 		now := p.Sim.Now()
-		for _, app := range apps {
+		for j, app := range apps {
+			// A workload-driven run routes each request's completion to
+			// its cohort's closure (per-class digest and deadline
+			// accounting on top of the shared complete) and carries the
+			// cohort's SLO class into the scheduler's placement context.
+			done, class := complete, ""
+			if ten != nil {
+				coh := ten.src.batchCoh[j]
+				done, class = ten.done[coh], ten.classOf[coh]
+			}
 			// Entry balancing: the front end places each arriving
 			// request on the least-loaded x86 node at its arrival
 			// instant (ties toward the lower index — deterministic),
@@ -464,11 +501,11 @@ func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResul
 					continue
 				}
 				assigned[entry.Index]++
-				p.elastic.launchDegraded(entry, app, now, complete)
+				p.elastic.launchDegraded(entry, app, now, done)
 				continue
 			}
 			assigned[entry.Index]++
-			p.LaunchAppOn(entry, app, cfg.Mode, now, complete)
+			p.LaunchAppOnClass(entry, app, cfg.Mode, class, now, done)
 		}
 	}
 	// Feed fires each returned callback before pulling the next instant,
@@ -501,13 +538,21 @@ func runServingCore(arts *Artifacts, cfg ServingConfig, sink bool) (ServingResul
 	if p.elastic != nil {
 		p.elastic.finalize(&res, cfg.Duration)
 	}
+	var tdigs *tenantDigests
+	if ten != nil {
+		res.Tenancy = ten.finalize()
+		tdigs = ten.digests()
+	}
 	if sink && testLatencySink != nil && !sketch {
 		testLatencySink(cfg.Name, "latency", lat.exact)
 		if p.faults != nil {
 			p.faults.sinkExact(cfg.Name)
 		}
+		if ten != nil {
+			ten.sinkExact(cfg.Name)
+		}
 	}
-	return res, lat, nil
+	return res, lat, tdigs, nil
 }
 
 // RunServingSweep fans a serving campaign across the worker pool: each

@@ -134,36 +134,39 @@ func runServingSharded(arts *Artifacts, cfg ServingConfig) (ServingResult, error
 	}
 	parts := make([]ServingResult, n)
 	digs := make([]*latDigest, n)
+	tdigs := make([]*tenantDigests, n)
 	err = par.ForEach(n, func(i int) error {
 		if cfg.shardCk != nil {
-			if res, dig, ok := cfg.shardCk.load(i, n, subs[i]); ok {
-				parts[i], digs[i] = res, dig
+			if res, dig, td, ok := cfg.shardCk.load(i, n, subs[i]); ok {
+				parts[i], digs[i], tdigs[i] = res, dig, td
 				return nil
 			}
 		}
-		res, dig, err := runServingCore(arts, subs[i], false)
+		res, dig, td, err := runServingCore(arts, subs[i], false)
 		if err != nil {
 			return err
 		}
 		if cfg.shardCk != nil {
-			if err := cfg.shardCk.save(i, n, subs[i], res, dig); err != nil {
+			if err := cfg.shardCk.save(i, n, subs[i], res, dig, td); err != nil {
 				return err
 			}
 		}
-		parts[i], digs[i] = res, dig
+		parts[i], digs[i], tdigs[i] = res, dig, td
 		return nil
 	})
 	if err != nil {
 		return ServingResult{}, err
 	}
-	return mergeShardResults(cfg, sketch, parts, digs), nil
+	return mergeShardResults(cfg, sketch, parts, digs, tdigs), nil
 }
 
 // mergeShardResults reduces per-shard results into the cell's report:
 // counters and scheduler stats sum, host load averages, and the
 // latency distribution merges — exact slices concatenate and re-sort,
-// sketches fold through quantile.Merge in shard order.
-func mergeShardResults(cfg ServingConfig, sketch bool, parts []ServingResult, digs []*latDigest) ServingResult {
+// sketches fold through quantile.Merge in shard order. Workload-driven
+// cells additionally merge the per-class digests and per-cohort counts
+// (mergeTenancy).
+func mergeShardResults(cfg ServingConfig, sketch bool, parts []ServingResult, digs []*latDigest, tdigs []*tenantDigests) ServingResult {
 	res := ServingResult{
 		Name:       cfg.Name,
 		Mode:       cfg.Mode,
@@ -190,6 +193,7 @@ func mergeShardResults(cfg ServingConfig, sketch bool, parts []ServingResult, di
 	if testLatencySink != nil && !sketch {
 		testLatencySink(cfg.Name, "latency", lat.exact)
 	}
+	res.Tenancy = mergeTenancy(cfg.Name, parts, tdigs, sketch, true)
 	return res
 }
 

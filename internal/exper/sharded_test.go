@@ -158,6 +158,41 @@ func TestShardedMatchesUnshardedOnCampaignCells(t *testing.T) {
 			check("P50", sr.P50, 50)
 			check("P95", sr.P95, 95)
 			check("P99", sr.P99, 99)
+			// Workload-driven cells carry the same contract per SLO
+			// class: the cohort deal is exact (per-class offered counts
+			// agree), and per-class percentiles meet the same rank
+			// bounds against the unsharded class distribution.
+			if ut, st := ur.Tenancy, sr.Tenancy; ut != nil || st != nil {
+				if (ut == nil) != (st == nil) {
+					t.Fatalf("%s: tenancy report present in one arm only", cellID)
+				}
+				checkClass := func(metric string, v time.Duration, pct int, dist []time.Duration) {
+					checked++
+					if len(dist) == 0 {
+						if v != 0 {
+							t.Errorf("%s: %s = %v with no unsharded samples", cellID, metric, v)
+						}
+						return
+					}
+					tol := (len(dist)*rankTolPct+99)/100 + 5
+					errRanks, target := sketchRankErr(dist, v, pct)
+					if errRanks > tol {
+						t.Errorf("%s: stable=%v %s = %v misses target rank %d by %d ranks (tolerance %d of n=%d)",
+							cellID, stable, metric, v, target, errRanks, tol, len(dist))
+					}
+				}
+				for i, sc := range st.Classes {
+					uc := ut.Classes[i]
+					if sc.Class != uc.Class || sc.Offered != uc.Offered {
+						t.Errorf("%s: exact cohort deal changed class %q offered: %d sharded vs %d unsharded",
+							cellID, sc.Class, sc.Offered, uc.Offered)
+					}
+					dist := dists["slo:"+sc.Class]
+					checkClass("Tenancy["+sc.Class+"].P50", sc.P50, 50, dist)
+					checkClass("Tenancy["+sc.Class+"].P95", sc.P95, 95, dist)
+					checkClass("Tenancy["+sc.Class+"].P99", sc.P99, 99, dist)
+				}
+			}
 		}
 	}
 	if checked == 0 {

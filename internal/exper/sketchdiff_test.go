@@ -168,6 +168,22 @@ func TestSketchMatchesExactOnCampaignCells(t *testing.T) {
 					check("ClassP99["+app+"]", p99, 99, dists["class:"+app])
 				}
 			}
+			if et, st := er.Tenancy, sr.Tenancy; et != nil || st != nil {
+				if (et == nil) != (st == nil) {
+					t.Fatalf("%s: tenancy report present in one mode only", cellID)
+				}
+				for i, sc := range st.Classes {
+					ec := et.Classes[i]
+					if sc.Class != ec.Class || sc.Offered != ec.Offered || sc.Completed != ec.Completed {
+						t.Fatalf("%s: sketch class %q diverged: offered %d/%d completed %d/%d",
+							cellID, sc.Class, sc.Offered, ec.Offered, sc.Completed, ec.Completed)
+					}
+					dist := dists["slo:"+sc.Class]
+					check("Tenancy["+sc.Class+"].P50", sc.P50, 50, dist)
+					check("Tenancy["+sc.Class+"].P95", sc.P95, 95, dist)
+					check("Tenancy["+sc.Class+"].P99", sc.P99, 99, dist)
+				}
+			}
 		}
 	}
 	if checked == 0 {

@@ -60,6 +60,7 @@ import (
 	"xartrek/internal/exper"
 	"xartrek/internal/popcorn"
 	"xartrek/internal/power"
+	"xartrek/internal/tenancy"
 	"xartrek/internal/workloads"
 )
 
@@ -161,6 +162,41 @@ type (
 	SchedulerStats = sched.Stats
 	// MMPPState is one regime of the bursty (MMPP) arrival generator.
 	MMPPState = exper.MMPPState
+	// WorkloadSpec declares a multi-tenant cohort workload for
+	// ServingConfig.Workload / CellSpec.Workload: named cohorts with
+	// rate fractions, SLO classes, arrival processes and app mixes.
+	WorkloadSpec = tenancy.Spec
+	// WorkloadCohort is one named client population of a WorkloadSpec.
+	WorkloadCohort = tenancy.Cohort
+	// ArrivalSpec selects a cohort's arrival process (poisson, gamma,
+	// weibull) and burstiness (coefficient of variation).
+	ArrivalSpec = tenancy.ArrivalSpec
+	// ArrivalWindow is one segment of a cohort's cyclic rate schedule.
+	ArrivalWindow = tenancy.Window
+	// AppShare weights one application inside a cohort's app mix.
+	AppShare = tenancy.AppShare
+	// TenancyResult is a workload-driven serving run's per-class and
+	// per-cohort report (ServingResult.Tenancy).
+	TenancyResult = exper.TenancyResult
+	// ClassResult is one SLO class's latency/attainment report.
+	ClassResult = exper.ClassResult
+	// CohortResult is one cohort's offered/completed counters.
+	CohortResult = exper.CohortResult
+)
+
+// SLO class names for WorkloadCohort.Class.
+const (
+	// ClassCritical marks deadline-bound interactive traffic.
+	ClassCritical = tenancy.ClassCritical
+	// ClassBatch marks throughput-oriented background traffic.
+	ClassBatch = tenancy.ClassBatch
+)
+
+// Arrival process names for ArrivalSpec.Process.
+const (
+	ProcessPoisson = tenancy.ProcessPoisson
+	ProcessGamma   = tenancy.ProcessGamma
+	ProcessWeibull = tenancy.ProcessWeibull
 )
 
 // Execution modes.
@@ -185,6 +221,10 @@ const (
 	PolicyDefault   = exper.PolicyDefault
 	PolicyLinkAware = exper.PolicyLinkAware
 	PolicyAffinity  = exper.PolicyAffinity
+	// PolicyDeadline is the SLO-class-aware policy: critical requests
+	// place link-aware, batch requests pack the most-loaded ARM node
+	// and never trigger FPGA reconfigurations.
+	PolicyDeadline = exper.PolicyDeadline
 )
 
 // Campaign cell kinds for CellSpec.Kind.
